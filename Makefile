@@ -1,0 +1,33 @@
+# Common tasks for the collabvr reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test race bench figures figures-full clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper figure (scaled down; ~minutes).
+figures:
+	$(GO) run ./cmd/collabvr-bench | tee results_bench.txt
+
+# Paper-scale parameters (much longer; run on an idle machine).
+figures-full:
+	$(GO) run ./cmd/collabvr-bench -full | tee results_bench_full.txt
+
+clean:
+	rm -f results_bench.txt results_bench_full.txt test_output.txt bench_output.txt

@@ -1,0 +1,30 @@
+package main
+
+import "testing"
+
+func TestFig1aAnd1b(t *testing.T) {
+	if err := run([]string{"-fig", "1a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-fig", "1b"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtGPU(t *testing.T) {
+	if err := run([]string{"-fig", "ext-gpu"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownFigIsNoop(t *testing.T) {
+	if err := run([]string{"-fig", "99"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	if err := run([]string{"-seed", "x"}); err == nil {
+		t.Fatal("bad flag should error")
+	}
+}

@@ -1,0 +1,79 @@
+// Command collabvr-client emulates one commodity mobile device: it joins a
+// collabvr-server, replays a generated (or CSV-loaded) motion trace,
+// receives and displays the tile stream, and prints its QoE report when the
+// server ends the session.
+//
+// Usage:
+//
+//	collabvr-client -server 127.0.0.1:7400 -user 0
+//	collabvr-client -server 127.0.0.1:7400 -user 1 -trace traces/motion-user01.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/motion"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "collabvr-client:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("collabvr-client", flag.ContinueOnError)
+	var (
+		serverAddr = fs.String("server", "127.0.0.1:7400", "server control (TCP) address")
+		user       = fs.Uint("user", 0, "user id")
+		tracePath  = fs.String("trace", "", "motion trace CSV (empty = generate)")
+		scene      = fs.Int("scene", 0, "scene profile for generated traces (0 or 1)")
+		slotMs     = fs.Float64("slotms", 1000.0/60, "slot duration in milliseconds (must match server)")
+		seconds    = fs.Float64("seconds", 300, "generated trace length")
+		seed       = fs.Int64("seed", 1, "generation seed")
+		ram        = fs.Int("ram", 512, "client RAM threshold in tiles")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var trace motion.Trace
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			return err
+		}
+		trace, err = motion.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	} else {
+		fps := 1000 / *slotMs
+		slots := int(*seconds * fps)
+		scenes := motion.Scenes()
+		trace = motion.Generate(scenes[*scene%2], int(*user), slots, fps, *seed)
+	}
+
+	cfg := client.DefaultConfig(uint32(*user), *serverAddr, trace)
+	cfg.SlotDuration = time.Duration(*slotMs * float64(time.Millisecond))
+	cfg.RAMThreshold = *ram
+
+	fmt.Printf("collabvr-client: user %d joining %s (%d-slot trace)\n",
+		*user, *serverAddr, len(trace))
+	res, err := client.Run(cfg)
+	if err != nil {
+		return err
+	}
+	r := res.Report
+	fmt.Printf("user %d: slots=%d tiles=%d bytes=%d releases=%d\n",
+		res.User, res.Slots, res.Tiles, res.Bytes, res.Releases)
+	fmt.Printf("QoE=%.4f quality=%.4f delay=%.4fms variance=%.4f coverage=%.4f fps=%.1f\n",
+		r.QoE, r.Quality, r.Delay, r.Variance, r.Coverage, r.FPSFrac*1000 / *slotMs)
+	return nil
+}

@@ -1,0 +1,104 @@
+// Command collabvr-server runs a standalone edge server that any number of
+// collabvr-client processes can join. It is the deployable counterpart of
+// the paper's Java server: pose ingest over TCP, quality allocation with
+// the chosen algorithm each slot, RTP-like tile delivery over UDP.
+//
+// Usage:
+//
+//	collabvr-server -tcp 127.0.0.1:7400 -udp 127.0.0.1:7401 -algo dvgreedy -slots 3600
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "collabvr-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("collabvr-server", flag.ContinueOnError)
+	var (
+		tcpAddr = fs.String("tcp", "127.0.0.1:7400", "control (TCP) listen address")
+		udpAddr = fs.String("udp", "127.0.0.1:7401", "data (UDP) bind address")
+		algo    = fs.String("algo", "dvgreedy", "allocator: dvgreedy, density, value, optimal, firefly, pavq")
+		budget  = fs.Float64("budget", 400, "server throughput budget B(t) in Mbps")
+		slots   = fs.Int("slots", 0, "stop after this many slots (0 = run until interrupted)")
+		slotMs  = fs.Float64("slotms", 1000.0/60, "slot duration in milliseconds")
+		alpha   = fs.Float64("alpha", 0.1, "QoE delay weight")
+		beta    = fs.Float64("beta", 0.5, "QoE variance weight")
+		verbose = fs.Bool("v", false, "verbose logging")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	alloc, err := allocatorByName(*algo)
+	if err != nil {
+		return err
+	}
+
+	cfg := server.DefaultConfig(alloc)
+	cfg.TCPAddr = *tcpAddr
+	cfg.UDPAddr = *udpAddr
+	cfg.BudgetMbps = *budget
+	cfg.TotalSlots = *slots
+	cfg.SlotDuration = time.Duration(*slotMs * float64(time.Millisecond))
+	cfg.Params.Alpha = *alpha
+	cfg.Params.Beta = *beta
+	if *verbose {
+		cfg.Logf = func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", a...)
+		}
+	}
+
+	srv, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("collabvr-server: control %s, algorithm %s, budget %g Mbps\n",
+		srv.ControlAddr(), *algo, *budget)
+
+	<-srv.Done()
+	stats := srv.Stats()
+	if err := srv.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("%-6s %8s %8s %9s %10s %8s %8s\n",
+		"user", "slots", "tiles", "skipped", "bytes", "level", "est")
+	for _, st := range stats {
+		fmt.Printf("%-6d %8d %8d %9d %10d %8.2f %8.1f\n",
+			st.User, st.SlotsServed, st.TilesSent, st.TilesSkipped,
+			st.BytesSent, st.MeanLevel, st.EstMbps)
+	}
+	return nil
+}
+
+func allocatorByName(name string) (core.Allocator, error) {
+	switch name {
+	case "dvgreedy", "proposed":
+		return core.DVGreedy{}, nil
+	case "density":
+		return core.DensityOnly{}, nil
+	case "value":
+		return core.ValueOnly{}, nil
+	case "optimal":
+		return core.Optimal{}, nil
+	case "firefly":
+		return baseline.NewFirefly(), nil
+	case "pavq":
+		return baseline.NewPAVQ(), nil
+	default:
+		return nil, fmt.Errorf("unknown allocator %q", name)
+	}
+}

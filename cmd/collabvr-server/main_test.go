@@ -1,0 +1,62 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+)
+
+func TestAllocatorByName(t *testing.T) {
+	tests := []struct {
+		give string
+		want string
+	}{
+		{"dvgreedy", "dvgreedy"},
+		{"proposed", "dvgreedy"},
+		{"density", "density"},
+		{"value", "value"},
+		{"optimal", "optimal"},
+		{"firefly", "firefly"},
+		{"pavq", "pavq"},
+	}
+	for _, tt := range tests {
+		alloc, err := allocatorByName(tt.give)
+		if err != nil {
+			t.Fatalf("%s: %v", tt.give, err)
+		}
+		if alloc.Name() != tt.want {
+			t.Errorf("allocatorByName(%q).Name() = %q, want %q", tt.give, alloc.Name(), tt.want)
+		}
+	}
+	if _, err := allocatorByName("nope"); err == nil {
+		t.Error("unknown allocator should error")
+	}
+	// Spot check types.
+	if a, _ := allocatorByName("pavq"); a == (core.Allocator)(nil) {
+		t.Error("nil allocator")
+	}
+	var _ = baseline.NewPAVQ()
+}
+
+func TestServerRunsForConfiguredSlots(t *testing.T) {
+	err := run([]string{
+		"-tcp", "127.0.0.1:0", "-udp", "127.0.0.1:0",
+		"-slots", "5", "-slotms", "2", "-algo", "dvgreedy",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerBadAlgo(t *testing.T) {
+	if err := run([]string{"-algo", "nope"}); err == nil {
+		t.Fatal("unknown algorithm should error")
+	}
+}
+
+func TestServerBadFlags(t *testing.T) {
+	if err := run([]string{"-slots", "x"}); err == nil {
+		t.Fatal("bad flag should error")
+	}
+}

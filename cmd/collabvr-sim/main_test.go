@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunTiny(t *testing.T) {
+	err := run([]string{"-users", "2", "-seconds", "2", "-runs", "2", "-points", "3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunForcedOptimal(t *testing.T) {
+	err := run([]string{"-users", "2", "-seconds", "1", "-runs", "1", "-optimal"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCSVDump(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{"-users", "2", "-seconds", "1", "-runs", "2", "-csv", dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"proposed", "firefly", "pavq"} {
+		data, err := os.ReadFile(filepath.Join(dir, "samples-"+name+".csv"))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		lines := strings.Count(string(data), "\n")
+		if lines != 1+2*2 { // header + runs*users
+			t.Errorf("%s: %d lines, want 5", name, lines)
+		}
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-users", "x"}); err == nil {
+		t.Fatal("bad flag should error")
+	}
+}
+
+func TestRunInvalidConfig(t *testing.T) {
+	if err := run([]string{"-users", "0"}); err == nil {
+		t.Fatal("zero users should error")
+	}
+}

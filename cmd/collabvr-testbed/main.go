@@ -1,0 +1,116 @@
+// Command collabvr-testbed runs the real-system experiments of Section VI
+// on an in-process loopback testbed: a live edge server, N emulated
+// smartphone clients over real UDP/TCP sockets, per-user token-bucket
+// throttles and shared router buckets standing in for the paper's Linux TC
+// and 802.11ac hardware. It prints the Fig. 7 (setup 1: 8 users, 1 router)
+// or Fig. 8 (setup 2: 15 users, 2 routers) comparison of the proposed
+// algorithm against Firefly and modified PAVQ, including the headline QoE
+// improvement percentages.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/testbed"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "collabvr-testbed:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("collabvr-testbed", flag.ContinueOnError)
+	var (
+		setupID = fs.Int("setup", 1, "experiment setup: 1 (8 users, 1 router) or 2 (15 users, 2 routers)")
+		slots   = fs.Int("slots", 1200, "experiment length in slots")
+		slotMs  = fs.Float64("slotms", 1000.0/60, "slot duration in milliseconds")
+		seed    = fs.Int64("seed", 1, "random seed")
+		repeats = fs.Int("repeats", 1, "repetitions to average (paper: 5)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var setup testbed.Setup
+	switch *setupID {
+	case 1:
+		setup = testbed.Setup1()
+	case 2:
+		setup = testbed.Setup2()
+	default:
+		return fmt.Errorf("unknown setup %d", *setupID)
+	}
+
+	fmt.Printf("# Fig %d-style real-system run: %s, %d slots of %.2f ms, %d repeat(s)\n\n",
+		*setupID+6, setup.Name, *slots, *slotMs, *repeats)
+
+	names := []string{"proposed", "firefly", "pavq"}
+	sums := make([]metrics.Report, len(names))
+	var fpsSums []float64 = make([]float64, len(names))
+	for rep := 0; rep < *repeats; rep++ {
+		cfg := testbed.Config{
+			Setup:        setup,
+			Slots:        *slots,
+			SlotDuration: time.Duration(*slotMs * float64(time.Millisecond)),
+			Seed:         *seed + int64(rep)*1009,
+			Params:       core.DefaultSystemParams(),
+		}
+		results, err := testbed.RunAll(cfg)
+		if err != nil {
+			return err
+		}
+		for i, r := range results {
+			sums[i].QoE += r.Aggregate.QoE
+			sums[i].Quality += r.Aggregate.Quality
+			sums[i].Delay += r.Aggregate.Delay
+			sums[i].Variance += r.Aggregate.Variance
+			sums[i].Coverage += r.Aggregate.Coverage
+			sums[i].FPSFrac += r.Aggregate.FPSFrac
+			fpsSums[i] += r.FPS
+		}
+	}
+	reports := make([]metrics.Report, len(names))
+	for i := range sums {
+		n := float64(*repeats)
+		reports[i] = metrics.Report{
+			QoE:      sums[i].QoE / n,
+			Quality:  sums[i].Quality / n,
+			Delay:    sums[i].Delay / n,
+			Variance: sums[i].Variance / n,
+			Coverage: sums[i].Coverage / n,
+			FPSFrac:  sums[i].FPSFrac / n,
+		}
+	}
+
+	slotRate := 1000 / *slotMs
+	fmt.Print(metrics.FormatComparison(
+		fmt.Sprintf("Fig %d: average per-user metrics (delay in ms)", *setupID+6),
+		names, reports, slotRate))
+	fmt.Println()
+
+	improvement := func(ours, other float64) string {
+		if other == 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("%+.1f%%", (ours-other)/absF(other)*100)
+	}
+	fmt.Printf("QoE improvement of proposed: vs firefly %s, vs pavq %s\n",
+		improvement(reports[0].QoE, reports[1].QoE),
+		improvement(reports[0].QoE, reports[2].QoE))
+	return nil
+}
+
+func absF(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+func TestBadSetup(t *testing.T) {
+	if err := run([]string{"-setup", "3"}); err == nil {
+		t.Fatal("unknown setup should error")
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	if err := run([]string{"-slots", "x"}); err == nil {
+		t.Fatal("bad flag should error")
+	}
+}
+
+func TestTinyRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live testbed run in -short mode")
+	}
+	// A minimal real run: setup 1, few slots, fast slot clock.
+	if err := run([]string{"-setup", "1", "-slots", "60", "-slotms", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/motion"
+	"repro/internal/nettrace"
+)
+
+func TestGeneratesLoadableTraces(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{
+		"-out", dir, "-users", "3", "-seconds", "2", "-nettraces", "4",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	motions, err := filepath.Glob(filepath.Join(dir, "motion-user*.csv"))
+	if err != nil || len(motions) != 3 {
+		t.Fatalf("motion traces = %d (%v), want 3", len(motions), err)
+	}
+	f, err := os.Open(motions[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := motion.ReadCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) != 120 {
+		t.Errorf("trace slots = %d, want 120", len(tr))
+	}
+
+	nets, err := filepath.Glob(filepath.Join(dir, "net-*.csv"))
+	if err != nil || len(nets) != 4 {
+		t.Fatalf("net traces = %d (%v), want 4", len(nets), err)
+	}
+	nf, err := os.Open(nets[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nf.Close()
+	if _, err := nettrace.ReadCSV(nf); err != nil {
+		t.Fatalf("net trace unreadable: %v", err)
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-users", "x"}); err == nil {
+		t.Fatal("bad flag should error")
+	}
+}

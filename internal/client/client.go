@@ -1,0 +1,373 @@
+// Package client implements the user-side application of the paper's system
+// (Section VI) as an emulator for commodity mobile devices: it replays a
+// real motion trace, uploads poses to the server over TCP, receives the
+// RTP-like tile stream over UDP, reassembles and "decodes" tiles on a pool
+// of parallel decoders, enforces per-slot display deadlines (tiles are
+// displayed or dropped, never prefetched), acknowledges delivered tiles,
+// and releases old tiles when its RAM threshold is reached.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/motion"
+	"repro/internal/tiles"
+	"repro/internal/transport"
+	"repro/internal/vrmath"
+)
+
+// Config parametrizes a client.
+type Config struct {
+	User       uint32
+	ServerAddr string // server control (TCP) address
+	// Trace is the motion trace the client replays (wraps around).
+	Trace motion.Trace
+	// SlotDuration must match the server's.
+	SlotDuration time.Duration
+	// RAMThreshold is the maximum number of tiles held before releasing
+	// (device-memory dependent, per the paper).
+	RAMThreshold int
+	// Decoders is the number of parallel hardware decoders (paper: 5).
+	Decoders int
+	Coverage motion.CoverageConfig
+	Params   metrics.QoEParams
+	// Slots stops the client after this many display slots (0 = until the
+	// server closes the control connection).
+	Slots int
+	// NackLost enables the loss-handling extension of the paper's
+	// Discussion section: tiles with missing fragments are reported so the
+	// server retransmits them.
+	NackLost bool
+}
+
+// DefaultConfig returns the paper's client parameters.
+func DefaultConfig(user uint32, serverAddr string, trace motion.Trace) Config {
+	return Config{
+		User:         user,
+		ServerAddr:   serverAddr,
+		Trace:        trace,
+		SlotDuration: time.Second / 60,
+		RAMThreshold: 512,
+		Decoders:     5,
+		Coverage:     motion.DefaultCoverage(),
+		Params:       metrics.QoEParams{Alpha: 0.1, Beta: 0.5},
+	}
+}
+
+// Result is the client-side outcome of a run.
+type Result struct {
+	User     uint32
+	Report   metrics.Report
+	Slots    int
+	Tiles    int
+	Bytes    int
+	Releases int
+	// Nacks counts loss reports sent (only with Config.NackLost).
+	Nacks int
+}
+
+// Run connects, streams until the configured horizon (or server shutdown),
+// and returns the observed QoE metrics. It is synchronous; run one
+// goroutine per emulated user.
+func Run(cfg Config) (*Result, error) {
+	if len(cfg.Trace) == 0 {
+		return nil, errors.New("client: empty motion trace")
+	}
+	if cfg.SlotDuration <= 0 {
+		cfg.SlotDuration = time.Second / 60
+	}
+	if cfg.Decoders <= 0 {
+		cfg.Decoders = 5
+	}
+	if cfg.RAMThreshold <= 0 {
+		cfg.RAMThreshold = 512
+	}
+
+	udp, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("client: listen udp: %w", err)
+	}
+	defer udp.Close()
+
+	raw, err := net.Dial("tcp", cfg.ServerAddr)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial server: %w", err)
+	}
+	ctrl := transport.NewConn(raw)
+	defer ctrl.Close()
+
+	if err := ctrl.Send(transport.Hello{
+		User:         cfg.User,
+		UDPAddr:      udp.LocalAddr().String(),
+		RAMThreshold: cfg.RAMThreshold,
+	}); err != nil {
+		return nil, err
+	}
+
+	c := &runner{
+		cfg:    cfg,
+		ctrl:   ctrl,
+		udp:    udp,
+		reasm:  transport.NewReassembler(),
+		ram:    tiles.NewClientRAM(cfg.RAMThreshold),
+		acc:    metrics.NewUserQoE(cfg.Params),
+		byslot: make(map[uint32][]tiles.VideoID),
+	}
+	return c.run()
+}
+
+// runner carries the per-run state.
+type runner struct {
+	cfg   Config
+	ctrl  *transport.Conn
+	udp   net.PacketConn
+	reasm *transport.Reassembler
+	ram   *tiles.ClientRAM
+	acc   *metrics.UserQoE
+
+	mu      sync.Mutex
+	byslot  map[uint32][]tiles.VideoID // complete tiles per server slot
+	maxSlot uint32
+	anySlot bool
+
+	tilesTotal int
+	bytesTotal int
+	releases   int
+	nacks      int
+
+	ctrlEnd sync.Once
+	endCh   chan struct{}
+}
+
+func (c *runner) run() (*Result, error) {
+	c.endCh = make(chan struct{})
+
+	// UDP receive pump.
+	recvDone := make(chan struct{})
+	go c.receiveLoop(recvDone)
+
+	// Control-channel reader: the server does not push control messages in
+	// this protocol, but a read detects connection shutdown immediately.
+	go func() {
+		for {
+			if _, err := c.ctrl.Recv(); err != nil {
+				c.ctrlEnd.Do(func() { close(c.endCh) })
+				return
+			}
+		}
+	}()
+
+	ticker := time.NewTicker(c.cfg.SlotDuration)
+	defer ticker.Stop()
+
+	localSlot := 0
+	processed := uint32(0)
+	prevMax := uint32(0)
+	displayed := 0
+	running := true
+	for running {
+		select {
+		case <-ticker.C:
+		case <-c.endCh:
+			running = false
+		}
+
+		// Upload the current pose (trace replay).
+		pose := c.cfg.Trace[localSlot%len(c.cfg.Trace)]
+		if err := c.ctrl.Send(transport.PoseUpdate{
+			User: c.cfg.User,
+			Slot: uint32(localSlot),
+			Pose: pose,
+		}); err != nil {
+			running = false
+		}
+		localSlot++
+
+		// Harvest completed tiles into per-slot buckets. Tiles for slots
+		// that already displayed (e.g. NACK retransmissions) are
+		// re-bucketed into the next display slot: their frame is gone, but
+		// the content still feeds RAM for upcoming frames.
+		for _, tile := range c.reasm.Flush() {
+			slot := tile.Slot
+			if slot < processed {
+				slot = processed
+			}
+			c.mu.Lock()
+			c.byslot[slot] = append(c.byslot[slot], tile.VideoID)
+			c.tilesTotal++
+			c.bytesTotal += len(tile.Payload)
+			c.mu.Unlock()
+		}
+
+		// Display pipeline. Tiles for server slot t are decoded during t+1
+		// and displayed at t+2 (the paper's pipelining), which here means a
+		// slot is displayed one tick after its last packet can arrive.
+		// With repetitive-tile suppression the server sends nothing in
+		// steady state, so the display clock must keep running and render
+		// from RAM: when no new slot arrived since the previous tick, the
+		// next slot is displayed anyway.
+		c.mu.Lock()
+		maxSlot, any := c.maxSlot, c.anySlot
+		c.mu.Unlock()
+		if any {
+			target := maxSlot // display everything strictly below maxSlot
+			if !running {
+				target++ // drain the final slot on shutdown
+			} else if maxSlot == prevMax {
+				// No new packets: steady-state frame from RAM.
+				target = processed + 1
+			}
+			for processed < target {
+				c.displaySlot(processed)
+				displayed++
+				processed++
+				if c.cfg.Slots > 0 && displayed >= c.cfg.Slots {
+					running = false
+					break
+				}
+			}
+			prevMax = maxSlot
+		}
+	}
+
+	c.udp.Close()
+	<-recvDone
+
+	return &Result{
+		User:     c.cfg.User,
+		Report:   metrics.Aggregate([]*metrics.UserQoE{c.acc}),
+		Slots:    c.acc.Slots(),
+		Tiles:    c.tilesTotal,
+		Bytes:    c.bytesTotal,
+		Releases: c.releases,
+		Nacks:    c.nacks,
+	}, nil
+}
+
+// receiveLoop ingests datagrams into the reassembler.
+func (c *runner) receiveLoop(done chan<- struct{}) {
+	defer close(done)
+	buf := make([]byte, 65536)
+	for {
+		n, _, err := c.udp.ReadFrom(buf)
+		if err != nil {
+			return
+		}
+		p, err := transport.Decode(buf[:n])
+		if err != nil || p.User != c.cfg.User {
+			continue
+		}
+		now := time.Now()
+		c.reasm.Ingest(p, now)
+		c.mu.Lock()
+		if !c.anySlot || p.Slot > c.maxSlot {
+			c.maxSlot = p.Slot
+			c.anySlot = true
+		}
+		c.mu.Unlock()
+	}
+}
+
+// displaySlot runs the decode-and-display deadline logic for one server
+// slot and reports the ACK.
+func (c *runner) displaySlot(slot uint32) {
+	if c.cfg.NackLost {
+		if lost := c.reasm.Incomplete(slot); len(lost) > 0 {
+			c.nacks += len(lost)
+			_ = c.ctrl.Send(transport.Nack{User: c.cfg.User, Slot: slot, Tiles: lost})
+		}
+	}
+	stats, _ := c.reasm.FlushSlot(slot)
+	c.mu.Lock()
+	ids := c.byslot[slot]
+	delete(c.byslot, slot)
+	actual := c.cfg.Trace[int(slot)%len(c.cfg.Trace)]
+	c.mu.Unlock()
+
+	// RAM admission: every complete tile enters RAM; evictions are
+	// released to the server.
+	var released []tiles.VideoID
+	for _, id := range ids {
+		released = append(released, c.ram.Add(id)...)
+	}
+	if len(released) > 0 {
+		c.releases += len(released)
+		_ = c.ctrl.Send(transport.Release{User: c.cfg.User, Tiles: released})
+	}
+
+	// Decode stage: the parallel decoders handle up to Decoders new tiles
+	// per slot; beyond that the frame misses its display deadline.
+	decodable := len(ids) <= c.cfg.Decoders
+
+	// Coverage: the tiles of the actual FoV (for the actual cell) must be
+	// available, freshly delivered or held in RAM, at some quality level.
+	level, covered := c.coverage(actual, ids)
+
+	// A frame counts as displayed when it made its deadline with content to
+	// show: decodable and either fresh tiles or a full RAM-covered view.
+	displayed := decodable && (len(ids) > 0 || covered)
+	delayMs := float64(stats.Delay()) / float64(time.Millisecond)
+
+	c.acc.Observe(level, covered && decodable, delayMs)
+	c.acc.ObserveFrame(displayed)
+
+	_ = c.ctrl.Send(transport.TileACK{
+		User:      c.cfg.User,
+		Slot:      slot,
+		Tiles:     ids,
+		DelayMs:   delayMs,
+		Bytes:     stats.Bytes,
+		Covered:   covered && decodable,
+		Displayed: displayed,
+	})
+}
+
+// coverage checks whether the tiles needed by the actual FoV are available
+// (delivered this slot or held in RAM) for the actual cell, and returns the
+// displayed quality level: the minimum level across the needed tiles, using
+// the best version held for each.
+func (c *runner) coverage(actual vrmath.Pose, delivered []tiles.VideoID) (int, bool) {
+	cell := tiles.CellFor(actual.Pos)
+	needed := tiles.ForView(actual, c.cfg.Coverage.FoV, 0)
+
+	// bestLevel finds the highest available quality of one tile.
+	bestLevel := func(tile tiles.TileID) int {
+		best := 0
+		for _, id := range delivered {
+			dc, dt, dl := id.Unpack()
+			if dc == cell && dt == tile && dl > best {
+				best = dl
+			}
+		}
+		for l := tiles.Levels; l > best; l-- {
+			if id, err := tiles.PackVideoID(cell, tile, l); err == nil && c.ram.Holds(id) {
+				best = l
+				break
+			}
+		}
+		return best
+	}
+
+	frameLevel := tiles.Levels
+	for _, tile := range needed {
+		l := bestLevel(tile)
+		if l == 0 {
+			// A needed tile is missing entirely: no coverage. Report the
+			// level of whatever content was delivered, for accounting.
+			if len(delivered) > 0 {
+				_, _, dl := delivered[0].Unpack()
+				return dl, false
+			}
+			return 1, false
+		}
+		if l < frameLevel {
+			frameLevel = l
+		}
+	}
+	return frameLevel, true
+}

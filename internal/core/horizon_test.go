@@ -1,0 +1,136 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomHorizon builds a tiny horizon instance with L=3 levels.
+func randomHorizon(rng *rand.Rand, users, slots int) *HorizonProblem {
+	params := Params{Alpha: 0.02, Beta: 0.5, Levels: 3}
+	h := &HorizonProblem{Params: params, Users: users}
+	base := []float64{5, 12, 26}
+	for t := 0; t < slots; t++ {
+		slot := HorizonSlot{
+			Budget:  float64(users) * (8 + rng.Float64()*10),
+			Rates:   make([][]float64, users),
+			Delays:  make([][]float64, users),
+			Caps:    make([]float64, users),
+			Covered: make([]bool, users),
+		}
+		for n := 0; n < users; n++ {
+			scale := 0.7 + rng.Float64()*0.6
+			cap_ := 10 + rng.Float64()*30
+			rates := make([]float64, 3)
+			delays := make([]float64, 3)
+			for q := 0; q < 3; q++ {
+				rates[q] = base[q] * scale
+				if rates[q] >= cap_ {
+					delays[q] = 1000
+				} else {
+					delays[q] = rates[q] / (cap_ - rates[q]) * 16.7
+				}
+			}
+			slot.Rates[n] = rates
+			slot.Delays[n] = delays
+			slot.Caps[n] = cap_
+			slot.Covered[n] = rng.Float64() < 0.92
+		}
+		h.Slots = append(h.Slots, slot)
+	}
+	return h
+}
+
+// TestSequentialTracksClairvoyant validates eq. (8) empirically: across
+// random tiny instances, sequentially solving (5)-(7) with Algorithm 1
+// achieves on average nearly the clairvoyant optimum of (1)-(3), and never
+// falls pathologically below it.
+func TestSequentialTracksClairvoyant(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	var ratioSum float64
+	trials := 20
+	for trial := 0; trial < trials; trial++ {
+		h := randomHorizon(rng, 2, 4) // (3^2)^4 = 6561 assignments
+		_, opt := h.SolveHorizonExhaustive()
+		_, seq := h.SolveHorizonSequential(DVGreedy{})
+		if opt <= 0 {
+			ratioSum++
+			continue
+		}
+		if seq > opt+1e-9 {
+			t.Fatalf("trial %d: sequential %v exceeds clairvoyant %v", trial, seq, opt)
+		}
+		ratioSum += seq / opt
+	}
+	if avg := ratioSum / float64(trials); avg < 0.85 {
+		t.Errorf("sequential/clairvoyant average ratio = %v, want >= 0.85", avg)
+	}
+}
+
+// TestPerSlotOptimalSequentialAlsoTracks repeats the check with the exact
+// per-slot solver: the remaining gap is then purely the cost of the
+// decomposition (eq. (8)), not of the 1/2-approximation.
+func TestPerSlotOptimalSequentialAlsoTracks(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	var worst = 1.0
+	for trial := 0; trial < 10; trial++ {
+		h := randomHorizon(rng, 2, 4)
+		_, opt := h.SolveHorizonExhaustive()
+		_, seq := h.SolveHorizonSequential(Optimal{})
+		if opt <= 0 {
+			continue
+		}
+		if r := seq / opt; r < worst {
+			worst = r
+		}
+	}
+	if worst < 0.7 {
+		t.Errorf("worst decomposition ratio = %v, want >= 0.7", worst)
+	}
+}
+
+func TestHorizonQoEFeasibility(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	h := randomHorizon(rng, 2, 2)
+	// All-max assignment: likely infeasible under the caps/budget; if the
+	// checker says ok it must produce a finite value.
+	levels := [][]int{{3, 3}, {3, 3}}
+	if _, ok := h.QoE(levels); ok {
+		// fine: instance was generous
+		return
+	}
+	// All-base must always be feasible.
+	base := [][]int{{1, 1}, {1, 1}}
+	if _, ok := h.QoE(base); !ok {
+		t.Fatal("all-base assignment must be feasible")
+	}
+}
+
+func TestHorizonEmpty(t *testing.T) {
+	h := &HorizonProblem{Params: DefaultSimParams(), Users: 0}
+	if q, ok := h.QoE(nil); !ok || q != 0 {
+		t.Errorf("empty horizon QoE = (%v, %v)", q, ok)
+	}
+}
+
+func TestDPOptimalAllocator(t *testing.T) {
+	params := DefaultSimParams()
+	rng := rand.New(rand.NewSource(64))
+	for trial := 0; trial < 30; trial++ {
+		p := randomSlotProblem(rng, params, 4)
+		dp := DPOptimal{}.Allocate(params, p)
+		opt := Optimal{}.Allocate(params, p)
+		if dp.Rate > p.Budget+1e-9 {
+			t.Fatalf("trial %d: DP allocation violates budget", trial)
+		}
+		if dp.Value > opt.Value+1e-9 {
+			t.Fatalf("trial %d: DP %v above exact %v", trial, dp.Value, opt.Value)
+		}
+		if opt.Value > 0 && dp.Value < 0.9*opt.Value {
+			t.Errorf("trial %d: DP %v too far below exact %v", trial, dp.Value, opt.Value)
+		}
+	}
+	if got := (DPOptimal{}).Name(); got != "dp-optimal" {
+		t.Errorf("name = %q", got)
+	}
+}

@@ -1,0 +1,36 @@
+package core
+
+// VarianceTerms computes the per-slot terms of the paper's variance
+// decomposition (eq. (4) / Appendix A):
+//
+//	T*sigma^2(T) = sum_{t=1}^{T} (t-1)*(x_t - xbar_{t-1})^2 / t
+//
+// where x_t = q_n(t)*1_n(t) and xbar_t is the running mean. The returned
+// slice has one entry per slot; its prefix sums divided by t reproduce
+// sigma^2(t) exactly, which is what makes the per-slot decomposition of the
+// QoE objective lossless.
+func VarianceTerms(xs []float64) []float64 {
+	terms := make([]float64, len(xs))
+	var mean float64
+	for i, x := range xs {
+		t := float64(i + 1)
+		d := x - mean // x_t - xbar_{t-1}
+		terms[i] = (t - 1) * d * d / t
+		mean += d / t
+	}
+	return terms
+}
+
+// HorizonVariance returns sigma^2(T) computed through the decomposition:
+// (1/T) * sum of VarianceTerms. It must agree with the direct two-pass
+// variance — a property covered by tests.
+func HorizonVariance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, term := range VarianceTerms(xs) {
+		sum += term
+	}
+	return sum / float64(len(xs))
+}

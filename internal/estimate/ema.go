@@ -1,0 +1,40 @@
+package estimate
+
+// EMA is an exponential moving average, used by the server to estimate the
+// available bandwidth of each user ("We estimate the available bandwidth for
+// each user using Exponential Moving Average", Section V).
+type EMA struct {
+	alpha  float64
+	value  float64
+	primed bool
+}
+
+// NewEMA returns an EMA with smoothing factor alpha in (0, 1]. A larger
+// alpha weighs recent samples more heavily. alpha outside (0, 1] is clamped.
+func NewEMA(alpha float64) *EMA {
+	if alpha <= 0 {
+		alpha = 0.1
+	}
+	if alpha > 1 {
+		alpha = 1
+	}
+	return &EMA{alpha: alpha}
+}
+
+// Update folds a new sample into the average and returns the updated value.
+// The first sample initializes the average directly.
+func (e *EMA) Update(x float64) float64 {
+	if !e.primed {
+		e.value = x
+		e.primed = true
+		return e.value
+	}
+	e.value = e.alpha*x + (1-e.alpha)*e.value
+	return e.value
+}
+
+// Value returns the current average, or 0 before any sample.
+func (e *EMA) Value() float64 { return e.value }
+
+// Primed reports whether at least one sample has been observed.
+func (e *EMA) Primed() bool { return e.primed }

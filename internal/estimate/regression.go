@@ -1,0 +1,194 @@
+package estimate
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSingular is returned when a regression's normal equations are singular
+// (e.g. fewer distinct samples than coefficients).
+var ErrSingular = errors.New("estimate: singular system, not enough distinct samples")
+
+// LinearFit holds the coefficients of y = Intercept + Slope*x.
+type LinearFit struct {
+	Intercept float64
+	Slope     float64
+}
+
+// FitLinear computes the ordinary-least-squares line through the points
+// (xs[i], ys[i]). It is the regression the paper uses per axis for 6-DoF
+// motion prediction ("The linear regression model is used to predict the
+// 6-DoF motion in the next time slot", Section IV).
+func FitLinear(xs, ys []float64) (LinearFit, error) {
+	if len(xs) != len(ys) {
+		return LinearFit{}, errors.New("estimate: mismatched sample lengths")
+	}
+	n := float64(len(xs))
+	if len(xs) < 2 {
+		return LinearFit{}, ErrSingular
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	det := n*sxx - sx*sx
+	if math.Abs(det) < 1e-12 {
+		return LinearFit{}, ErrSingular
+	}
+	slope := (n*sxy - sx*sy) / det
+	intercept := (sy - slope*sx) / n
+	return LinearFit{Intercept: intercept, Slope: slope}, nil
+}
+
+// Predict evaluates the fitted line at x.
+func (f LinearFit) Predict(x float64) float64 { return f.Intercept + f.Slope*x }
+
+// PolyFit holds polynomial coefficients; Coeffs[i] multiplies x^i.
+type PolyFit struct {
+	Coeffs []float64
+}
+
+// FitPoly computes the least-squares polynomial of the given degree through
+// the points (xs[i], ys[i]) by solving the normal equations with Gaussian
+// elimination. The paper uses polynomial regression to predict the
+// (non-linear) delay-vs-rate relationship on the server (Section V).
+func FitPoly(xs, ys []float64, degree int) (PolyFit, error) {
+	if len(xs) != len(ys) {
+		return PolyFit{}, errors.New("estimate: mismatched sample lengths")
+	}
+	if degree < 0 {
+		return PolyFit{}, errors.New("estimate: negative degree")
+	}
+	m := degree + 1
+	if len(xs) < m {
+		return PolyFit{}, ErrSingular
+	}
+
+	// Normal equations A c = b with A[i][j] = sum x^(i+j), b[i] = sum y x^i.
+	powSums := make([]float64, 2*m-1)
+	b := make([]float64, m)
+	for k := range xs {
+		p := 1.0
+		for i := 0; i < 2*m-1; i++ {
+			powSums[i] += p
+			if i < m {
+				b[i] += ys[k] * p
+			}
+			p *= xs[k]
+		}
+	}
+	a := make([][]float64, m)
+	for i := 0; i < m; i++ {
+		a[i] = make([]float64, m)
+		for j := 0; j < m; j++ {
+			a[i][j] = powSums[i+j]
+		}
+	}
+
+	coeffs, err := solveGauss(a, b)
+	if err != nil {
+		return PolyFit{}, err
+	}
+	return PolyFit{Coeffs: coeffs}, nil
+}
+
+// Predict evaluates the fitted polynomial at x using Horner's rule.
+func (f PolyFit) Predict(x float64) float64 {
+	var y float64
+	for i := len(f.Coeffs) - 1; i >= 0; i-- {
+		y = y*x + f.Coeffs[i]
+	}
+	return y
+}
+
+// solveGauss solves a dense linear system with partial pivoting. It mutates
+// its arguments.
+func solveGauss(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-12 {
+			return nil, ErrSingular
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+
+		for r := col + 1; r < n; r++ {
+			factor := a[r][col] / a[col][col]
+			for c := col; c < n; c++ {
+				a[r][c] -= factor * a[col][c]
+			}
+			b[r] -= factor * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := b[i]
+		for j := i + 1; j < n; j++ {
+			sum -= a[i][j] * x[j]
+		}
+		x[i] = sum / a[i][i]
+	}
+	return x, nil
+}
+
+// SlidingWindow keeps the most recent capacity samples of a scalar series
+// and predicts the next value by linear extrapolation over the window. It is
+// the building block of the per-axis 6-DoF motion predictor.
+type SlidingWindow struct {
+	capacity int
+	samples  []float64
+}
+
+// NewSlidingWindow returns a window holding up to capacity samples
+// (minimum 2).
+func NewSlidingWindow(capacity int) *SlidingWindow {
+	if capacity < 2 {
+		capacity = 2
+	}
+	return &SlidingWindow{capacity: capacity}
+}
+
+// Push appends a sample, evicting the oldest if the window is full.
+func (s *SlidingWindow) Push(x float64) {
+	if len(s.samples) == s.capacity {
+		copy(s.samples, s.samples[1:])
+		s.samples[len(s.samples)-1] = x
+		return
+	}
+	s.samples = append(s.samples, x)
+}
+
+// Len returns the number of stored samples.
+func (s *SlidingWindow) Len() int { return len(s.samples) }
+
+// PredictNext extrapolates the series one step ahead using a linear fit over
+// the window. With fewer than two samples it returns the last sample (or 0
+// when empty).
+func (s *SlidingWindow) PredictNext() float64 {
+	n := len(s.samples)
+	switch n {
+	case 0:
+		return 0
+	case 1:
+		return s.samples[0]
+	}
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	fit, err := FitLinear(xs, s.samples)
+	if err != nil {
+		return s.samples[n-1]
+	}
+	return fit.Predict(float64(n))
+}

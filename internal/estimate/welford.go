@@ -1,0 +1,66 @@
+// Package estimate provides the streaming estimators used across the system:
+// Welford running mean/variance (the variance-iteration formula behind the
+// paper's per-slot decomposition, eq. (4)), exponential moving averages for
+// throughput estimation, and linear/polynomial least-squares regression for
+// motion and delay prediction.
+package estimate
+
+// Welford computes a running mean and population variance using Welford's
+// method, the "variance iteration formula" the paper cites as [15].
+//
+// The zero value is ready to use.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64 // sum of squared deviations
+}
+
+// Add incorporates a new observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// Count returns the number of observations so far.
+func (w *Welford) Count() int { return w.n }
+
+// Mean returns the running mean, or 0 before any observation.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the population variance (dividing by n), matching the
+// paper's sigma_n^2(T) definition. It returns 0 before the second
+// observation.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// SampleVariance returns the unbiased sample variance (dividing by n-1).
+func (w *Welford) SampleVariance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Merge combines another Welford accumulator into w, as if all of other's
+// observations had been Added to w.
+func (w *Welford) Merge(other Welford) {
+	if other.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = other
+		return
+	}
+	n1, n2 := float64(w.n), float64(other.n)
+	delta := other.mean - w.mean
+	total := n1 + n2
+	w.mean += delta * n2 / total
+	w.m2 += other.m2 + delta*delta*n1*n2/total
+	w.n += other.n
+}

@@ -1,0 +1,110 @@
+package knapsack
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDPMatchesBruteForceOnPaperCases(t *testing.T) {
+	for name, p := range map[string]*Problem{
+		"case1": paperCase1(),
+		"case2": paperCase2(),
+	} {
+		opt := p.BruteForce()
+		dp := p.DynamicProgram(0.01)
+		if dp.Value != opt.Value {
+			t.Errorf("%s: DP %v != brute force %v", name, dp.Value, opt.Value)
+		}
+		if dp.Weight > p.Budget+1e-9 {
+			t.Errorf("%s: DP violates budget", name)
+		}
+	}
+}
+
+func TestDPMatchesBruteForceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 100; trial++ {
+		p := randomConcaveProblem(rng, 2+rng.Intn(4), 2+rng.Intn(4))
+		opt := p.BruteForce()
+		dp := p.DynamicProgram(p.Budget / 4096)
+		if dp.Weight > p.Budget+1e-9 {
+			t.Fatalf("trial %d: DP weight %v exceeds budget %v", trial, dp.Weight, p.Budget)
+		}
+		// Fine discretization: DP must be within a small rounding loss of
+		// the optimum, and never above it.
+		if dp.Value > opt.Value+1e-9 {
+			t.Fatalf("trial %d: DP %v above optimum %v", trial, dp.Value, opt.Value)
+		}
+		if dp.Value < opt.Value-0.05*absOr1(opt.Value) {
+			t.Fatalf("trial %d: DP %v too far below optimum %v", trial, dp.Value, opt.Value)
+		}
+	}
+}
+
+func absOr1(x float64) float64 {
+	if x < 0 {
+		x = -x
+	}
+	if x < 1 {
+		return 1
+	}
+	return x
+}
+
+func TestDPScalesBeyondBruteForce(t *testing.T) {
+	// 20 items x 6 levels: far beyond brute force (6^20), trivial for DP.
+	rng := rand.New(rand.NewSource(18))
+	p := randomConcaveProblem(rng, 20, 6)
+	dp := p.DynamicProgram(p.Budget / 2048)
+	combined := p.Combined()
+	if dp.Weight > p.Budget+1e-9 {
+		t.Fatalf("DP weight %v exceeds budget %v", dp.Weight, p.Budget)
+	}
+	// DP (near-exact) must not lose to the 1/2-approximation by more than
+	// the discretization slack.
+	if dp.Value < combined.Value-0.05*absOr1(combined.Value) {
+		t.Errorf("DP %v below greedy %v", dp.Value, combined.Value)
+	}
+}
+
+func TestDPTinyBudget(t *testing.T) {
+	p := paperCase2()
+	p.Budget = 0
+	dp := p.DynamicProgram(0.1)
+	for i, l := range dp.Levels {
+		if l != 1 {
+			t.Errorf("item %d at level %d, want 1", i, l)
+		}
+	}
+}
+
+func TestDPDefaultResolution(t *testing.T) {
+	p := paperCase1()
+	dp := p.DynamicProgram(0)
+	if dp.Value != 4 {
+		t.Errorf("default-resolution DP = %v, want 4", dp.Value)
+	}
+}
+
+func TestDPRespectsPerItemCap(t *testing.T) {
+	p := &Problem{
+		Budget: 100,
+		Items: []Item{
+			{Values: []float64{0, 10}, Weights: []float64{0, 5}, Cap: 4},
+			{Values: []float64{0, 1}, Weights: []float64{0, 1}, Cap: 4},
+		},
+	}
+	dp := p.DynamicProgram(0.1)
+	if dp.Levels[0] != 1 || dp.Levels[1] != 2 {
+		t.Errorf("levels = %v, want [1 2]", dp.Levels)
+	}
+}
+
+func BenchmarkDP30Items(b *testing.B) {
+	rng := rand.New(rand.NewSource(19))
+	p := randomConcaveProblem(rng, 30, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.DynamicProgram(p.Budget / 1024)
+	}
+}

@@ -1,0 +1,29 @@
+package knapsack_test
+
+import (
+	"fmt"
+
+	"repro/internal/knapsack"
+)
+
+// ExampleProblem_Combined solves the paper's first adversarial instance:
+// the density-greedy pass alone would take the small dense item and earn 1,
+// but the combined algorithm (Algorithm 1) returns the optimum 4.
+func ExampleProblem_Combined() {
+	p := &knapsack.Problem{
+		Budget: 2.5,
+		Items: []knapsack.Item{
+			{Values: []float64{0, 1}, Weights: []float64{0, 0.5}, Cap: 100},
+			{Values: []float64{0, 4}, Weights: []float64{0, 2.5}, Cap: 100},
+		},
+	}
+	d := p.DensityGreedy()
+	c := p.Combined()
+	fmt.Printf("density-greedy: %.0f\n", d.Value)
+	fmt.Printf("combined:       %.0f\n", c.Value)
+	fmt.Printf("levels:         %v\n", c.Levels)
+	// Output:
+	// density-greedy: 1
+	// combined:       4
+	// levels:         [1 2]
+}

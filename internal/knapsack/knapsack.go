@@ -1,0 +1,290 @@
+// Package knapsack implements the nonlinear knapsack machinery behind the
+// paper's per-slot quality allocation problem (eqs. (5)-(7)): a separable
+// concave objective over discrete quality levels with a convex weight
+// (rate) per item, one shared budget B(t), and a per-item cap B_n(t).
+//
+// It provides the density-greedy and value-greedy passes, their combination
+// (Algorithm 1 of the paper, with the quality_verification subroutine), an
+// exact brute-force solver for small instances, and the fractional upper
+// bound V_p used in the proof of Theorem 1.
+package knapsack
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Item is one user's quality ladder. Values[l] and Weights[l] are the
+// objective value h_n(l+1) and required rate f^R(l+1) of quality level l+1;
+// levels are 1-based externally. Cap is the per-item budget B_n(t).
+//
+// Algorithm 1 assumes Values is concave in the level (decreasing increments)
+// and Weights convex increasing; the solvers work on arbitrary inputs but the
+// 1/2-approximation guarantee needs those shapes.
+type Item struct {
+	Values  []float64
+	Weights []float64
+	Cap     float64
+}
+
+// Levels returns the number of quality levels of the item.
+func (it Item) Levels() int { return len(it.Values) }
+
+// Problem is a per-slot allocation instance.
+type Problem struct {
+	Items  []Item
+	Budget float64 // shared budget B(t)
+}
+
+// Validate reports structural problems with the instance.
+func (p *Problem) Validate() error {
+	if len(p.Items) == 0 {
+		return errors.New("knapsack: no items")
+	}
+	for i, it := range p.Items {
+		if len(it.Values) == 0 {
+			return fmt.Errorf("knapsack: item %d has no levels", i)
+		}
+		if len(it.Values) != len(it.Weights) {
+			return fmt.Errorf("knapsack: item %d has %d values but %d weights",
+				i, len(it.Values), len(it.Weights))
+		}
+	}
+	return nil
+}
+
+// Solution is an assignment of one level (1-based) per item.
+type Solution struct {
+	Levels []int
+	Value  float64
+	Weight float64
+}
+
+// valueOf recomputes the total value and weight of an assignment.
+func (p *Problem) valueOf(levels []int) (value, weight float64) {
+	for i, l := range levels {
+		value += p.Items[i].Values[l-1]
+		weight += p.Items[i].Weights[l-1]
+	}
+	return value, weight
+}
+
+// baseSolution returns the all-ones assignment the greedy passes start from
+// ("Initialize: Q = {1, 1, ..., 1}" in Algorithm 1). The base level is
+// always considered deliverable; constraints only gate upgrades.
+func (p *Problem) baseSolution() Solution {
+	levels := make([]int, len(p.Items))
+	for i := range levels {
+		levels[i] = 1
+	}
+	v, w := p.valueOf(levels)
+	return Solution{Levels: levels, Value: v, Weight: w}
+}
+
+// greedyKind selects the scoring rule of a greedy pass.
+type greedyKind int
+
+const (
+	byDensity greedyKind = iota + 1 // eta_n = dV/dW
+	byValue                         // v_n = dV
+)
+
+// greedy runs one pass of Algorithm 1's loop with the given scoring rule.
+func (p *Problem) greedy(kind greedyKind) Solution {
+	sol := p.baseSolution()
+	active := make([]bool, len(p.Items))
+	numActive := 0
+	for i, it := range p.Items {
+		if it.Levels() > 1 {
+			active[i] = true
+			numActive++
+		}
+	}
+
+	for numActive > 0 {
+		best := -1
+		bestScore := 0.0
+		for i, it := range p.Items {
+			if !active[i] {
+				continue
+			}
+			l := sol.Levels[i]
+			dv := it.Values[l] - it.Values[l-1]
+			score := dv
+			if kind == byDensity {
+				dw := it.Weights[l] - it.Weights[l-1]
+				if dw <= 0 {
+					// Degenerate non-increasing weight: a free (or
+					// weight-reducing) upgrade; give it absolute priority
+					// when its value gain is nonnegative.
+					if dv >= 0 {
+						score = dv/1e-12 + 1
+					} else {
+						score = dv / 1e-12
+					}
+				} else {
+					score = dv / dw
+				}
+			}
+			if best == -1 || score > bestScore {
+				best = i
+				bestScore = score
+			}
+		}
+		if best == -1 || bestScore < 0 {
+			// "if eta < 0 then I = {}": no profitable upgrade remains.
+			break
+		}
+
+		// Tentatively upgrade, then run quality_verification.
+		it := p.Items[best]
+		old := sol.Levels[best]
+		sol.Levels[best] = old + 1
+		sol.Value += it.Values[old] - it.Values[old-1]
+		sol.Weight += it.Weights[old] - it.Weights[old-1]
+
+		if sol.Levels[best] == it.Levels() {
+			active[best] = false
+			numActive--
+		}
+		if it.Weights[sol.Levels[best]-1] > it.Cap || sol.Weight > p.Budget {
+			// Revert the upgrade and retire the item.
+			sol.Value -= it.Values[old] - it.Values[old-1]
+			sol.Weight -= it.Weights[old] - it.Weights[old-1]
+			sol.Levels[best] = old
+			if active[best] {
+				active[best] = false
+				numActive--
+			}
+		}
+	}
+	return sol
+}
+
+// DensityGreedy runs the density-greedy pass alone: repeatedly upgrade the
+// item with the largest value-per-rate increment.
+func (p *Problem) DensityGreedy() Solution { return p.greedy(byDensity) }
+
+// ValueGreedy runs the value-greedy pass alone: repeatedly upgrade the item
+// with the largest value increment.
+func (p *Problem) ValueGreedy() Solution { return p.greedy(byValue) }
+
+// Combined is Algorithm 1 of the paper: run both greedy passes and return
+// the better solution. By Theorem 1 its value is at least half the optimum
+// when values are concave and weights convex.
+func (p *Problem) Combined() Solution {
+	d := p.DensityGreedy()
+	v := p.ValueGreedy()
+	if d.Value >= v.Value {
+		return d
+	}
+	return v
+}
+
+// BruteForce enumerates every feasible assignment and returns an optimal
+// one. It is exponential in the number of items (L^N assignments) and is
+// meant for the paper's 5-user "offline optimal" comparison and for tests.
+// Level 1 is always admissible, mirroring the greedy passes; upgrades beyond
+// level 1 must satisfy both the per-item cap and the shared budget.
+func (p *Problem) BruteForce() Solution {
+	n := len(p.Items)
+	cur := make([]int, n)
+	best := p.baseSolution()
+
+	// suffixMin[i] is the minimum total weight items i..n-1 can contribute
+	// (their base levels); used to prune infeasible branches early.
+	suffixMin := make([]float64, n+1)
+	for i := n - 1; i >= 0; i-- {
+		suffixMin[i] = suffixMin[i+1] + p.Items[i].Weights[0]
+	}
+
+	var rec func(i int, value, weight float64)
+	rec = func(i int, value, weight float64) {
+		if i == n {
+			if value > best.Value {
+				best.Value = value
+				best.Weight = weight
+				copy(best.Levels, cur)
+			}
+			return
+		}
+		it := p.Items[i]
+		for l := 1; l <= it.Levels(); l++ {
+			w := it.Weights[l-1]
+			if l > 1 && w > it.Cap {
+				break // weights are non-decreasing; higher levels fail too
+			}
+			if weight+w+suffixMin[i+1] > p.Budget {
+				// No completion of this branch can satisfy the shared
+				// budget. (The all-base assignment is still admitted via the
+				// initial best.)
+				continue
+			}
+			cur[i] = l
+			rec(i+1, value+it.Values[l-1], weight+w)
+		}
+		cur[i] = 1
+	}
+	rec(0, 0, 0)
+	return best
+}
+
+// FractionalBound computes V_p of the proof of Theorem 1: the value achieved
+// by the density-greedy pass when the final, budget-violating upgrade may be
+// taken fractionally. It upper-bounds the discrete optimum for concave
+// values and convex weights. Negative-density upgrades are never taken.
+func (p *Problem) FractionalBound() float64 {
+	sol := p.baseSolution()
+	levels := sol.Levels
+	value := sol.Value
+	weight := sol.Weight
+
+	type upgrade struct {
+		item    int
+		dv, dw  float64
+		density float64
+	}
+	// Because increments are concave/convex per item, the per-item upgrade
+	// sequence has non-increasing density; a global greedy by density is a
+	// valid merge of these sequences.
+	for {
+		best := upgrade{item: -1}
+		for i, it := range p.Items {
+			l := levels[i]
+			if l >= it.Levels() {
+				continue
+			}
+			if it.Weights[l] > it.Cap {
+				continue
+			}
+			dv := it.Values[l] - it.Values[l-1]
+			dw := it.Weights[l] - it.Weights[l-1]
+			var density float64
+			if dw <= 0 {
+				if dv < 0 {
+					continue
+				}
+				density = dv/1e-12 + 1
+			} else {
+				density = dv / dw
+			}
+			if best.item == -1 || density > best.density {
+				best = upgrade{item: i, dv: dv, dw: dw, density: density}
+			}
+		}
+		if best.item == -1 || best.density < 0 {
+			return value
+		}
+		if weight+best.dw > p.Budget {
+			// Take the fractional part of this upgrade and stop.
+			room := p.Budget - weight
+			if room > 0 && best.dw > 0 {
+				value += best.dv * (room / best.dw)
+			}
+			return value
+		}
+		levels[best.item]++
+		value += best.dv
+		weight += best.dw
+	}
+}

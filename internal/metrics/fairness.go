@@ -1,0 +1,38 @@
+package metrics
+
+// JainIndex computes Jain's fairness index over per-user allocations:
+//
+//	J(x) = (sum x)^2 / (n * sum x^2)
+//
+// J = 1 means perfectly equal QoE across users; J = 1/n means one user gets
+// everything. Collaborative VR is a shared experience, so fairness across
+// students is a natural companion metric to the paper's average QoE (an
+// extension of this reproduction; the paper reports averages only).
+// Negative inputs are shifted so the index stays in (0, 1].
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	// Shift so the minimum is >= 0 (Jain's index assumes nonnegative
+	// allocations; QoE can dip below zero).
+	min := xs[0]
+	for _, x := range xs {
+		if x < min {
+			min = x
+		}
+	}
+	shift := 0.0
+	if min < 0 {
+		shift = -min
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		v := x + shift
+		sum += v
+		sumSq += v * v
+	}
+	if sumSq == 0 {
+		return 1 // all-equal (all zero after shift)
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}

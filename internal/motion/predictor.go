@@ -1,0 +1,108 @@
+package motion
+
+import (
+	"repro/internal/estimate"
+	"repro/internal/vrmath"
+)
+
+// Predictor forecasts the next slot's 6-DoF pose with an independent linear
+// regression per axis, "which follows the methodology in [Firefly]"
+// (Section V). Yaw is unwrapped into a cumulative angle before regression so
+// that crossing the +/-180 seam does not break the fit.
+type Predictor struct {
+	x, y, z     *estimate.SlidingWindow
+	yawUnwrap   *estimate.SlidingWindow
+	pitch, roll *estimate.SlidingWindow
+
+	lastYaw   float64
+	cumYaw    float64
+	havePrior bool
+}
+
+// DefaultWindow is the number of recent slots the regression looks at.
+const DefaultWindow = 8
+
+// NewPredictor returns a predictor with the given regression window
+// (minimum 2; DefaultWindow if <= 0).
+func NewPredictor(window int) *Predictor {
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	return &Predictor{
+		x:         estimate.NewSlidingWindow(window),
+		y:         estimate.NewSlidingWindow(window),
+		z:         estimate.NewSlidingWindow(window),
+		yawUnwrap: estimate.NewSlidingWindow(window),
+		pitch:     estimate.NewSlidingWindow(window),
+		roll:      estimate.NewSlidingWindow(window),
+	}
+}
+
+// Observe feeds the pose of the current slot.
+func (p *Predictor) Observe(pose vrmath.Pose) {
+	pose = pose.Normalize()
+	if !p.havePrior {
+		p.cumYaw = pose.Yaw
+		p.havePrior = true
+	} else {
+		p.cumYaw += vrmath.AngleDiff(pose.Yaw, p.lastYaw)
+	}
+	p.lastYaw = pose.Yaw
+
+	p.x.Push(pose.Pos.X)
+	p.y.Push(pose.Pos.Y)
+	p.z.Push(pose.Pos.Z)
+	p.yawUnwrap.Push(p.cumYaw)
+	p.pitch.Push(pose.Pitch)
+	p.roll.Push(pose.Roll)
+}
+
+// Predict extrapolates the next slot's pose. Before any observation it
+// returns the zero pose.
+func (p *Predictor) Predict() vrmath.Pose {
+	return vrmath.Pose{
+		Pos: vrmath.Vec3{
+			X: p.x.PredictNext(),
+			Y: p.y.PredictNext(),
+			Z: p.z.PredictNext(),
+		},
+		Yaw:   vrmath.NormalizeAngle(p.yawUnwrap.PredictNext()),
+		Pitch: vrmath.ClampPitch(p.pitch.PredictNext()),
+		Roll:  vrmath.NormalizeAngle(p.roll.PredictNext()),
+	}
+}
+
+// CoverageConfig parametrizes the FoV-coverage check behind 1_n(t).
+type CoverageConfig struct {
+	FoV vrmath.FoV
+	// MarginDeg is the extra margin delivered around the predicted FoV
+	// ("we deliver a portion that covers the FoV with some fixed margin").
+	MarginDeg float64
+	// PosToleranceM is the maximum position error (metres) for the
+	// delivered cell content to still match the user's cell. The paper's
+	// margin only helps orientation (footnote 1); position errors beyond
+	// the grid granularity miss.
+	PosToleranceM float64
+}
+
+// DefaultCoverage matches the system defaults: the default FoV, a 15 degree
+// margin, and one grid cell of position tolerance.
+func DefaultCoverage() CoverageConfig {
+	return CoverageConfig{
+		FoV:           vrmath.DefaultFoV,
+		MarginDeg:     15,
+		PosToleranceM: 0.05,
+	}
+}
+
+// Covered evaluates the indicator 1_n(t): does the portion delivered for
+// the predicted pose (FoV plus margin) cover the actual FoV, and is the
+// predicted position close enough for the delivered cell content to match?
+func (c CoverageConfig) Covered(predicted, actual vrmath.Pose) bool {
+	if predicted.Pos.Dist(actual.Pos) > c.PosToleranceM {
+		return false
+	}
+	delivered := vrmath.Rect(predicted, c.FoV.Expand(c.MarginDeg))
+	needed := vrmath.Rect(actual, c.FoV)
+	return delivered.Covers(needed)
+}

@@ -1,0 +1,88 @@
+package motion
+
+import (
+	"testing"
+
+	"repro/internal/vrmath"
+)
+
+func TestStaticPredictsLastPose(t *testing.T) {
+	p := NewStatic()
+	if got := p.Predict(); got != (vrmath.Pose{}) {
+		t.Errorf("unseen static predicts %+v", got)
+	}
+	pose := vrmath.Pose{Pos: vrmath.Vec3{X: 3}, Yaw: 50}
+	p.Observe(pose)
+	if got := p.Predict(); got != pose {
+		t.Errorf("static predicts %+v, want %+v", got, pose)
+	}
+}
+
+func TestDeadReckoningExtrapolatesVelocity(t *testing.T) {
+	p := NewDeadReckoning()
+	p.Observe(vrmath.Pose{Pos: vrmath.Vec3{X: 1}, Yaw: 10})
+	p.Observe(vrmath.Pose{Pos: vrmath.Vec3{X: 2}, Yaw: 14})
+	got := p.Predict()
+	if got.Pos.X != 3 {
+		t.Errorf("X = %v, want 3", got.Pos.X)
+	}
+	if got.Yaw != 18 {
+		t.Errorf("Yaw = %v, want 18", got.Yaw)
+	}
+}
+
+func TestDeadReckoningSingleObservation(t *testing.T) {
+	p := NewDeadReckoning()
+	pose := vrmath.Pose{Yaw: -20}
+	p.Observe(pose)
+	if got := p.Predict(); got != pose {
+		t.Errorf("single-observation prediction = %+v, want %+v", got, pose)
+	}
+}
+
+func TestDeadReckoningAcrossSeam(t *testing.T) {
+	p := NewDeadReckoning()
+	p.Observe(vrmath.Pose{Yaw: 176})
+	p.Observe(vrmath.Pose{Yaw: 179})
+	got := p.Predict()
+	if diff := vrmath.AngleDiff(got.Yaw, -178); diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("Yaw = %v, want -178", got.Yaw)
+	}
+}
+
+// TestPredictorAblation quantifies the paper's design choice. With the
+// default 15-degree margin and one-cell tolerance, per-slot motion at
+// 60 FPS is tiny and every predictor saturates; the regression pays off
+// when coverage is tight (small margin, sub-cell position tolerance),
+// where extrapolating the walk beats assuming the user stands still.
+func TestPredictorAblation(t *testing.T) {
+	scene := Scenes()[1] // the fast scene stresses prediction most
+	trace := Generate(scene, 5, 4000, 60, 23)
+
+	// Default coverage: all predictors near-saturate.
+	cov := DefaultCoverage()
+	linear := EvaluatePredictor(NewPredictor(DefaultWindow), trace, cov, DefaultWindow+1)
+	if linear < 0.9 {
+		t.Errorf("linear coverage %v too low under default margins", linear)
+	}
+
+	// Tight coverage: 2-degree margin, 1.5 cm position tolerance.
+	tight := CoverageConfig{FoV: cov.FoV, MarginDeg: 2, PosToleranceM: 0.015}
+	linearT := EvaluatePredictor(NewPredictor(DefaultWindow), trace, tight, DefaultWindow+1)
+	deadT := EvaluatePredictor(NewDeadReckoning(), trace, tight, DefaultWindow+1)
+	staticT := EvaluatePredictor(NewStatic(), trace, tight, DefaultWindow+1)
+
+	if linearT <= staticT {
+		t.Errorf("tight coverage: linear %v should beat static %v", linearT, staticT)
+	}
+	if linearT < 0.5 {
+		t.Errorf("tight coverage: linear %v collapsed", linearT)
+	}
+	t.Logf("tight coverage: linear=%.4f dead=%.4f static=%.4f", linearT, deadT, staticT)
+}
+
+func TestEvaluatePredictorEmpty(t *testing.T) {
+	if got := EvaluatePredictor(NewStatic(), nil, DefaultCoverage(), 0); got != 0 {
+		t.Errorf("empty trace coverage = %v", got)
+	}
+}

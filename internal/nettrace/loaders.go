@@ -1,0 +1,143 @@
+package nettrace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file parses the two public dataset formats the paper draws its
+// network traces from, so a user who has the real data can substitute it
+// for the synthetic generators.
+
+// ParseFCC reads rows of the FCC "Measuring Broadband America" raw data
+// releases (the curr_webbrowsing table the paper samples). The format is
+// comma-separated with a header; this parser needs the `dtime` (ignored),
+// `bytes_sec` column, from which throughput in Mbps is derived, and holds
+// each sample for holdSeconds (the raw data has one measurement per page
+// fetch; the paper lets "multiple continuous slots share the same
+// bandwidth").
+func ParseFCC(r io.Reader, holdSeconds float64) (*Trace, error) {
+	if holdSeconds <= 0 {
+		holdSeconds = 5
+	}
+	br := bufio.NewReader(r)
+	header, err := br.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("nettrace: fcc header: %w", err)
+	}
+	cols := strings.Split(strings.TrimSpace(header), ",")
+	byteSecIdx := -1
+	for i, c := range cols {
+		if strings.TrimSpace(c) == "bytes_sec" {
+			byteSecIdx = i
+			break
+		}
+	}
+	if byteSecIdx < 0 {
+		return nil, fmt.Errorf("nettrace: fcc header missing bytes_sec column")
+	}
+
+	tr := &Trace{}
+	line := 1
+	for {
+		row, err := br.ReadString('\n')
+		if row != "" {
+			line++
+			fields := strings.Split(strings.TrimSpace(row), ",")
+			if len(fields) <= byteSecIdx {
+				return nil, fmt.Errorf("nettrace: fcc row %d has %d fields", line, len(fields))
+			}
+			bytesSec, perr := strconv.ParseFloat(strings.TrimSpace(fields[byteSecIdx]), 64)
+			if perr != nil {
+				return nil, fmt.Errorf("nettrace: fcc row %d bytes_sec: %w", line, perr)
+			}
+			tr.Segments = append(tr.Segments, Segment{
+				Mbps:    bytesSec * 8 / 1e6,
+				Seconds: holdSeconds,
+			})
+		}
+		if err != nil {
+			break
+		}
+	}
+	if len(tr.Segments) == 0 {
+		return nil, fmt.Errorf("nettrace: fcc file has no data rows")
+	}
+	return tr, nil
+}
+
+// ParseGhent reads the Ghent University 4G/LTE measurement logs (van der
+// Hooft et al.), whose rows are whitespace-separated:
+//
+//	<timestamp_ms> <latitude> <longitude> <bytes> <duration_ms>
+//
+// Throughput of each row is bytes*8/duration; the row's duration becomes
+// the hold time.
+func ParseGhent(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	tr := &Trace{}
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 5 {
+			return nil, fmt.Errorf("nettrace: ghent row %d has %d fields, want 5", line, len(fields))
+		}
+		bytes, err := strconv.ParseFloat(fields[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("nettrace: ghent row %d bytes: %w", line, err)
+		}
+		durMs, err := strconv.ParseFloat(fields[4], 64)
+		if err != nil {
+			return nil, fmt.Errorf("nettrace: ghent row %d duration: %w", line, err)
+		}
+		if durMs <= 0 {
+			continue
+		}
+		tr.Segments = append(tr.Segments, Segment{
+			Mbps:    bytes * 8 / (durMs / 1000) / 1e6,
+			Seconds: durMs / 1000,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("nettrace: ghent scan: %w", err)
+	}
+	if len(tr.Segments) == 0 {
+		return nil, fmt.Errorf("nettrace: ghent file has no data rows")
+	}
+	return tr, nil
+}
+
+// Clip bounds every segment's throughput to [lo, hi], the paper's
+// normalization ("we set ... the network throughput between 20 Mbps to 100
+// Mbps to avoid trivial video quality selection").
+func (t *Trace) Clip(lo, hi float64) {
+	for i := range t.Segments {
+		t.Segments[i].Mbps = clip(t.Segments[i].Mbps, lo, hi)
+	}
+}
+
+// Truncate cuts the trace to at most seconds, the paper's 300-second
+// normalization. Traces shorter than the bound are unchanged.
+func (t *Trace) Truncate(seconds float64) {
+	var elapsed float64
+	for i := range t.Segments {
+		if elapsed+t.Segments[i].Seconds >= seconds {
+			t.Segments[i].Seconds = seconds - elapsed
+			if t.Segments[i].Seconds <= 0 {
+				t.Segments = t.Segments[:i]
+			} else {
+				t.Segments = t.Segments[:i+1]
+			}
+			return
+		}
+		elapsed += t.Segments[i].Seconds
+	}
+}

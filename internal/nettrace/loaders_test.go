@@ -1,0 +1,128 @@
+package nettrace
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const fccSample = `unit_id,dtime,target,bytes_sec,fetch_time
+1001,2021-03-01 00:00:00,example.com,6250000,120
+1001,2021-03-01 00:05:00,example.com,12500000,130
+1001,2021-03-01 00:10:00,example.com,3125000,90
+`
+
+func TestParseFCC(t *testing.T) {
+	tr, err := ParseFCC(strings.NewReader(fccSample), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Segments) != 3 {
+		t.Fatalf("segments = %d, want 3", len(tr.Segments))
+	}
+	wantMbps := []float64{50, 100, 25}
+	for i, w := range wantMbps {
+		if math.Abs(tr.Segments[i].Mbps-w) > 1e-9 {
+			t.Errorf("segment %d = %v Mbps, want %v", i, tr.Segments[i].Mbps, w)
+		}
+		if tr.Segments[i].Seconds != 5 {
+			t.Errorf("segment %d hold = %v, want 5", i, tr.Segments[i].Seconds)
+		}
+	}
+}
+
+func TestParseFCCErrors(t *testing.T) {
+	if _, err := ParseFCC(strings.NewReader(""), 5); err == nil {
+		t.Error("empty file should error")
+	}
+	if _, err := ParseFCC(strings.NewReader("a,b,c\n1,2,3\n"), 5); err == nil {
+		t.Error("missing bytes_sec column should error")
+	}
+	bad := "unit_id,bytes_sec\n1,notanumber\n"
+	if _, err := ParseFCC(strings.NewReader(bad), 5); err == nil {
+		t.Error("non-numeric bytes_sec should error")
+	}
+	headerOnly := "unit_id,bytes_sec\n"
+	if _, err := ParseFCC(strings.NewReader(headerOnly), 5); err == nil {
+		t.Error("header-only file should error")
+	}
+}
+
+const ghentSample = `# timestamp lat lon bytes duration_ms
+1453121790686 51.03 3.71 5000000 1000
+1453121791686 51.04 3.72 2500000 500
+
+1453121792686 51.05 3.73 10000000 2000
+`
+
+func TestParseGhent(t *testing.T) {
+	tr, err := ParseGhent(strings.NewReader(ghentSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Segments) != 3 {
+		t.Fatalf("segments = %d, want 3", len(tr.Segments))
+	}
+	// 5 MB over 1 s = 40 Mbps; 2.5 MB over 0.5 s = 40 Mbps; 10 MB/2 s = 40.
+	for i, s := range tr.Segments {
+		if math.Abs(s.Mbps-40) > 1e-9 {
+			t.Errorf("segment %d = %v Mbps, want 40", i, s.Mbps)
+		}
+	}
+	if tr.Segments[1].Seconds != 0.5 {
+		t.Errorf("segment 1 hold = %v, want 0.5", tr.Segments[1].Seconds)
+	}
+}
+
+func TestParseGhentErrors(t *testing.T) {
+	if _, err := ParseGhent(strings.NewReader("")); err == nil {
+		t.Error("empty file should error")
+	}
+	if _, err := ParseGhent(strings.NewReader("1 2 3\n")); err == nil {
+		t.Error("short row should error")
+	}
+	if _, err := ParseGhent(strings.NewReader("1 2 3 x 5\n")); err == nil {
+		t.Error("bad bytes should error")
+	}
+	if _, err := ParseGhent(strings.NewReader("1 2 3 4 x\n")); err == nil {
+		t.Error("bad duration should error")
+	}
+	// Zero-duration rows are skipped, leaving no data.
+	if _, err := ParseGhent(strings.NewReader("1 2 3 4 0\n")); err == nil {
+		t.Error("only zero-duration rows should error")
+	}
+}
+
+func TestClipAndTruncate(t *testing.T) {
+	tr := &Trace{Segments: []Segment{
+		{Mbps: 5, Seconds: 10},
+		{Mbps: 500, Seconds: 10},
+		{Mbps: 50, Seconds: 10},
+	}}
+	tr.Clip(20, 100)
+	if tr.Segments[0].Mbps != 20 || tr.Segments[1].Mbps != 100 || tr.Segments[2].Mbps != 50 {
+		t.Errorf("clip wrong: %+v", tr.Segments)
+	}
+
+	tr.Truncate(15)
+	if math.Abs(tr.Duration()-15) > 1e-9 {
+		t.Errorf("truncated duration = %v, want 15", tr.Duration())
+	}
+	if len(tr.Segments) != 2 || tr.Segments[1].Seconds != 5 {
+		t.Errorf("truncate wrong: %+v", tr.Segments)
+	}
+
+	// Truncating beyond the duration is a no-op.
+	tr2 := &Trace{Segments: []Segment{{Mbps: 30, Seconds: 10}}}
+	tr2.Truncate(100)
+	if tr2.Duration() != 10 {
+		t.Errorf("over-truncate changed trace: %v", tr2.Duration())
+	}
+
+	// Truncating exactly on a boundary drops the rest.
+	tr3 := &Trace{Segments: []Segment{{Mbps: 1, Seconds: 5}, {Mbps: 2, Seconds: 5}}}
+	tr3.Truncate(5)
+	if len(tr3.Segments) != 1 {
+		t.Errorf("boundary truncate kept %d segments", len(tr3.Segments))
+	}
+}

@@ -1,0 +1,717 @@
+// Package server implements the edge server of the paper's collaborative VR
+// system (Sections V-VI). Per time slot it ingests user poses over TCP,
+// predicts each user's next pose, selects the tiles that cover the
+// predicted FoV plus margin, builds the per-slot allocation problem (rates
+// from the content size model, delays from a polynomial-regression
+// predictor, throughput from an EMA estimator) and hands it to any
+// core.Allocator. Chosen tiles stream to each user over the RTP-like UDP
+// transport, skipping tiles the user already holds.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/estimate"
+	"repro/internal/motion"
+	"repro/internal/netem"
+	"repro/internal/tiles"
+	"repro/internal/transport"
+	"repro/internal/vrmath"
+)
+
+// Config parametrizes a Server.
+type Config struct {
+	Params    core.Params
+	Allocator core.Allocator
+	// SlotDuration is the slot length (paper: 1/60 s).
+	SlotDuration time.Duration
+	// BudgetMbps is B(t), the server's total throughput budget.
+	BudgetMbps float64
+	// TotalSlots stops the slot loop after this many slots (0 = until
+	// Close).
+	TotalSlots int
+	// InitialUserMbps seeds the per-user throughput estimate before any
+	// ACK feedback arrives.
+	InitialUserMbps float64
+	// EMAAlpha is the smoothing factor of the throughput estimator.
+	EMAAlpha float64
+	// PredictorWindow is the motion-regression window.
+	PredictorWindow int
+	Coverage        motion.CoverageConfig
+	// SizeModelSeed selects the content complexity landscape.
+	SizeModelSeed uint64
+	// MTU bounds datagram size.
+	MTU int
+	// ShaperFor supplies the transmit-path shaper of each user (the
+	// testbed's Linux-TC stand-in); nil means unshaped.
+	ShaperFor func(user uint32) transport.Shaper
+	// RetransmitOnNack enables the Discussion-section loss-handling
+	// extension: tiles the client NACKs are retransmitted.
+	RetransmitOnNack bool
+	// PrefetchRadius warms the tile cache with the cells around each
+	// user's predicted position ("the server only needs to cache the tiles
+	// within a range of the user's current position and dynamically adjust
+	// the cached content corresponding to the user's movement"). 0 disables
+	// prefetching.
+	PrefetchRadius int
+	// CacheTiles bounds the in-memory tile buffer.
+	CacheTiles int
+	// TCPAddr and UDPAddr are the bind addresses (default loopback
+	// ephemeral, for in-process testbeds; a standalone server binds
+	// explicit ports).
+	TCPAddr string
+	UDPAddr string
+	// Logf receives diagnostics; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+// DefaultConfig returns a server configuration with the paper's real-system
+// parameters and the given allocator.
+func DefaultConfig(alloc core.Allocator) Config {
+	return Config{
+		Params:          core.DefaultSystemParams(),
+		Allocator:       alloc,
+		SlotDuration:    time.Second / 60,
+		BudgetMbps:      400,
+		InitialUserMbps: 30,
+		EMAAlpha:        0.2,
+		PredictorWindow: motion.DefaultWindow,
+		Coverage:        motion.DefaultCoverage(),
+		MTU:             transport.DefaultMTU,
+		CacheTiles:      8192,
+	}
+}
+
+// UserStats is the server-side view of one user after a run.
+type UserStats struct {
+	User         uint32
+	SlotsServed  int
+	TilesSent    int
+	TilesSkipped int // suppressed retransmissions (ledger hits)
+	Retransmits  int // NACK-driven retransmissions
+	BytesSent    int
+	MeanLevel    float64
+	Delta        float64 // final prediction-success estimate
+	EstMbps      float64 // final throughput estimate
+}
+
+// Server is the edge server.
+type Server struct {
+	cfg   Config
+	model *tiles.SizeModel
+	store *tiles.Store
+
+	udp   net.PacketConn
+	tcpLn net.Listener
+
+	mu       sync.Mutex
+	sessions map[uint32]*session
+	slot     uint32
+
+	stop       chan struct{}
+	loopDone   chan struct{}
+	acceptWG   sync.WaitGroup
+	closed     bool
+	prefetchCh chan prefetchReq
+	prefetchWG sync.WaitGroup
+}
+
+// prefetchReq asks the prefetcher to warm one cell neighbourhood.
+type prefetchReq struct {
+	cell  tiles.CellID
+	sel   []tiles.TileID
+	level int
+}
+
+// session is one connected user.
+type session struct {
+	user   uint32
+	ctrl   *transport.Conn
+	sender *transport.Sender
+
+	mu        sync.Mutex
+	pose      vrmath.Pose
+	havePose  bool
+	predictor *motion.Predictor
+	ledger    *tiles.DeliveryLedger
+	ema       *estimate.EMA
+
+	// Streaming state for h_n: observed slots, viewed-quality sum, covered
+	// count (the same semantics as core.Tracker, but per dynamic session).
+	t          int
+	sumViewedQ float64
+	covered    int
+
+	// capSamples is a ring of recent goodput samples; the capacity
+	// estimate is their maximum (a BBR-style max filter — goodput of a
+	// shaped train only reaches the link rate when the train saturates it,
+	// so the mean underestimates while the windowed max tracks it).
+	capSamples []float64
+	capIdx     int
+
+	// allocated maps recent slots to the level and rate chosen, so ACK
+	// feedback can be joined back for the delay regression.
+	allocated map[uint32]allocRecord
+
+	// delaySamples feed the polynomial delay predictor.
+	delayRates []float64
+	delayMs    []float64
+
+	tilesSent    int
+	tilesSkipped int
+	retransmits  int
+	levelSum     int
+	slotsServed  int
+
+	sendCh     chan []tileJob
+	sendClosed bool
+}
+
+// enqueue hands a batch to the send loop without blocking: when the queue
+// is full the oldest batch is skipped (stale VR frames are worthless), and
+// after shutdown the batch is dropped. Reports whether the batch was
+// queued.
+func (sess *session) enqueue(batch []tileJob) bool {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.sendClosed {
+		return false
+	}
+	select {
+	case sess.sendCh <- batch:
+		return true
+	default:
+	}
+	select {
+	case <-sess.sendCh:
+	default:
+	}
+	select {
+	case sess.sendCh <- batch:
+		return true
+	default:
+		return false
+	}
+}
+
+// closeSend stops the send loop; safe to call once per session.
+func (sess *session) closeSend() {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if !sess.sendClosed {
+		sess.sendClosed = true
+		close(sess.sendCh)
+	}
+}
+
+type allocRecord struct {
+	level int
+	rate  float64
+}
+
+type tileJob struct {
+	slot    uint32
+	id      tiles.VideoID
+	payload []byte
+}
+
+// maxDelaySamples bounds the regression window.
+const maxDelaySamples = 240
+
+// New creates a server listening on loopback ephemeral ports.
+func New(cfg Config) (*Server, error) {
+	if cfg.Allocator == nil {
+		return nil, errors.New("server: allocator required")
+	}
+	if cfg.SlotDuration <= 0 {
+		cfg.SlotDuration = time.Second / 60
+	}
+	if cfg.MTU <= transport.HeaderSize {
+		cfg.MTU = transport.DefaultMTU
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	if cfg.UDPAddr == "" {
+		cfg.UDPAddr = "127.0.0.1:0"
+	}
+	if cfg.TCPAddr == "" {
+		cfg.TCPAddr = "127.0.0.1:0"
+	}
+	udp, err := net.ListenPacket("udp", cfg.UDPAddr)
+	if err != nil {
+		return nil, fmt.Errorf("server: listen udp: %w", err)
+	}
+	tcpLn, err := net.Listen("tcp", cfg.TCPAddr)
+	if err != nil {
+		udp.Close()
+		return nil, fmt.Errorf("server: listen tcp: %w", err)
+	}
+	model := tiles.NewSizeModel(cfg.SizeModelSeed)
+	s := &Server{
+		cfg:      cfg,
+		model:    model,
+		store:    tiles.NewStore(model, cfg.CacheTiles, 1/cfg.SlotDuration.Seconds()),
+		udp:      udp,
+		tcpLn:    tcpLn,
+		sessions: make(map[uint32]*session),
+		stop:     make(chan struct{}),
+		loopDone: make(chan struct{}),
+	}
+	if cfg.PrefetchRadius > 0 {
+		s.prefetchCh = make(chan prefetchReq, 64)
+		s.prefetchWG.Add(1)
+		go s.prefetchLoop()
+	}
+	s.acceptWG.Add(1)
+	go s.acceptLoop()
+	go s.slotLoop()
+	return s, nil
+}
+
+// prefetchLoop warms the tile cache off the slot loop's critical path.
+func (s *Server) prefetchLoop() {
+	defer s.prefetchWG.Done()
+	for req := range s.prefetchCh {
+		r := int32(s.cfg.PrefetchRadius)
+		for dx := -r; dx <= r; dx++ {
+			for dz := -r; dz <= r; dz++ {
+				cell := tiles.CellID{X: req.cell.X + dx, Z: req.cell.Z + dz}
+				for _, tile := range req.sel {
+					if id, err := tiles.PackVideoID(cell, tile, req.level); err == nil {
+						s.store.Payload(id)
+					}
+				}
+			}
+		}
+	}
+}
+
+// ControlAddr returns the TCP address clients dial.
+func (s *Server) ControlAddr() string { return s.tcpLn.Addr().String() }
+
+// Done is closed when the slot loop finishes (after TotalSlots, if set).
+func (s *Server) Done() <-chan struct{} { return s.loopDone }
+
+// Close shuts the server down and waits for its goroutines.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.stop)
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+
+	s.tcpLn.Close()
+	<-s.loopDone
+	if s.prefetchCh != nil {
+		close(s.prefetchCh)
+		s.prefetchWG.Wait()
+	}
+	for _, sess := range sessions {
+		sess.ctrl.Close()
+		sess.closeSend()
+	}
+	s.acceptWG.Wait()
+	return s.udp.Close()
+}
+
+// Stats snapshots per-user server-side statistics.
+func (s *Server) Stats() []UserStats {
+	s.mu.Lock()
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+
+	out := make([]UserStats, 0, len(sessions))
+	for _, sess := range sessions {
+		sess.mu.Lock()
+		st := UserStats{
+			User:         sess.user,
+			SlotsServed:  sess.slotsServed,
+			TilesSent:    sess.tilesSent,
+			TilesSkipped: sess.tilesSkipped,
+			Retransmits:  sess.retransmits,
+			Delta:        sess.deltaLocked(),
+			EstMbps:      sess.ema.Value(),
+		}
+		if sess.slotsServed > 0 {
+			st.MeanLevel = float64(sess.levelSum) / float64(sess.slotsServed)
+		}
+		_, bytes_, _ := sess.sender.Stats()
+		st.BytesSent = bytes_
+		sess.mu.Unlock()
+		out = append(out, st)
+	}
+	return out
+}
+
+// acceptLoop admits client control connections.
+func (s *Server) acceptLoop() {
+	defer s.acceptWG.Done()
+	for {
+		raw, err := s.tcpLn.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.acceptWG.Add(1)
+		go func() {
+			defer s.acceptWG.Done()
+			s.handleConn(transport.NewConn(raw))
+		}()
+	}
+}
+
+// handleConn performs the Hello handshake and then pumps control messages.
+func (s *Server) handleConn(ctrl *transport.Conn) {
+	msg, err := ctrl.Recv()
+	if err != nil {
+		ctrl.Close()
+		return
+	}
+	hello, ok := msg.(transport.Hello)
+	if !ok {
+		s.cfg.Logf("server: first message was %T, want Hello", msg)
+		ctrl.Close()
+		return
+	}
+	dst, err := net.ResolveUDPAddr("udp", hello.UDPAddr)
+	if err != nil {
+		s.cfg.Logf("server: bad UDP addr %q: %v", hello.UDPAddr, err)
+		ctrl.Close()
+		return
+	}
+
+	var shaper transport.Shaper
+	if s.cfg.ShaperFor != nil {
+		shaper = s.cfg.ShaperFor(hello.User)
+	}
+	sess := &session{
+		user:      hello.User,
+		ctrl:      ctrl,
+		sender:    transport.NewSender(s.udp, dst, shaper, s.cfg.MTU),
+		predictor: motion.NewPredictor(s.cfg.PredictorWindow),
+		ledger:    tiles.NewDeliveryLedger(),
+		ema:       estimate.NewEMA(s.cfg.EMAAlpha),
+		allocated: make(map[uint32]allocRecord),
+		sendCh:    make(chan []tileJob, 32),
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ctrl.Close()
+		return
+	}
+	s.sessions[hello.User] = sess
+	s.mu.Unlock()
+	s.cfg.Logf("server: user %d joined from %s", hello.User, hello.UDPAddr)
+
+	go sess.sendLoop()
+	s.controlLoop(sess)
+}
+
+// sendLoop transmits one slot's tile batch at a time, absorbing the
+// shaper's pacing sleeps off the slot loop's critical path.
+func (sess *session) sendLoop() {
+	for batch := range sess.sendCh {
+		for _, job := range batch {
+			if err := sess.sender.SendTile(sess.user, job.slot, job.id, job.payload); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// controlLoop consumes pose updates, ACKs and release notices.
+func (s *Server) controlLoop(sess *session) {
+	for {
+		msg, err := sess.ctrl.Recv()
+		if err != nil {
+			return
+		}
+		switch m := msg.(type) {
+		case transport.PoseUpdate:
+			sess.mu.Lock()
+			sess.pose = m.Pose
+			sess.havePose = true
+			sess.predictor.Observe(m.Pose)
+			sess.mu.Unlock()
+		case transport.TileACK:
+			s.handleACK(sess, m)
+		case transport.Release:
+			sess.ledger.MarkReleased(m.Tiles...)
+		case transport.Nack:
+			s.handleNack(sess, m)
+		default:
+			s.cfg.Logf("server: unexpected control message %T", msg)
+		}
+	}
+}
+
+// handleACK folds client feedback into the estimators and the QoE state.
+func (s *Server) handleACK(sess *session, ack transport.TileACK) {
+	for _, id := range ack.Tiles {
+		sess.ledger.MarkDelivered(id)
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+
+	// Throughput estimate: goodput across the slot's arrival window
+	// approximates the bottleneck rate when the link is the constraint.
+	// The EMA smooths; the windowed max (see capEstimateLocked) tracks the
+	// actual capacity.
+	if ack.DelayMs > 0.2 && ack.Bytes > 0 {
+		mbps := float64(ack.Bytes) * 8 / (ack.DelayMs / 1000) / 1e6
+		sess.ema.Update(mbps)
+		if len(sess.capSamples) < capWindow {
+			sess.capSamples = append(sess.capSamples, mbps)
+		} else {
+			sess.capSamples[sess.capIdx] = mbps
+			sess.capIdx = (sess.capIdx + 1) % capWindow
+		}
+	}
+
+	rec, ok := sess.allocated[ack.Slot]
+	if ok {
+		delete(sess.allocated, ack.Slot)
+		// Streaming QoE state (drives MeanQ and delta of h_n).
+		sess.t++
+		if ack.Covered {
+			sess.covered++
+			sess.sumViewedQ += float64(rec.level)
+		}
+		// Delay regression sample.
+		if ack.DelayMs > 0 {
+			sess.delayRates = append(sess.delayRates, rec.rate)
+			sess.delayMs = append(sess.delayMs, ack.DelayMs)
+			if len(sess.delayRates) > maxDelaySamples {
+				sess.delayRates = sess.delayRates[1:]
+				sess.delayMs = sess.delayMs[1:]
+			}
+		}
+	}
+	// Drop stale allocation records.
+	for slot := range sess.allocated {
+		if slot+120 < ack.Slot {
+			delete(sess.allocated, slot)
+		}
+	}
+}
+
+// handleNack retransmits tiles the client reported as fragment-lost (the
+// Discussion-section loss-handling extension; enabled by RetransmitOnNack).
+func (s *Server) handleNack(sess *session, nack transport.Nack) {
+	if !s.cfg.RetransmitOnNack {
+		return
+	}
+	// Retransmit under the *current* slot number: the original frame's
+	// deadline has passed, but the tile content is per-cell and feeds the
+	// client's RAM for upcoming frames.
+	s.mu.Lock()
+	curSlot := s.slot
+	s.mu.Unlock()
+	batch := make([]tileJob, 0, len(nack.Tiles))
+	for _, id := range nack.Tiles {
+		if sess.ledger.Has(id) {
+			continue // already confirmed via a later ACK
+		}
+		batch = append(batch, tileJob{slot: curSlot, id: id, payload: s.store.Payload(id)})
+	}
+	if len(batch) == 0 {
+		return
+	}
+	sess.mu.Lock()
+	sess.retransmits += len(batch)
+	sess.mu.Unlock()
+	sess.enqueue(batch)
+}
+
+// capWindow is the size of the goodput max-filter window (about two
+// seconds of ACKed slots at 60 FPS).
+const capWindow = 120
+
+// capEstimateLocked returns the session's capacity estimate: the windowed
+// maximum of goodput samples, clamped from below by the EMA (caller holds
+// sess.mu).
+func (sess *session) capEstimateLocked(fallback float64) float64 {
+	if len(sess.capSamples) == 0 {
+		if sess.ema.Primed() {
+			return sess.ema.Value()
+		}
+		return fallback
+	}
+	est := sess.capSamples[0]
+	for _, v := range sess.capSamples[1:] {
+		if v > est {
+			est = v
+		}
+	}
+	return est
+}
+
+func (sess *session) deltaLocked() float64 {
+	return (1 + float64(sess.covered)) / float64(1+sess.t)
+}
+
+func (sess *session) meanQLocked() float64 {
+	if sess.t == 0 {
+		return 0
+	}
+	return sess.sumViewedQ / float64(sess.t)
+}
+
+// slotLoop is the per-slot decision pipeline.
+func (s *Server) slotLoop() {
+	defer close(s.loopDone)
+	ticker := time.NewTicker(s.cfg.SlotDuration)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+		}
+		s.mu.Lock()
+		slot := s.slot
+		s.slot++
+		sessions := make([]*session, 0, len(s.sessions))
+		for _, sess := range s.sessions {
+			sessions = append(sessions, sess)
+		}
+		s.mu.Unlock()
+
+		if len(sessions) > 0 {
+			s.runSlot(slot, sessions)
+		}
+		if s.cfg.TotalSlots > 0 && int(s.slot) >= s.cfg.TotalSlots {
+			return
+		}
+	}
+}
+
+// runSlot predicts, allocates and dispatches one slot.
+func (s *Server) runSlot(slot uint32, sessions []*session) {
+	slotMs := s.cfg.SlotDuration.Seconds() * 1000
+	type plan struct {
+		sess  *session
+		cell  tiles.CellID
+		sel   []tiles.TileID
+		rates []float64
+	}
+	plans := make([]plan, 0, len(sessions))
+	users := make([]core.UserInput, 0, len(sessions))
+
+	for _, sess := range sessions {
+		sess.mu.Lock()
+		if !sess.havePose {
+			sess.mu.Unlock()
+			continue
+		}
+		predicted := sess.predictor.Predict()
+		capEst := sess.capEstimateLocked(s.cfg.InitialUserMbps)
+		cell := tiles.CellFor(predicted.Pos)
+		sel := tiles.ForView(predicted, s.cfg.Coverage.FoV, s.cfg.Coverage.MarginDeg)
+		rates := s.model.RateTable(cell, sel)
+		delays := s.delayTable(sess, rates, capEst, slotMs)
+		users = append(users, core.UserInput{
+			Rate:  rates,
+			Delay: delays,
+			Delta: sess.deltaLocked(),
+			MeanQ: sess.meanQLocked(),
+			Cap:   capEst,
+		})
+		sess.mu.Unlock()
+		plans = append(plans, plan{sess: sess, cell: cell, sel: sel, rates: rates})
+	}
+	if len(plans) == 0 {
+		return
+	}
+
+	problem := &core.SlotProblem{T: int(slot) + 1, Budget: s.cfg.BudgetMbps, Users: users}
+	allocation := s.cfg.Allocator.Allocate(s.cfg.Params, problem)
+
+	for i, p := range plans {
+		level := allocation.Levels[i]
+		var batch []tileJob
+		skipped := 0
+		for _, tile := range p.sel {
+			id, err := tiles.PackVideoID(p.cell, tile, level)
+			if err != nil {
+				s.cfg.Logf("server: pack id: %v", err)
+				continue
+			}
+			if p.sess.ledger.Has(id) {
+				skipped++
+				continue // repetitive-tile suppression
+			}
+			batch = append(batch, tileJob{slot: slot, id: id, payload: s.store.Payload(id)})
+		}
+		p.sess.mu.Lock()
+		p.sess.allocated[slot] = allocRecord{level: level, rate: p.rates[level-1]}
+		p.sess.levelSum += level
+		p.sess.slotsServed++
+		p.sess.tilesSent += len(batch)
+		p.sess.tilesSkipped += skipped
+		p.sess.mu.Unlock()
+
+		if s.prefetchCh != nil {
+			select {
+			case s.prefetchCh <- prefetchReq{cell: p.cell, sel: p.sel, level: level}:
+			default: // prefetcher busy; skip
+			}
+		}
+		if !p.sess.enqueue(batch) {
+			s.cfg.Logf("server: user %d send queue full at slot %d", p.sess.user, slot)
+		}
+	}
+}
+
+// delayTable predicts the delivery delay of each ladder rate. It combines
+// the two delay sources the paper uses: the polynomial regression over
+// measured ACK delays (Section V) and the analytic M/M/1 queueing model at
+// the estimated capacity (Section II / eq. (13)). The measured samples are
+// bounded by the slot pipeline, so they cannot reveal the queueing cliff at
+// the link capacity; the M/M/1 term restores it, which is what keeps the
+// allocator from riding the estimate into overload.
+func (s *Server) delayTable(sess *session, rates []float64, capMbps, slotMs float64) []float64 {
+	model := netem.DelayTableMs(rates, capMbps, slotMs)
+	if len(sess.delayRates) < 12 {
+		return model
+	}
+	xs := make([]float64, len(sess.delayRates))
+	copy(xs, sess.delayRates)
+	ys := make([]float64, len(sess.delayMs))
+	copy(ys, sess.delayMs)
+	fit, err := estimate.FitPoly(xs, ys, 2)
+	if err != nil {
+		return model
+	}
+	out := make([]float64, len(rates))
+	for i, r := range rates {
+		d := fit.Predict(r)
+		if d < 0 {
+			d = 0
+		}
+		// Within the measured operating region trust the regression; near
+		// and beyond the estimated capacity impose the queueing cliff.
+		if r > 0.85*capMbps && model[i] > d {
+			d = model[i]
+		}
+		out[i] = d
+	}
+	return out
+}

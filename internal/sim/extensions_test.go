@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/nettrace"
+)
+
+func TestNetKindsOverride(t *testing.T) {
+	cfg := smallConfig()
+	cfg.NetKinds = []nettrace.Kind{nettrace.MmWave}
+	results, err := Run(cfg, StandardAlgorithms(false)[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results[0].QoE) != cfg.Runs*cfg.Users {
+		t.Fatalf("samples = %d", len(results[0].QoE))
+	}
+}
+
+func TestFairnessSamplesPerRun(t *testing.T) {
+	cfg := smallConfig()
+	results, err := Run(cfg, StandardAlgorithms(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if len(r.Fairness) != cfg.Runs {
+			t.Errorf("%s: %d fairness samples, want %d", r.Name, len(r.Fairness), cfg.Runs)
+		}
+		for i, j := range r.Fairness {
+			if j < 0 || j > 1+1e-9 {
+				t.Errorf("%s: fairness[%d] = %v outside [0,1]", r.Name, i, j)
+			}
+		}
+	}
+}
+
+// TestImperfectEstimationRobustness is the deterministic analog of the
+// paper's Figs. 7/8 finding: with imperfect throughput estimation the
+// proposed algorithm's QoE advantage over the bandwidth-saturating Firefly
+// grows, because Firefly rides the (stale, noisy) estimate into overload
+// and misses frames.
+func TestImperfectEstimationRobustness(t *testing.T) {
+	run := func(alpha, noise float64) (proposed, firefly float64) {
+		cfg := DefaultConfig(5)
+		cfg.Seconds = 10
+		cfg.Runs = 5
+		cfg.IncludeOptimal = false
+		cfg.EstimateAlpha = alpha
+		cfg.EstimateNoise = noise
+		results, err := Run(cfg, StandardAlgorithms(false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		byName := indexResults(results)
+		return metrics.NewCDF(byName["proposed"].QoE).Mean(),
+			metrics.NewCDF(byName["firefly"].QoE).Mean()
+	}
+	pPerfect, fPerfect := run(0, 0)
+	pNoisy, fNoisy := run(0.2, 0.3)
+
+	gapPerfect := pPerfect - fPerfect
+	gapNoisy := pNoisy - fNoisy
+	if gapNoisy <= gapPerfect {
+		t.Errorf("estimation noise should widen the gap: perfect %v, noisy %v",
+			gapPerfect, gapNoisy)
+	}
+	if pNoisy <= fNoisy {
+		t.Errorf("proposed (%v) should stay ahead of firefly (%v) under noise",
+			pNoisy, fNoisy)
+	}
+}
+
+// TestVolatilityHurtsFirefly reproduces the mechanism behind the paper's
+// Fig. 8 inside the simulator: moving from stable broadband traces to
+// volatile LTE traces costs the bandwidth-saturating Firefly far more QoE
+// than the proposed algorithm.
+func TestVolatilityHurtsFirefly(t *testing.T) {
+	run := func(kind nettrace.Kind) (proposed, firefly float64) {
+		cfg := DefaultConfig(5)
+		cfg.Seconds = 10
+		cfg.Runs = 5
+		cfg.IncludeOptimal = false
+		cfg.NetKinds = []nettrace.Kind{kind}
+		results, err := Run(cfg, StandardAlgorithms(false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		byName := indexResults(results)
+		return metrics.NewCDF(byName["proposed"].QoE).Mean(),
+			metrics.NewCDF(byName["firefly"].QoE).Mean()
+	}
+	pBB, fBB := run(nettrace.Broadband)
+	pLTE, fLTE := run(nettrace.LTE)
+
+	dropP := pBB - pLTE
+	dropF := fBB - fLTE
+	if dropF <= dropP {
+		t.Errorf("firefly QoE drop (%v) should exceed proposed (%v) under volatility",
+			dropF, dropP)
+	}
+}

@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// smallConfig keeps tests fast: 3 users, 5 seconds, 3 runs.
+func smallConfig() Config {
+	cfg := DefaultConfig(3)
+	cfg.Seconds = 5
+	cfg.Runs = 3
+	return cfg
+}
+
+func TestRunProducesSamplesPerAlgorithm(t *testing.T) {
+	cfg := smallConfig()
+	algs := StandardAlgorithms(true)
+	results, err := Run(cfg, algs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(algs) {
+		t.Fatalf("results = %d, want %d", len(results), len(algs))
+	}
+	wantSamples := cfg.Runs * cfg.Users
+	for _, r := range results {
+		if len(r.QoE) != wantSamples {
+			t.Errorf("%s: %d QoE samples, want %d", r.Name, len(r.QoE), wantSamples)
+		}
+		if len(r.Quality) != wantSamples || len(r.Delay) != wantSamples || len(r.Variance) != wantSamples {
+			t.Errorf("%s: component sample counts inconsistent", r.Name)
+		}
+		for i, q := range r.Quality {
+			if q < 0 || q > 6 {
+				t.Errorf("%s: quality sample %d = %v outside [0, 6]", r.Name, i, q)
+			}
+		}
+		for i, d := range r.Delay {
+			if d < 0 {
+				t.Errorf("%s: negative delay sample %d", r.Name, i)
+			}
+		}
+		for i, v := range r.Variance {
+			if v < 0 {
+				t.Errorf("%s: negative variance sample %d", r.Name, i)
+			}
+		}
+	}
+}
+
+func TestRunDeterministicForSameSeed(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Runs = 2
+	algs := []AlgorithmFactory{{Name: "proposed", New: func() core.Allocator { return core.DVGreedy{} }}}
+	a, err := Run(cfg, algs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, algs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca := metrics.NewCDF(a[0].QoE)
+	cb := metrics.NewCDF(b[0].QoE)
+	for _, p := range []float64{0, 0.5, 1} {
+		if ca.Quantile(p) != cb.Quantile(p) {
+			t.Fatalf("nondeterministic at p=%v: %v vs %v", p, ca.Quantile(p), cb.Quantile(p))
+		}
+	}
+}
+
+// TestProposedTracksOptimal is the core Fig. 2 claim: Algorithm 1's mean QoE
+// is within a few percent of the per-slot optimum.
+func TestProposedTracksOptimal(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Users = 4
+	cfg.Runs = 4
+	cfg.Seconds = 10
+	results, err := Run(cfg, StandardAlgorithms(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := indexResults(results)
+	proposed := metrics.NewCDF(byName["proposed"].QoE).Mean()
+	optimal := metrics.NewCDF(byName["optimal"].QoE).Mean()
+	if optimal <= 0 {
+		t.Skipf("optimal mean QoE %v <= 0; scenario degenerate", optimal)
+	}
+	if proposed < 0.9*optimal {
+		t.Errorf("proposed %v below 90%% of optimal %v", proposed, optimal)
+	}
+	if proposed > optimal+1e-9 {
+		t.Logf("note: proposed %v above per-slot optimal %v (possible: optimal is per-slot, QoE is horizon-coupled)", proposed, optimal)
+	}
+}
+
+// TestProposedBeatsBaselines is the Fig. 2a/3a ordering: proposed >= PAVQ
+// and proposed > Firefly in mean QoE.
+func TestProposedBeatsBaselines(t *testing.T) {
+	cfg := DefaultConfig(5)
+	cfg.Seconds = 12
+	cfg.Runs = 6
+	cfg.IncludeOptimal = false
+	results, err := Run(cfg, StandardAlgorithms(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := indexResults(results)
+	proposed := metrics.NewCDF(byName["proposed"].QoE).Mean()
+	firefly := metrics.NewCDF(byName["firefly"].QoE).Mean()
+	pavq := metrics.NewCDF(byName["pavq"].QoE).Mean()
+	if proposed <= firefly {
+		t.Errorf("proposed %v should beat firefly %v", proposed, firefly)
+	}
+	if proposed < pavq-0.05 {
+		t.Errorf("proposed %v should be at least competitive with pavq %v", proposed, pavq)
+	}
+}
+
+// TestProposedReducesVarianceAndDelay mirrors Figs. 2c/2d: against Firefly,
+// the proposed algorithm trades some raw quality for lower delay and lower
+// quality variance.
+func TestProposedReducesVarianceAndDelay(t *testing.T) {
+	cfg := DefaultConfig(5)
+	cfg.Seconds = 12
+	cfg.Runs = 6
+	cfg.IncludeOptimal = false
+	results, err := Run(cfg, StandardAlgorithms(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := indexResults(results)
+	pVar := metrics.NewCDF(byName["proposed"].Variance).Mean()
+	fVar := metrics.NewCDF(byName["firefly"].Variance).Mean()
+	if pVar > fVar {
+		t.Errorf("proposed variance %v should not exceed firefly %v", pVar, fVar)
+	}
+	pDelay := metrics.NewCDF(byName["proposed"].Delay).Mean()
+	fDelay := metrics.NewCDF(byName["firefly"].Delay).Mean()
+	if pDelay > fDelay {
+		t.Errorf("proposed delay %v should not exceed firefly %v", pDelay, fDelay)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Users = 0
+	if _, err := Run(cfg, StandardAlgorithms(false)); err == nil {
+		t.Error("zero users should error")
+	}
+	cfg = smallConfig()
+	cfg.Seconds = 0
+	if _, err := Run(cfg, StandardAlgorithms(false)); err == nil {
+		t.Error("zero seconds should error")
+	}
+	cfg = smallConfig()
+	if _, err := Run(cfg, nil); err == nil {
+		t.Error("no algorithms should error")
+	}
+}
+
+func TestResultCDFs(t *testing.T) {
+	cfg := smallConfig()
+	results, err := Run(cfg, StandardAlgorithms(false)[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	qoe, quality, delay, variance := results[0].CDFs()
+	for _, c := range []*metrics.CDF{qoe, quality, delay, variance} {
+		if c.Len() != cfg.Runs*cfg.Users {
+			t.Errorf("CDF has %d samples, want %d", c.Len(), cfg.Runs*cfg.Users)
+		}
+	}
+}
+
+func indexResults(results []*Result) map[string]*Result {
+	m := make(map[string]*Result, len(results))
+	for _, r := range results {
+		m[r.Name] = r
+	}
+	return m
+}

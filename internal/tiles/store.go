@@ -1,0 +1,217 @@
+package tiles
+
+import (
+	"container/list"
+	"encoding/binary"
+	"sync"
+)
+
+// Store is the offline-rendered content database: it serves the payload of
+// any video ID on demand. Payload bytes are deterministic pseudo-random data
+// of the size the SizeModel dictates, standing in for the paper's 171 GB of
+// pre-encoded tiles. A bounded LRU buffer fronts the generator, mirroring
+// the server's in-memory tile cache that "avoids the swapping overhead".
+type Store struct {
+	model *SizeModel
+	fps   float64
+
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recently used
+	cache    map[VideoID]*storedTile
+	hits     int
+	misses   int
+}
+
+type storedTile struct {
+	payload []byte
+	elem    *list.Element
+}
+
+// NewStore returns a store over the given size model. capacity bounds the
+// number of cached tiles (<= 0 means 4096). fps sets the display rate used
+// to convert rates to per-frame bytes.
+func NewStore(model *SizeModel, capacity int, fps float64) *Store {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	if fps <= 0 {
+		fps = 60
+	}
+	return &Store{
+		model:    model,
+		fps:      fps,
+		capacity: capacity,
+		order:    list.New(),
+		cache:    make(map[VideoID]*storedTile, capacity),
+	}
+}
+
+// Payload returns the encoded bytes of a tile, generating and caching them
+// if necessary. The returned slice must not be modified.
+func (s *Store) Payload(id VideoID) []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	if t, ok := s.cache[id]; ok {
+		s.order.MoveToFront(t.elem)
+		s.hits++
+		return t.payload
+	}
+	s.misses++
+	cell, tile, level := id.Unpack()
+	n := s.model.TileBytes(cell, tile, level, s.fps)
+	payload := synthesize(uint64(id), n)
+
+	t := &storedTile{payload: payload}
+	t.elem = s.order.PushFront(id)
+	s.cache[id] = t
+	for s.order.Len() > s.capacity {
+		back := s.order.Back()
+		evicted, ok := back.Value.(VideoID)
+		if !ok {
+			break
+		}
+		s.order.Remove(back)
+		delete(s.cache, evicted)
+	}
+	return payload
+}
+
+// Stats returns cache hit/miss counters.
+func (s *Store) Stats() (hits, misses int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits, s.misses
+}
+
+// Cached returns the number of tiles currently buffered.
+func (s *Store) Cached() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.order.Len()
+}
+
+// synthesize produces n deterministic bytes derived from the seed, so that
+// a tile's payload is identical wherever it is generated (useful for
+// end-to-end integrity checks in the transport tests).
+func synthesize(seed uint64, n int) []byte {
+	out := make([]byte, n)
+	var block [8]byte
+	x := seed
+	for i := 0; i < n; i += 8 {
+		x = splitmix(x)
+		binary.LittleEndian.PutUint64(block[:], x)
+		copy(out[i:], block[:])
+	}
+	return out
+}
+
+// ClientRAM models the user-side tile memory of Section V: the client keeps
+// received tiles until a device-specific threshold is reached, then releases
+// the oldest tiles and tells the server (so it knows to retransmit them if
+// requested again).
+type ClientRAM struct {
+	mu        sync.Mutex
+	threshold int
+	order     *list.List // front = oldest
+	held      map[VideoID]*list.Element
+}
+
+// NewClientRAM returns a RAM model holding up to threshold tiles (minimum 1).
+func NewClientRAM(threshold int) *ClientRAM {
+	if threshold < 1 {
+		threshold = 1
+	}
+	return &ClientRAM{
+		threshold: threshold,
+		order:     list.New(),
+		held:      make(map[VideoID]*list.Element, threshold),
+	}
+}
+
+// Add records a received tile and returns the IDs released to stay under
+// the threshold (empty if none). Adding an already-held tile refreshes its
+// age and releases nothing.
+func (r *ClientRAM) Add(id VideoID) []VideoID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	if e, ok := r.held[id]; ok {
+		r.order.MoveToBack(e)
+		return nil
+	}
+	r.held[id] = r.order.PushBack(id)
+	var released []VideoID
+	for r.order.Len() > r.threshold {
+		front := r.order.Front()
+		old, ok := front.Value.(VideoID)
+		if !ok {
+			break
+		}
+		r.order.Remove(front)
+		delete(r.held, old)
+		released = append(released, old)
+	}
+	return released
+}
+
+// Holds reports whether the tile is currently in RAM.
+func (r *ClientRAM) Holds(id VideoID) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.held[id]
+	return ok
+}
+
+// Len returns the number of held tiles.
+func (r *ClientRAM) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.order.Len()
+}
+
+// DeliveryLedger is the server-side record of which tiles each user already
+// holds ("the server records the tiles that have already been delivered and
+// will not transmit the same tiles again"). Release notifications remove
+// entries so the tiles can be retransmitted later.
+type DeliveryLedger struct {
+	mu        sync.Mutex
+	delivered map[VideoID]struct{}
+}
+
+// NewDeliveryLedger returns an empty ledger.
+func NewDeliveryLedger() *DeliveryLedger {
+	return &DeliveryLedger{delivered: make(map[VideoID]struct{})}
+}
+
+// MarkDelivered records an acknowledged tile.
+func (l *DeliveryLedger) MarkDelivered(id VideoID) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.delivered[id] = struct{}{}
+}
+
+// MarkReleased removes tiles the client reported releasing.
+func (l *DeliveryLedger) MarkReleased(ids ...VideoID) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, id := range ids {
+		delete(l.delivered, id)
+	}
+}
+
+// Has reports whether the user is known to hold the tile.
+func (l *DeliveryLedger) Has(id VideoID) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, ok := l.delivered[id]
+	return ok
+}
+
+// Len returns the number of tiles recorded as delivered.
+func (l *DeliveryLedger) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.delivered)
+}

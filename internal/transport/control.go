@@ -1,0 +1,125 @@
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/tiles"
+	"repro/internal/vrmath"
+)
+
+// Control messages travel over the TCP side channel. Exactly one concrete
+// type is wrapped per frame.
+type (
+	// Hello is the client's first message: who it is, where its UDP data
+	// socket listens, and how many tiles its RAM holds before releasing.
+	Hello struct {
+		User         uint32
+		UDPAddr      string
+		RAMThreshold int
+	}
+
+	// PoseUpdate uploads the user's 6-DoF pose for a slot ("Users will
+	// replay real users' motion traces and upload the trace to the server
+	// through TCP periodically").
+	PoseUpdate struct {
+		User uint32
+		Slot uint32
+		Pose vrmath.Pose
+	}
+
+	// TileACK acknowledges the tiles fully received in a slot and carries
+	// the client-side delay measurement (first-to-last packet duration)
+	// plus the byte count the server's EMA throughput estimator consumes.
+	TileACK struct {
+		User    uint32
+		Slot    uint32
+		Tiles   []tiles.VideoID
+		DelayMs float64
+		Bytes   int
+		// Covered reports whether the delivered portion covered the actual
+		// FoV at display time — the client-observed 1_n(t).
+		Covered bool
+		// Displayed reports whether the slot's frame was decoded and shown
+		// by its deadline (FPS accounting).
+		Displayed bool
+	}
+
+	// Release tells the server which tiles the client evicted from RAM, so
+	// they may be retransmitted later ("the user also sends ACKs to let the
+	// server know when the tiles are released").
+	Release struct {
+		User  uint32
+		Tiles []tiles.VideoID
+	}
+
+	// Nack reports tiles whose fragments were lost in a slot so the server
+	// can retransmit them — the loss-handling extension the paper's
+	// Discussion section proposes ("we believe it can be further improved
+	// by accounting for such information").
+	Nack struct {
+		User  uint32
+		Slot  uint32
+		Tiles []tiles.VideoID
+	}
+)
+
+func init() {
+	gob.Register(Hello{})
+	gob.Register(PoseUpdate{})
+	gob.Register(TileACK{})
+	gob.Register(Release{})
+	gob.Register(Nack{})
+}
+
+// envelope is the frame wrapper gob encodes.
+type envelope struct {
+	Msg any
+}
+
+// Conn is a control-channel connection: gob frames over TCP, safe for one
+// concurrent sender and one concurrent receiver.
+type Conn struct {
+	raw net.Conn
+	enc *gob.Encoder
+	dec *gob.Decoder
+
+	sendMu sync.Mutex
+}
+
+// NewConn wraps an established TCP connection.
+func NewConn(raw net.Conn) *Conn {
+	return &Conn{raw: raw, enc: gob.NewEncoder(raw), dec: gob.NewDecoder(raw)}
+}
+
+// Send writes one control message.
+func (c *Conn) Send(msg any) error {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	if err := c.enc.Encode(envelope{Msg: msg}); err != nil {
+		return fmt.Errorf("transport: send control: %w", err)
+	}
+	return nil
+}
+
+// Recv reads the next control message, blocking until one arrives or the
+// connection fails.
+func (c *Conn) Recv() (any, error) {
+	var env envelope
+	if err := c.dec.Decode(&env); err != nil {
+		return nil, fmt.Errorf("transport: recv control: %w", err)
+	}
+	return env.Msg, nil
+}
+
+// SetDeadline bounds both directions.
+func (c *Conn) SetDeadline(t time.Time) error { return c.raw.SetDeadline(t) }
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.raw.Close() }
+
+// RemoteAddr exposes the peer address.
+func (c *Conn) RemoteAddr() net.Addr { return c.raw.RemoteAddr() }

@@ -1,0 +1,135 @@
+// Package transport implements the paper's delivery protocol (Section V):
+// an RTP-like datagram framing over UDP for tile payloads — so the sender
+// controls its rate precisely and decides per tile whether to retransmit —
+// and a TCP side channel for the acknowledgments, release notices and pose
+// uploads that RTP cannot carry ("we manually send acknowledgments (ACK)
+// from the user to the server through TCP").
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/tiles"
+)
+
+// Magic identifies packets of this protocol.
+const Magic uint16 = 0x5652 // "VR"
+
+// HeaderSize is the fixed data-packet header length in bytes.
+const HeaderSize = 32
+
+// DefaultMTU bounds a whole datagram (header + payload).
+const DefaultMTU = 1200
+
+// PacketType discriminates datagram kinds.
+type PacketType uint8
+
+const (
+	// PacketTile carries one fragment of an encoded tile.
+	PacketTile PacketType = iota + 1
+)
+
+// Packet is one datagram of the tile stream.
+type Packet struct {
+	Type      PacketType
+	User      uint32 // destination user id
+	Slot      uint32 // time slot the tile belongs to
+	VideoID   tiles.VideoID
+	FragIdx   uint16 // fragment index within the tile
+	FragCount uint16 // total fragments of the tile
+	Seq       uint32 // per-user monotonically increasing sequence
+	Payload   []byte
+}
+
+// Errors returned by Decode.
+var (
+	ErrShortPacket = errors.New("transport: packet shorter than header")
+	ErrBadMagic    = errors.New("transport: bad magic")
+	ErrBadLength   = errors.New("transport: payload length mismatch")
+)
+
+// Encode serializes the packet into buf (allocating if nil or too small)
+// and returns the encoded bytes.
+func (p *Packet) Encode(buf []byte) []byte {
+	n := HeaderSize + len(p.Payload)
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	binary.BigEndian.PutUint16(buf[0:2], Magic)
+	buf[2] = byte(p.Type)
+	buf[3] = 0
+	binary.BigEndian.PutUint32(buf[4:8], p.User)
+	binary.BigEndian.PutUint32(buf[8:12], p.Slot)
+	binary.BigEndian.PutUint64(buf[12:20], uint64(p.VideoID))
+	binary.BigEndian.PutUint16(buf[20:22], p.FragIdx)
+	binary.BigEndian.PutUint16(buf[22:24], p.FragCount)
+	binary.BigEndian.PutUint16(buf[24:26], uint16(len(p.Payload)))
+	binary.BigEndian.PutUint32(buf[26:30], p.Seq)
+	buf[30], buf[31] = 0, 0
+	copy(buf[HeaderSize:], p.Payload)
+	return buf
+}
+
+// Decode parses a datagram. The returned packet's Payload aliases data.
+func Decode(data []byte) (*Packet, error) {
+	if len(data) < HeaderSize {
+		return nil, ErrShortPacket
+	}
+	if binary.BigEndian.Uint16(data[0:2]) != Magic {
+		return nil, ErrBadMagic
+	}
+	payloadLen := int(binary.BigEndian.Uint16(data[24:26]))
+	if len(data) != HeaderSize+payloadLen {
+		return nil, fmt.Errorf("%w: header says %d, datagram has %d",
+			ErrBadLength, payloadLen, len(data)-HeaderSize)
+	}
+	return &Packet{
+		Type:      PacketType(data[2]),
+		User:      binary.BigEndian.Uint32(data[4:8]),
+		Slot:      binary.BigEndian.Uint32(data[8:12]),
+		VideoID:   tiles.VideoID(binary.BigEndian.Uint64(data[12:20])),
+		FragIdx:   binary.BigEndian.Uint16(data[20:22]),
+		FragCount: binary.BigEndian.Uint16(data[22:24]),
+		Seq:       binary.BigEndian.Uint32(data[26:30]),
+		Payload:   data[HeaderSize:],
+	}, nil
+}
+
+// Fragment splits a tile payload into MTU-sized packets. seq is the first
+// sequence number to use; the caller advances its counter by the returned
+// count.
+func Fragment(user, slot uint32, id tiles.VideoID, payload []byte, mtu int, seq uint32) []*Packet {
+	if mtu <= HeaderSize {
+		mtu = DefaultMTU
+	}
+	chunk := mtu - HeaderSize
+	count := (len(payload) + chunk - 1) / chunk
+	if count == 0 {
+		count = 1 // zero-length tile still needs one packet
+	}
+	if count > 0xFFFF {
+		count = 0xFFFF // oversized tiles are truncated defensively
+	}
+	packets := make([]*Packet, 0, count)
+	for i := 0; i < count; i++ {
+		lo := i * chunk
+		hi := lo + chunk
+		if hi > len(payload) {
+			hi = len(payload)
+		}
+		packets = append(packets, &Packet{
+			Type:      PacketTile,
+			User:      user,
+			Slot:      slot,
+			VideoID:   id,
+			FragIdx:   uint16(i),
+			FragCount: uint16(count),
+			Seq:       seq + uint32(i),
+			Payload:   payload[lo:hi],
+		})
+	}
+	return packets
+}

@@ -1,0 +1,126 @@
+package transport
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/tiles"
+)
+
+// Property: for any payload and MTU, fragmenting and reassembling in any
+// delivery order reproduces the payload exactly.
+func TestFragmentReassembleRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	f := func(size uint16, mtuRaw uint16, seed int64) bool {
+		payload := make([]byte, int(size)%8192)
+		rand.New(rand.NewSource(seed)).Read(payload)
+		mtu := HeaderSize + 1 + int(mtuRaw)%2000
+		id, err := tiles.PackVideoID(tiles.CellID{X: 1, Z: 2}, 1, 3)
+		if err != nil {
+			return false
+		}
+		packets := Fragment(1, 9, id, payload, mtu, 0)
+
+		// Shuffle delivery order.
+		order := rng.Perm(len(packets))
+		r := NewReassembler()
+		now := time.Unix(0, 0)
+		for _, i := range order {
+			// Encode/decode round trip as the wire would.
+			wire := packets[i].Encode(nil)
+			p, err := Decode(wire)
+			if err != nil {
+				return false
+			}
+			r.Ingest(p, now)
+		}
+		done := r.Flush()
+		if len(done) != 1 {
+			return false
+		}
+		return bytes.Equal(done[0].Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: losing any single fragment of a multi-fragment tile prevents
+// completion and leaves the tile listed as incomplete.
+func TestSingleLossPreventsCompletionProperty(t *testing.T) {
+	f := func(size uint16, lostRaw uint8) bool {
+		payload := make([]byte, 2000+int(size)%4000)
+		id, err := tiles.PackVideoID(tiles.CellID{X: 3, Z: 4}, 2, 2)
+		if err != nil {
+			return false
+		}
+		packets := Fragment(2, 4, id, payload, 600, 0)
+		if len(packets) < 2 {
+			return true
+		}
+		lost := int(lostRaw) % len(packets)
+		r := NewReassembler()
+		now := time.Unix(0, 0)
+		for i, p := range packets {
+			if i == lost {
+				continue
+			}
+			r.Ingest(p, now)
+		}
+		if len(r.Flush()) != 0 {
+			return false
+		}
+		inc := r.Incomplete(4)
+		return len(inc) == 1 && inc[0] == id
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIncompleteEmptyForCompleteSlot(t *testing.T) {
+	id, err := tiles.PackVideoID(tiles.CellID{}, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewReassembler()
+	for _, p := range Fragment(1, 7, id, make([]byte, 1500), 600, 0) {
+		r.Ingest(p, time.Now())
+	}
+	if inc := r.Incomplete(7); len(inc) != 0 {
+		t.Errorf("complete slot reports incomplete tiles: %v", inc)
+	}
+	if inc := r.Incomplete(8); len(inc) != 0 {
+		t.Errorf("unknown slot reports incomplete tiles: %v", inc)
+	}
+}
+
+// Property: packet headers survive an encode/decode round trip bit-exactly
+// for arbitrary field values.
+func TestHeaderRoundTripProperty(t *testing.T) {
+	f := func(user, slot, seq uint32, vid uint64, fragIdx, fragCount uint16, payloadLen uint8) bool {
+		p := &Packet{
+			Type:      PacketTile,
+			User:      user,
+			Slot:      slot,
+			VideoID:   tiles.VideoID(vid),
+			FragIdx:   fragIdx,
+			FragCount: fragCount,
+			Seq:       seq,
+			Payload:   make([]byte, payloadLen),
+		}
+		got, err := Decode(p.Encode(nil))
+		if err != nil {
+			return false
+		}
+		return got.User == p.User && got.Slot == p.Slot && got.Seq == p.Seq &&
+			got.VideoID == p.VideoID && got.FragIdx == p.FragIdx &&
+			got.FragCount == p.FragCount && len(got.Payload) == len(p.Payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

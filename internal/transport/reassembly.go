@@ -1,0 +1,168 @@
+package transport
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/tiles"
+)
+
+// CompleteTile is a fully reassembled tile, annotated with the arrival
+// window used for the paper's delay measurement ("we estimate the delay by
+// computing the time duration between receiving the first and the last
+// packet of the current time slot on the user-side").
+type CompleteTile struct {
+	Slot    uint32
+	VideoID tiles.VideoID
+	Payload []byte
+}
+
+// SlotStats summarizes one slot's arrivals on the client.
+type SlotStats struct {
+	Slot        uint32
+	First, Last time.Time
+	Bytes       int
+	Packets     int
+	Tiles       int // complete tiles
+}
+
+// Delay returns the first-to-last packet spacing (zero for single-packet
+// slots).
+func (s SlotStats) Delay() time.Duration {
+	if s.Packets <= 1 {
+		return 0
+	}
+	return s.Last.Sub(s.First)
+}
+
+// Reassembler rebuilds tiles from fragments and tracks per-slot arrival
+// statistics. Incomplete tiles (packet loss) are discarded when their slot
+// is flushed, mirroring the client rule that "each tile will either be
+// displayed or dropped in each time slot".
+type Reassembler struct {
+	mu      sync.Mutex
+	pending map[tileKey]*partialTile
+	stats   map[uint32]*SlotStats
+	done    []CompleteTile
+}
+
+type tileKey struct {
+	slot uint32
+	id   tiles.VideoID
+}
+
+type partialTile struct {
+	frags    [][]byte
+	received int
+	bytes    int
+}
+
+// NewReassembler returns an empty reassembler.
+func NewReassembler() *Reassembler {
+	return &Reassembler{
+		pending: make(map[tileKey]*partialTile),
+		stats:   make(map[uint32]*SlotStats),
+	}
+}
+
+// Ingest processes one received packet at the given arrival time.
+func (r *Reassembler) Ingest(p *Packet, now time.Time) {
+	if p.Type != PacketTile || p.FragCount == 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	st := r.stats[p.Slot]
+	if st == nil {
+		st = &SlotStats{Slot: p.Slot, First: now, Last: now}
+		r.stats[p.Slot] = st
+	}
+	if now.Before(st.First) {
+		st.First = now
+	}
+	if now.After(st.Last) {
+		st.Last = now
+	}
+	st.Packets++
+	st.Bytes += len(p.Payload)
+
+	key := tileKey{slot: p.Slot, id: p.VideoID}
+	pt := r.pending[key]
+	if pt == nil {
+		pt = &partialTile{frags: make([][]byte, p.FragCount)}
+		r.pending[key] = pt
+	}
+	if int(p.FragIdx) >= len(pt.frags) || pt.frags[p.FragIdx] != nil {
+		return // out-of-range or duplicate fragment
+	}
+	payload := make([]byte, len(p.Payload))
+	copy(payload, p.Payload)
+	pt.frags[p.FragIdx] = payload
+	pt.received++
+	pt.bytes += len(payload)
+
+	if pt.received == len(pt.frags) {
+		full := make([]byte, 0, pt.bytes)
+		for _, f := range pt.frags {
+			full = append(full, f...)
+		}
+		r.done = append(r.done, CompleteTile{Slot: p.Slot, VideoID: p.VideoID, Payload: full})
+		st.Tiles++
+		delete(r.pending, key)
+	}
+}
+
+// Flush returns (and clears) the tiles completed so far.
+func (r *Reassembler) Flush() []CompleteTile {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := r.done
+	r.done = nil
+	return out
+}
+
+// FlushSlot returns the slot's arrival stats and drops all state at or
+// before that slot (late fragments of flushed slots are lost, as in the
+// real client). Returns false if the slot saw no packets.
+func (r *Reassembler) FlushSlot(slot uint32) (SlotStats, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.stats[slot]
+	for s := range r.stats {
+		if s <= slot {
+			delete(r.stats, s)
+		}
+	}
+	for k := range r.pending {
+		if k.slot <= slot {
+			delete(r.pending, k)
+		}
+	}
+	if !ok {
+		return SlotStats{Slot: slot}, false
+	}
+	return *st, true
+}
+
+// PendingTiles reports the number of incomplete tiles (diagnostics).
+func (r *Reassembler) PendingTiles() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.pending)
+}
+
+// Incomplete returns the tiles of a slot that received some but not all of
+// their fragments — the candidates for a loss NACK. Call before FlushSlot,
+// which discards the partial state.
+func (r *Reassembler) Incomplete(slot uint32) []tiles.VideoID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []tiles.VideoID
+	for k := range r.pending {
+		if k.slot == slot {
+			out = append(out, k.id)
+		}
+	}
+	return out
+}

@@ -1,0 +1,130 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/tiles"
+)
+
+// Shaper models an in-path rate limiter (the testbed's Linux-TC stand-in).
+// Admit charges a packet and returns how long to hold it; Drop reports
+// whether to lose it.
+type Shaper interface {
+	Admit(bytes int, now time.Time) time.Duration
+	Drop() bool
+}
+
+// NopShaper performs no shaping and no loss.
+type NopShaper struct{}
+
+// Admit implements Shaper.
+func (NopShaper) Admit(int, time.Time) time.Duration { return 0 }
+
+// Drop implements Shaper.
+func (NopShaper) Drop() bool { return false }
+
+// ChainShaper applies several shapers in sequence (e.g. a per-user throttle
+// followed by a shared router bucket); the packet waits for the slowest and
+// is dropped if any stage drops it.
+type ChainShaper []Shaper
+
+// Admit implements Shaper.
+func (c ChainShaper) Admit(bytes int, now time.Time) time.Duration {
+	var worst time.Duration
+	for _, s := range c {
+		if d := s.Admit(bytes, now); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// Drop implements Shaper.
+func (c ChainShaper) Drop() bool {
+	for _, s := range c {
+		if s.Drop() {
+			return true
+		}
+	}
+	return false
+}
+
+// Sender paces tile fragments of one user over a UDP socket, sleeping as
+// the shaper dictates. It is the server-side transmit path of the RTP-like
+// stream.
+type Sender struct {
+	conn   net.PacketConn
+	dst    net.Addr
+	shaper Shaper
+	mtu    int
+
+	mu        sync.Mutex
+	seq       uint32
+	sentPkts  int
+	sentBytes int
+	dropped   int
+}
+
+// NewSender builds a sender toward dst. A nil shaper means no shaping.
+func NewSender(conn net.PacketConn, dst net.Addr, shaper Shaper, mtu int) *Sender {
+	if shaper == nil {
+		shaper = NopShaper{}
+	}
+	if mtu <= HeaderSize {
+		mtu = DefaultMTU
+	}
+	return &Sender{conn: conn, dst: dst, shaper: shaper, mtu: mtu}
+}
+
+// SendTile fragments and transmits one tile for a slot, pacing against the
+// shaper. It blocks until the last fragment conforms.
+func (s *Sender) SendTile(user, slot uint32, id tiles.VideoID, payload []byte) error {
+	s.mu.Lock()
+	seq := s.seq
+	packets := Fragment(user, slot, id, payload, s.mtu, seq)
+	s.seq += uint32(len(packets))
+	s.mu.Unlock()
+
+	// Pacing sleeps are batched: token-bucket debt below sleepQuantum is
+	// carried instead of slept, so the OS sleep overshoot (tens of
+	// microseconds per wakeup) is amortized over several packets and the
+	// achieved rate stays close to the shaped rate.
+	const sleepQuantum = time.Millisecond
+
+	buf := make([]byte, s.mtu)
+	for _, p := range packets {
+		wire := p.Encode(buf)
+		if s.shaper.Drop() {
+			s.mu.Lock()
+			s.dropped++
+			s.mu.Unlock()
+			continue
+		}
+		if d := s.shaper.Admit(len(wire), time.Now()); d >= sleepQuantum {
+			time.Sleep(d)
+		}
+		if _, err := s.conn.WriteTo(wire, s.dst); err != nil {
+			return fmt.Errorf("transport: send fragment: %w", err)
+		}
+		s.mu.Lock()
+		s.sentPkts++
+		s.sentBytes += len(wire)
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// Stats returns cumulative transmit counters.
+func (s *Sender) Stats() (packets, bytes, dropped int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sentPkts, s.sentBytes, s.dropped
+}
+
+var (
+	_ Shaper = NopShaper{}
+	_ Shaper = ChainShaper(nil)
+)
