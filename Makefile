@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench figures figures-full clean
+.PHONY: all build vet test race bench ci figures figures-full clean
 
 all: build vet test
 
@@ -16,7 +16,10 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/...
+	$(GO) test -race ./internal/... ./cmd/...
+
+# What CI runs (see .github/workflows/ci.yml).
+ci: build vet test race
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -17,6 +17,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/netem"
 	"repro/internal/nettrace"
+	"repro/internal/obs"
 	"repro/internal/render"
 	"repro/internal/sim"
 	"repro/internal/testbed"
@@ -33,12 +34,23 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("collabvr-bench", flag.ContinueOnError)
 	var (
-		fig  = fs.String("fig", "all", "figure to regenerate: 1a, 1b, 2, 3, 7, 8 or all")
-		full = fs.Bool("full", false, "paper-scale parameters (much slower)")
-		seed = fs.Int64("seed", 1, "random seed")
+		fig      = fs.String("fig", "all", "figure to regenerate: 1a, 1b, 2, 3, 7, 8 or all")
+		full     = fs.Bool("full", false, "paper-scale parameters (much slower)")
+		seed     = fs.Int64("seed", 1, "random seed")
+		traceOut = fs.String("trace-out", "", "write the simulation figures' per-slot decision trace as JSONL to this file (empty = disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var rec *obs.Recorder
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return fmt.Errorf("trace-out: %w", err)
+		}
+		defer f.Close()
+		rec = obs.NewRecorder(obs.RecorderOptions{RingSize: 256, Writer: f})
 	}
 
 	want := func(name string) bool { return *fig == "all" || strings.EqualFold(*fig, name) }
@@ -50,12 +62,12 @@ func run(args []string) error {
 		fig1b(*seed, *full)
 	}
 	if want("2") {
-		if err := figSim(5, *seed, *full); err != nil {
+		if err := figSim(5, *seed, *full, rec); err != nil {
 			return err
 		}
 	}
 	if want("3") {
-		if err := figSim(30, *seed, *full); err != nil {
+		if err := figSim(30, *seed, *full, rec); err != nil {
 			return err
 		}
 	}
@@ -86,6 +98,13 @@ func run(args []string) error {
 		if err := extWeights(*seed, *full); err != nil {
 			return err
 		}
+	}
+	if rec != nil && rec.Records() > 0 {
+		fmt.Print(rec.Summary().Format())
+		if err := rec.Err(); err != nil {
+			return fmt.Errorf("trace-out: %w", err)
+		}
+		fmt.Printf("# decision trace written to %s\n", *traceOut)
 	}
 	return nil
 }
@@ -288,9 +307,10 @@ func fig1b(seed int64, full bool) {
 }
 
 // figSim runs the Section IV simulation for N users.
-func figSim(users int, seed int64, full bool) error {
+func figSim(users int, seed int64, full bool, rec *obs.Recorder) error {
 	cfg := sim.DefaultConfig(users)
 	cfg.Seed = seed
+	cfg.Recorder = rec
 	if full {
 		cfg.Seconds = 300
 		cfg.Runs = 100

@@ -11,11 +11,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"time"
 
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -35,9 +38,11 @@ func run(args []string) error {
 		budget  = fs.Float64("budget", 400, "server throughput budget B(t) in Mbps")
 		slots   = fs.Int("slots", 0, "stop after this many slots (0 = run until interrupted)")
 		slotMs  = fs.Float64("slotms", 1000.0/60, "slot duration in milliseconds")
-		alpha   = fs.Float64("alpha", 0.1, "QoE delay weight")
-		beta    = fs.Float64("beta", 0.5, "QoE variance weight")
-		verbose = fs.Bool("v", false, "verbose logging")
+		alpha    = fs.Float64("alpha", 0.1, "QoE delay weight")
+		beta     = fs.Float64("beta", 0.5, "QoE variance weight")
+		httpAddr = fs.String("http", "", "observability HTTP listen address serving /metrics and /debug/slots (empty = disabled)")
+		ringSize = fs.Int("trace-ring", 1024, "flight-recorder ring size (records kept for /debug/slots)")
+		verbose  = fs.Bool("v", false, "verbose logging")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -62,6 +67,21 @@ func run(args []string) error {
 		}
 	}
 
+	var rec *obs.Recorder
+	if *httpAddr != "" {
+		cfg.Metrics = obs.NewRegistry()
+		rec = obs.NewRecorder(obs.RecorderOptions{RingSize: *ringSize})
+		cfg.Recorder = rec
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			return fmt.Errorf("observability listen: %w", err)
+		}
+		defer ln.Close()
+		go http.Serve(ln, obs.NewMux(cfg.Metrics, rec))
+		fmt.Printf("collabvr-server: observability on http://%s/metrics and /debug/slots\n",
+			ln.Addr())
+	}
+
 	srv, err := server.New(cfg)
 	if err != nil {
 		return err
@@ -80,6 +100,10 @@ func run(args []string) error {
 		fmt.Printf("%-6d %8d %8d %9d %10d %8.2f %8.1f\n",
 			st.User, st.SlotsServed, st.TilesSent, st.TilesSkipped,
 			st.BytesSent, st.MeanLevel, st.EstMbps)
+	}
+	if rec != nil && rec.Records() > 0 {
+		fmt.Println()
+		fmt.Print(rec.Summary().Format())
 	}
 	return nil
 }

@@ -19,6 +19,7 @@ import (
 	"strconv"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -32,15 +33,16 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("collabvr-sim", flag.ContinueOnError)
 	var (
-		users   = fs.Int("users", 5, "number of users N")
-		seconds = fs.Float64("seconds", 60, "trace length in seconds (paper: 300)")
-		runs    = fs.Int("runs", 20, "independent trace draws per user (paper: 100)")
-		seed    = fs.Int64("seed", 1, "random seed")
-		alpha   = fs.Float64("alpha", 0.02, "QoE delay weight")
-		beta    = fs.Float64("beta", 0.5, "QoE variance weight")
-		optimal = fs.Bool("optimal", false, "force the brute-force optimum on (default: only for N<=6)")
-		points  = fs.Int("points", 11, "CDF points to print per series")
-		csvDir  = fs.String("csv", "", "directory to dump raw per-user samples as CSV (empty = no dump)")
+		users    = fs.Int("users", 5, "number of users N")
+		seconds  = fs.Float64("seconds", 60, "trace length in seconds (paper: 300)")
+		runs     = fs.Int("runs", 20, "independent trace draws per user (paper: 100)")
+		seed     = fs.Int64("seed", 1, "random seed")
+		alpha    = fs.Float64("alpha", 0.02, "QoE delay weight")
+		beta     = fs.Float64("beta", 0.5, "QoE variance weight")
+		optimal  = fs.Bool("optimal", false, "force the brute-force optimum on (default: only for N<=6)")
+		points   = fs.Int("points", 11, "CDF points to print per series")
+		csvDir   = fs.String("csv", "", "directory to dump raw per-user samples as CSV (empty = no dump)")
+		traceOut = fs.String("trace-out", "", "write the per-slot decision trace as JSONL to this file (empty = disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -54,6 +56,17 @@ func run(args []string) error {
 	cfg.Params.Beta = *beta
 	if *optimal {
 		cfg.IncludeOptimal = true
+	}
+
+	var rec *obs.Recorder
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return fmt.Errorf("trace-out: %w", err)
+		}
+		defer f.Close()
+		rec = obs.NewRecorder(obs.RecorderOptions{RingSize: 256, Writer: f})
+		cfg.Recorder = rec
 	}
 
 	figure := "Fig 2"
@@ -99,6 +112,14 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Printf("# raw samples written to %s\n", *csvDir)
+	}
+	if rec != nil {
+		fmt.Println()
+		fmt.Print(rec.Summary().Format())
+		if err := rec.Err(); err != nil {
+			return fmt.Errorf("trace-out: %w", err)
+		}
+		fmt.Printf("# decision trace written to %s\n", *traceOut)
 	}
 	return nil
 }

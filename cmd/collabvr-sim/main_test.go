@@ -1,10 +1,13 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 func TestRunTiny(t *testing.T) {
@@ -48,5 +51,71 @@ func TestRunBadFlags(t *testing.T) {
 func TestRunInvalidConfig(t *testing.T) {
 	if err := run([]string{"-users", "0"}); err == nil {
 		t.Fatal("zero users should error")
+	}
+}
+
+// TestRunTraceOutJSONL is the acceptance check of the decision flight
+// recorder: a 5-user simulation with the optimum enabled must produce a
+// JSONL trace with one record per slot per algorithm, chosen qualities,
+// rejection records, budget utilization and a nonnegative regret, and the
+// greedy's regret must respect the 1/2-approximation of Theorem 1.
+func TestRunTraceOutJSONL(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	err := run([]string{
+		"-users", "5", "-seconds", "1", "-runs", "2", "-optimal",
+		"-points", "3", "-trace-out", path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	algorithms := map[string]int{}
+	var optMeanValue, propRegretSum float64
+	var propRecords int
+	for _, line := range lines {
+		var rec obs.SlotRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", line, err)
+		}
+		algorithms[rec.Algorithm]++
+		if len(rec.Levels) != 5 {
+			t.Fatalf("record has %d levels, want 5: %+v", len(rec.Levels), rec)
+		}
+		if rec.Utilization < 0 || rec.Utilization > 1+1e-9 {
+			t.Errorf("utilization %v outside [0,1]", rec.Utilization)
+		}
+		if !rec.HasRegret || rec.Regret < 0 {
+			t.Errorf("record without nonnegative regret: %+v", rec)
+		}
+		switch rec.Algorithm {
+		case "optimal":
+			optMeanValue += rec.Value
+		case "proposed":
+			propRegretSum += rec.Regret
+			propRecords++
+		}
+	}
+	// One record per slot per algorithm: 60 slots/s * 1 s * 2 runs each.
+	const wantPerAlg = 60 * 2
+	for _, name := range []string{"proposed", "firefly", "pavq", "optimal"} {
+		if algorithms[name] != wantPerAlg {
+			t.Errorf("algorithm %s has %d records, want %d", name, algorithms[name], wantPerAlg)
+		}
+	}
+	if propRecords == 0 {
+		t.Fatal("no proposed records")
+	}
+	optMeanValue /= float64(algorithms["optimal"])
+	meanRegret := propRegretSum / float64(propRecords)
+	// Theorem 1: proposed >= optimal/2 per slot, so mean regret <= mean
+	// optimal value / 2.
+	if optMeanValue > 0 && meanRegret > 0.5*optMeanValue {
+		t.Errorf("proposed mean regret %v violates the 1/2-approximation bound (optimal mean %v)",
+			meanRegret, optMeanValue)
 	}
 }

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/motion"
+	"repro/internal/obs"
 	"repro/internal/tiles"
 	"repro/internal/transport"
 	"repro/internal/vrmath"
@@ -43,6 +44,36 @@ type Config struct {
 	// Discussion section: tiles with missing fragments are reported so the
 	// server retransmits them.
 	NackLost bool
+	// Metrics receives the client's counters/histograms (names prefixed
+	// collabvr_client_); nil disables metrics with near-zero overhead.
+	Metrics *obs.Registry
+}
+
+// clientMetrics bundles the client-side instruments; all nil-safe.
+type clientMetrics struct {
+	tiles      *obs.Counter
+	bytes      *obs.Counter
+	nacks      *obs.Counter
+	releases   *obs.Counter
+	displayed  *obs.Counter
+	missed     *obs.Counter
+	duplicates *obs.Counter
+	incomplete *obs.Counter
+	delayMs    *obs.Histogram
+}
+
+func newClientMetrics(r *obs.Registry) clientMetrics {
+	return clientMetrics{
+		tiles:      r.Counter("collabvr_client_tiles_received_total"),
+		bytes:      r.Counter("collabvr_client_bytes_received_total"),
+		nacks:      r.Counter("collabvr_client_nack_tiles_total"),
+		releases:   r.Counter("collabvr_client_tiles_released_total"),
+		displayed:  r.Counter("collabvr_client_frames_displayed_total"),
+		missed:     r.Counter("collabvr_client_frames_missed_total"),
+		duplicates: r.Counter("collabvr_client_rx_duplicate_fragments_total"),
+		incomplete: r.Counter("collabvr_client_rx_incomplete_tiles_dropped_total"),
+		delayMs:    r.Histogram("collabvr_client_slot_delay_ms", obs.DefaultLatencyBuckets()),
+	}
 }
 
 // DefaultConfig returns the paper's client parameters.
@@ -111,6 +142,7 @@ func Run(cfg Config) (*Result, error) {
 
 	c := &runner{
 		cfg:    cfg,
+		obs:    newClientMetrics(cfg.Metrics),
 		ctrl:   ctrl,
 		udp:    udp,
 		reasm:  transport.NewReassembler(),
@@ -118,12 +150,14 @@ func Run(cfg Config) (*Result, error) {
 		acc:    metrics.NewUserQoE(cfg.Params),
 		byslot: make(map[uint32][]tiles.VideoID),
 	}
+	c.reasm.Instrument(c.obs.duplicates, c.obs.incomplete)
 	return c.run()
 }
 
 // runner carries the per-run state.
 type runner struct {
 	cfg   Config
+	obs   clientMetrics
 	ctrl  *transport.Conn
 	udp   net.PacketConn
 	reasm *transport.Reassembler
@@ -202,6 +236,8 @@ func (c *runner) run() (*Result, error) {
 			c.tilesTotal++
 			c.bytesTotal += len(tile.Payload)
 			c.mu.Unlock()
+			c.obs.tiles.Inc()
+			c.obs.bytes.Add(uint64(len(tile.Payload)))
 		}
 
 		// Display pipeline. Tiles for server slot t are decoded during t+1
@@ -279,6 +315,7 @@ func (c *runner) displaySlot(slot uint32) {
 	if c.cfg.NackLost {
 		if lost := c.reasm.Incomplete(slot); len(lost) > 0 {
 			c.nacks += len(lost)
+			c.obs.nacks.Add(uint64(len(lost)))
 			_ = c.ctrl.Send(transport.Nack{User: c.cfg.User, Slot: slot, Tiles: lost})
 		}
 	}
@@ -297,6 +334,7 @@ func (c *runner) displaySlot(slot uint32) {
 	}
 	if len(released) > 0 {
 		c.releases += len(released)
+		c.obs.releases.Add(uint64(len(released)))
 		_ = c.ctrl.Send(transport.Release{User: c.cfg.User, Tiles: released})
 	}
 
@@ -315,6 +353,12 @@ func (c *runner) displaySlot(slot uint32) {
 
 	c.acc.Observe(level, covered && decodable, delayMs)
 	c.acc.ObserveFrame(displayed)
+	if displayed {
+		c.obs.displayed.Inc()
+	} else {
+		c.obs.missed.Inc()
+	}
+	c.obs.delayMs.Observe(delayMs)
 
 	_ = c.ctrl.Send(transport.TileACK{
 		User:      c.cfg.User,

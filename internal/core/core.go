@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"repro/internal/knapsack"
+	"repro/internal/obs"
 )
 
 // Params are the QoE weights of Section II and the size of the quality set.
@@ -88,14 +89,34 @@ func (p *SlotProblem) Validate(params Params) error {
 	return nil
 }
 
-// Objective evaluates h_n(q) of eq. (9) for one user at quality level q
-// (1-based) in slot t.
-func Objective(params Params, t int, u UserInput, q int) float64 {
+// Terms is the decomposition of h_n(q) into its three components:
+// h_n(q) = Quality - Delay - Variance (each term already weighted).
+type Terms struct {
+	Quality  float64 // delta_n * q
+	Delay    float64 // alpha * E[d_n(f^R(q))]
+	Variance float64 // beta * (weighted quality-switch variance)
+}
+
+// ObjectiveTerms evaluates the components of h_n(q) of eq. (9) for one user
+// at quality level q (1-based) in slot t — the per-slot objective terms the
+// flight recorder exports.
+func ObjectiveTerms(params Params, t int, u UserInput, q int) Terms {
 	tf := float64(t)
 	varWeight := (tf - 1) / tf
 	dq := float64(q) - u.MeanQ
 	variance := u.Delta*varWeight*dq*dq + (1-u.Delta)*varWeight*u.MeanQ*u.MeanQ
-	return u.Delta*float64(q) - params.Alpha*u.Delay[q-1] - params.Beta*variance
+	return Terms{
+		Quality:  u.Delta * float64(q),
+		Delay:    params.Alpha * u.Delay[q-1],
+		Variance: params.Beta * variance,
+	}
+}
+
+// Objective evaluates h_n(q) of eq. (9) for one user at quality level q
+// (1-based) in slot t.
+func Objective(params Params, t int, u UserInput, q int) float64 {
+	terms := ObjectiveTerms(params, t, u, q)
+	return terms.Quality - terms.Delay - terms.Variance
 }
 
 // Allocation is the outcome of one slot's quality allocation.
@@ -116,6 +137,44 @@ type Allocator interface {
 	Name() string
 	// Allocate solves one slot.
 	Allocate(params Params, p *SlotProblem) Allocation
+}
+
+// SlotTrace is the decision trace of one slot's allocation: which greedy
+// branch produced the returned solution and every quality_verification
+// rejection with the constraint it violated.
+type SlotTrace struct {
+	// Branch is "density" or "value" for Algorithm 1 (empty for allocators
+	// without a branch choice).
+	Branch string
+	// Upgrades counts the accepted upgrades of the returned pass.
+	Upgrades int
+	// Rejections lists the reverted upgrades of the returned pass.
+	Rejections []obs.Rejection
+}
+
+// TracingAllocator is an Allocator that can explain its decisions. The
+// greedy allocators implement it; exact solvers have nothing to trace.
+type TracingAllocator interface {
+	Allocator
+	// AllocateTraced solves one slot and fills tr (nil tr behaves like
+	// Allocate).
+	AllocateTraced(params Params, p *SlotProblem, tr *SlotTrace) Allocation
+}
+
+// fillTrace converts a knapsack pass trace into a slot trace.
+func fillTrace(tr *SlotTrace, branch string, pass knapsack.PassTrace) {
+	tr.Branch = branch
+	tr.Upgrades = pass.Upgrades
+	if len(pass.Rejections) > 0 {
+		tr.Rejections = make([]obs.Rejection, len(pass.Rejections))
+		for i, rej := range pass.Rejections {
+			tr.Rejections[i] = obs.Rejection{
+				User:       rej.Item,
+				Level:      rej.Level,
+				Constraint: rej.Reason.String(),
+			}
+		}
+	}
 }
 
 // toKnapsack lowers a slot problem into the generic nonlinear knapsack form.
@@ -151,6 +210,22 @@ func (DVGreedy) Allocate(params Params, p *SlotProblem) Allocation {
 	return fromKnapsack(toKnapsack(params, p).Combined())
 }
 
+// AllocateTraced implements TracingAllocator: the trace reflects the pass
+// (density or value) whose solution was returned.
+func (DVGreedy) AllocateTraced(params Params, p *SlotProblem, tr *SlotTrace) Allocation {
+	if tr == nil {
+		return DVGreedy{}.Allocate(params, p)
+	}
+	var kt knapsack.CombinedTrace
+	sol := toKnapsack(params, p).CombinedTraced(&kt)
+	pass := kt.Density
+	if kt.Picked == knapsack.BranchValue {
+		pass = kt.Value
+	}
+	fillTrace(tr, kt.Picked.String(), pass)
+	return fromKnapsack(sol)
+}
+
 // DensityOnly runs only the density-greedy pass (an ablation of
 // Algorithm 1).
 type DensityOnly struct{}
@@ -163,6 +238,17 @@ func (DensityOnly) Allocate(params Params, p *SlotProblem) Allocation {
 	return fromKnapsack(toKnapsack(params, p).DensityGreedy())
 }
 
+// AllocateTraced implements TracingAllocator.
+func (DensityOnly) AllocateTraced(params Params, p *SlotProblem, tr *SlotTrace) Allocation {
+	if tr == nil {
+		return DensityOnly{}.Allocate(params, p)
+	}
+	var pass knapsack.PassTrace
+	sol := toKnapsack(params, p).DensityGreedyTraced(&pass)
+	fillTrace(tr, knapsack.BranchDensity.String(), pass)
+	return fromKnapsack(sol)
+}
+
 // ValueOnly runs only the value-greedy pass (an ablation of Algorithm 1).
 type ValueOnly struct{}
 
@@ -172,6 +258,17 @@ func (ValueOnly) Name() string { return "value" }
 // Allocate implements Allocator.
 func (ValueOnly) Allocate(params Params, p *SlotProblem) Allocation {
 	return fromKnapsack(toKnapsack(params, p).ValueGreedy())
+}
+
+// AllocateTraced implements TracingAllocator.
+func (ValueOnly) AllocateTraced(params Params, p *SlotProblem, tr *SlotTrace) Allocation {
+	if tr == nil {
+		return ValueOnly{}.Allocate(params, p)
+	}
+	var pass knapsack.PassTrace
+	sol := toKnapsack(params, p).ValueGreedyTraced(&pass)
+	fillTrace(tr, knapsack.BranchValue.String(), pass)
+	return fromKnapsack(sol)
 }
 
 // Optimal solves each slot exactly by brute force; it is the "optimal
@@ -211,9 +308,12 @@ func FractionalUpperBound(params Params, p *SlotProblem) float64 {
 }
 
 var (
-	_ Allocator = DVGreedy{}
-	_ Allocator = DensityOnly{}
-	_ Allocator = ValueOnly{}
-	_ Allocator = Optimal{}
-	_ Allocator = DPOptimal{}
+	_ Allocator        = DVGreedy{}
+	_ Allocator        = DensityOnly{}
+	_ Allocator        = ValueOnly{}
+	_ Allocator        = Optimal{}
+	_ Allocator        = DPOptimal{}
+	_ TracingAllocator = DVGreedy{}
+	_ TracingAllocator = DensityOnly{}
+	_ TracingAllocator = ValueOnly{}
 )

@@ -213,3 +213,74 @@ func TestDVGreedyBeatsOrMatchesSinglePasses(t *testing.T) {
 		}
 	}
 }
+
+func TestObjectiveTermsDecomposition(t *testing.T) {
+	params := DefaultSimParams()
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		p := randomSlotProblem(rng, params, 3)
+		for _, u := range p.Users {
+			for q := 1; q <= params.Levels; q++ {
+				terms := ObjectiveTerms(params, p.T, u, q)
+				want := Objective(params, p.T, u, q)
+				if got := terms.Quality - terms.Delay - terms.Variance; math.Abs(got-want) > 1e-9 {
+					t.Fatalf("terms %+v sum to %v, Objective = %v", terms, got, want)
+				}
+				if terms.Delay < 0 || terms.Variance < 0 {
+					t.Fatalf("negative penalty terms: %+v", terms)
+				}
+			}
+		}
+	}
+}
+
+func TestAllocateTracedMatchesAllocate(t *testing.T) {
+	params := DefaultSimParams()
+	rng := rand.New(rand.NewSource(7))
+	allocs := []TracingAllocator{DVGreedy{}, DensityOnly{}, ValueOnly{}}
+	for trial := 0; trial < 30; trial++ {
+		p := randomSlotProblem(rng, params, 6)
+		for _, a := range allocs {
+			plain := a.Allocate(params, p)
+			var tr SlotTrace
+			traced := a.AllocateTraced(params, p, &tr)
+			if plain.Value != traced.Value || plain.Rate != traced.Rate {
+				t.Fatalf("%s: traced %+v != plain %+v", a.Name(), traced, plain)
+			}
+			// Also accept a nil trace.
+			nilTraced := a.AllocateTraced(params, p, nil)
+			if nilTraced.Value != plain.Value {
+				t.Fatalf("%s: nil-traced value differs", a.Name())
+			}
+		}
+	}
+}
+
+func TestDVGreedyTraceExplainsBranch(t *testing.T) {
+	params := DefaultSimParams()
+	rng := rand.New(rand.NewSource(3))
+	sawRejection := false
+	for trial := 0; trial < 200 && !sawRejection; trial++ {
+		p := randomSlotProblem(rng, params, 6)
+		var tr SlotTrace
+		DVGreedy{}.AllocateTraced(params, p, &tr)
+		if tr.Branch != "density" && tr.Branch != "value" {
+			t.Fatalf("branch = %q", tr.Branch)
+		}
+		for _, rej := range tr.Rejections {
+			sawRejection = true
+			if rej.Constraint != "user-cap" && rej.Constraint != "budget" {
+				t.Fatalf("rejection constraint = %q", rej.Constraint)
+			}
+			if rej.User < 0 || rej.User >= len(p.Users) {
+				t.Fatalf("rejection user out of range: %+v", rej)
+			}
+			if rej.Level < 2 || rej.Level > params.Levels {
+				t.Fatalf("rejection level out of range: %+v", rej)
+			}
+		}
+	}
+	if !sawRejection {
+		t.Error("no quality_verification rejection observed across 200 random slots")
+	}
+}

@@ -89,8 +89,75 @@ const (
 	byValue                         // v_n = dV
 )
 
+// RejectReason identifies the constraint a quality_verification check found
+// violated.
+type RejectReason uint8
+
+const (
+	// RejectItemCap is the per-item cap check f^R(q) > B_n(t).
+	RejectItemCap RejectReason = iota + 1
+	// RejectBudget is the shared-budget check sum f^R > B(t).
+	RejectBudget
+)
+
+// String names the violated constraint.
+func (r RejectReason) String() string {
+	switch r {
+	case RejectItemCap:
+		return "user-cap"
+	case RejectBudget:
+		return "budget"
+	default:
+		return "unknown"
+	}
+}
+
+// Rejection is one reverted upgrade: quality_verification refused moving
+// Item to Level because of Reason.
+type Rejection struct {
+	Item   int
+	Level  int // the attempted (refused) level, 1-based
+	Reason RejectReason
+}
+
+// PassTrace records one greedy pass's decision sequence: how many upgrades
+// were accepted and which were reverted by quality_verification.
+type PassTrace struct {
+	Upgrades   int
+	Rejections []Rejection
+}
+
+// Branch identifies which greedy pass Combined returned.
+type Branch uint8
+
+const (
+	BranchNone Branch = iota
+	BranchDensity
+	BranchValue
+)
+
+// String names the branch.
+func (b Branch) String() string {
+	switch b {
+	case BranchDensity:
+		return "density"
+	case BranchValue:
+		return "value"
+	default:
+		return ""
+	}
+}
+
+// CombinedTrace records both passes of Algorithm 1 and which one won.
+type CombinedTrace struct {
+	Density PassTrace
+	Value   PassTrace
+	Picked  Branch
+}
+
 // greedy runs one pass of Algorithm 1's loop with the given scoring rule.
-func (p *Problem) greedy(kind greedyKind) Solution {
+// tr, when non-nil, receives the pass's decision trace.
+func (p *Problem) greedy(kind greedyKind, tr *PassTrace) Solution {
 	sol := p.baseSolution()
 	active := make([]bool, len(p.Items))
 	numActive := 0
@@ -147,8 +214,17 @@ func (p *Problem) greedy(kind greedyKind) Solution {
 			active[best] = false
 			numActive--
 		}
-		if it.Weights[sol.Levels[best]-1] > it.Cap || sol.Weight > p.Budget {
+		capViolated := it.Weights[sol.Levels[best]-1] > it.Cap
+		if capViolated || sol.Weight > p.Budget {
 			// Revert the upgrade and retire the item.
+			if tr != nil {
+				reason := RejectBudget
+				if capViolated {
+					reason = RejectItemCap
+				}
+				tr.Rejections = append(tr.Rejections,
+					Rejection{Item: best, Level: sol.Levels[best], Reason: reason})
+			}
 			sol.Value -= it.Values[old] - it.Values[old-1]
 			sol.Weight -= it.Weights[old] - it.Weights[old-1]
 			sol.Levels[best] = old
@@ -156,6 +232,8 @@ func (p *Problem) greedy(kind greedyKind) Solution {
 				active[best] = false
 				numActive--
 			}
+		} else if tr != nil {
+			tr.Upgrades++
 		}
 	}
 	return sol
@@ -163,20 +241,42 @@ func (p *Problem) greedy(kind greedyKind) Solution {
 
 // DensityGreedy runs the density-greedy pass alone: repeatedly upgrade the
 // item with the largest value-per-rate increment.
-func (p *Problem) DensityGreedy() Solution { return p.greedy(byDensity) }
+func (p *Problem) DensityGreedy() Solution { return p.greedy(byDensity, nil) }
+
+// DensityGreedyTraced is DensityGreedy with a decision trace (nil tr is
+// allowed and traces nothing).
+func (p *Problem) DensityGreedyTraced(tr *PassTrace) Solution { return p.greedy(byDensity, tr) }
 
 // ValueGreedy runs the value-greedy pass alone: repeatedly upgrade the item
 // with the largest value increment.
-func (p *Problem) ValueGreedy() Solution { return p.greedy(byValue) }
+func (p *Problem) ValueGreedy() Solution { return p.greedy(byValue, nil) }
+
+// ValueGreedyTraced is ValueGreedy with a decision trace (nil tr is allowed
+// and traces nothing).
+func (p *Problem) ValueGreedyTraced(tr *PassTrace) Solution { return p.greedy(byValue, tr) }
 
 // Combined is Algorithm 1 of the paper: run both greedy passes and return
 // the better solution. By Theorem 1 its value is at least half the optimum
 // when values are concave and weights convex.
-func (p *Problem) Combined() Solution {
-	d := p.DensityGreedy()
-	v := p.ValueGreedy()
+func (p *Problem) Combined() Solution { return p.CombinedTraced(nil) }
+
+// CombinedTraced is Combined with a decision trace: both passes are traced
+// and Picked records which one was returned (nil tr traces nothing).
+func (p *Problem) CombinedTraced(tr *CombinedTrace) Solution {
+	var dtr, vtr *PassTrace
+	if tr != nil {
+		dtr, vtr = &tr.Density, &tr.Value
+	}
+	d := p.greedy(byDensity, dtr)
+	v := p.greedy(byValue, vtr)
 	if d.Value >= v.Value {
+		if tr != nil {
+			tr.Picked = BranchDensity
+		}
 		return d
+	}
+	if tr != nil {
+		tr.Picked = BranchValue
 	}
 	return v
 }

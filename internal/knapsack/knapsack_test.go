@@ -332,3 +332,81 @@ func TestFractionalBoundPartialUpgrade(t *testing.T) {
 		t.Errorf("fractional bound = %v, want 2", got)
 	}
 }
+
+func TestTracedPassesMatchUntraced(t *testing.T) {
+	p := paperCase2()
+	var tr CombinedTrace
+	traced := p.CombinedTraced(&tr)
+	plain := p.Combined()
+	if traced.Value != plain.Value || traced.Weight != plain.Weight {
+		t.Errorf("traced = %+v, plain = %+v", traced, plain)
+	}
+	if tr.Picked != BranchDensity && tr.Picked != BranchValue {
+		t.Errorf("no branch picked: %+v", tr)
+	}
+	if tr.Picked.String() != "density" && tr.Picked.String() != "value" {
+		t.Errorf("branch string = %q", tr.Picked.String())
+	}
+}
+
+func TestTraceRecordsBudgetRejection(t *testing.T) {
+	// Two identical items; the budget admits exactly one upgrade, so the
+	// second upgrade attempt must be reverted with a budget rejection.
+	p := &Problem{
+		Budget: 3,
+		Items: []Item{
+			{Values: []float64{1, 2}, Weights: []float64{1, 2}, Cap: 100},
+			{Values: []float64{1, 2}, Weights: []float64{1, 2}, Cap: 100},
+		},
+	}
+	var tr PassTrace
+	sol := p.DensityGreedyTraced(&tr)
+	if sol.Weight > p.Budget {
+		t.Fatalf("infeasible solution: %+v", sol)
+	}
+	if tr.Upgrades != 1 {
+		t.Errorf("upgrades = %d, want 1", tr.Upgrades)
+	}
+	if len(tr.Rejections) != 1 {
+		t.Fatalf("rejections = %+v, want exactly one", tr.Rejections)
+	}
+	rej := tr.Rejections[0]
+	if rej.Reason != RejectBudget || rej.Level != 2 {
+		t.Errorf("rejection = %+v, want budget at level 2", rej)
+	}
+	if rej.Reason.String() != "budget" {
+		t.Errorf("reason string = %q", rej.Reason.String())
+	}
+}
+
+func TestTraceRecordsCapRejection(t *testing.T) {
+	// Ample shared budget but a tight per-item cap: the upgrade fails the
+	// B_n check.
+	p := &Problem{
+		Budget: 100,
+		Items: []Item{
+			{Values: []float64{1, 2}, Weights: []float64{1, 5}, Cap: 2},
+		},
+	}
+	var tr PassTrace
+	sol := p.ValueGreedyTraced(&tr)
+	if sol.Levels[0] != 1 {
+		t.Fatalf("cap-violating upgrade kept: %+v", sol)
+	}
+	if tr.Upgrades != 0 || len(tr.Rejections) != 1 {
+		t.Fatalf("trace = %+v", tr)
+	}
+	if got := tr.Rejections[0]; got.Reason != RejectItemCap || got.Reason.String() != "user-cap" {
+		t.Errorf("rejection = %+v, want user-cap", got)
+	}
+}
+
+func TestTraceNilIsAccepted(t *testing.T) {
+	p := paperCase2()
+	a := p.CombinedTraced(nil)
+	b := p.DensityGreedyTraced(nil)
+	c := p.ValueGreedyTraced(nil)
+	if a.Value < b.Value || a.Value < c.Value {
+		t.Errorf("combined %v below a pass (%v, %v)", a.Value, b.Value, c.Value)
+	}
+}

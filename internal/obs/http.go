@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// MetricsHandler serves the registry in Prometheus text exposition format
+// (a nil registry serves an empty body).
+func MetricsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// slotsResponse is the /debug/slots JSON document.
+type slotsResponse struct {
+	Summary Summary      `json:"summary"`
+	Recent  []SlotRecord `json:"recent"`
+}
+
+// SlotsHandler serves the recorder's summary and its most recent records as
+// JSON. The `n` query parameter bounds the record count (default 64).
+func SlotsHandler(rec *Recorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		n := 64
+		if s := req.URL.Query().Get("n"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v < 0 {
+				http.Error(w, "bad n", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		w.Header().Set("Content-Type", "application/json")
+		resp := slotsResponse{Summary: rec.Summary(), Recent: rec.Recent(n)}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(resp)
+	})
+}
+
+// NewMux returns an http.ServeMux with the standard observability routes:
+// /metrics (Prometheus text) and /debug/slots (flight-recorder JSON).
+func NewMux(r *Registry, rec *Recorder) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", MetricsHandler(r))
+	mux.Handle("/debug/slots", SlotsHandler(rec))
+	return mux
+}

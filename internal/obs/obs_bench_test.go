@@ -1,0 +1,64 @@
+package obs
+
+// The disabled observability path must be free: a nil registry hands out
+// nil instruments and a nil recorder refuses records, all without
+// allocating. `go test -bench=Disabled -benchmem ./internal/obs` must show
+// 0 allocs/op for every benchmark in this file; TestDisabledPathAllocationFree
+// enforces the same bound in the regular test run.
+
+import "testing"
+
+func BenchmarkDisabledCounterInc(b *testing.B) {
+	var r *Registry
+	c := r.Counter("collabvr_server_slots_total")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkDisabledGaugeSet(b *testing.B) {
+	var r *Registry
+	g := r.Gauge("collabvr_server_sessions_active")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Set(float64(i))
+	}
+}
+
+func BenchmarkDisabledHistogramObserve(b *testing.B) {
+	var r *Registry
+	h := r.Histogram("collabvr_server_slot_decision_ms", DefaultLatencyBuckets())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i % 100))
+	}
+}
+
+func BenchmarkDisabledRecorderRecord(b *testing.B) {
+	var rec *Recorder
+	r := &SlotRecord{Algorithm: "proposed", Levels: []int{1, 2, 3, 4, 5}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rec.Enabled() {
+			b.Fatal("nil recorder enabled")
+		}
+		rec.Record(r)
+	}
+}
+
+// BenchmarkEnabledCounterInc is the enabled baseline for comparison: one
+// atomic add, still allocation-free.
+func BenchmarkEnabledCounterInc(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("collabvr_server_slots_total")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}

@@ -1,0 +1,295 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Constraint names of a quality_verification rejection, matching the two
+// feasibility checks of Algorithm 1: the per-user budget B_n(t) and the
+// shared slot budget B(t).
+const (
+	ConstraintUserCap = "user-cap"
+	ConstraintBudget  = "budget"
+)
+
+// Rejection is one quality_verification failure: the upgrade of one user to
+// one level was reverted because it violated a constraint.
+type Rejection struct {
+	User       int    `json:"user"`
+	Level      int    `json:"level"`
+	Constraint string `json:"constraint"`
+}
+
+// SlotRecord is one flight-recorder entry: everything one allocation slot
+// decided for one algorithm, and (when an offline optimum ran over the same
+// inputs) how far the decision landed from it.
+type SlotRecord struct {
+	Algorithm  string  `json:"algorithm"`
+	Run        int     `json:"run"`
+	Slot       int     `json:"slot"`
+	Levels     []int   `json:"levels"`
+	Value      float64 `json:"value"`
+	RateMbps   float64 `json:"rate_mbps"`
+	BudgetMbps float64 `json:"budget_mbps"`
+	// Utilization is RateMbps/BudgetMbps, the slot's budget utilization.
+	Utilization float64 `json:"utilization"`
+	// Branch is the greedy branch the combined algorithm returned
+	// ("density" or "value"); empty for non-greedy allocators.
+	Branch string `json:"branch,omitempty"`
+	// Upgrades counts the accepted quality upgrades of the returned pass.
+	Upgrades   int         `json:"upgrades"`
+	Rejections []Rejection `json:"rejections,omitempty"`
+	// Objective decomposition (eq. (9)) of the chosen allocation:
+	// Value = QualityTerm - DelayTerm - VarianceTerm.
+	QualityTerm  float64 `json:"quality_term"`
+	DelayTerm    float64 `json:"delay_term"`
+	VarianceTerm float64 `json:"variance_term"`
+	// Regret is max(0, OptimalValue-Value); meaningful only when HasRegret
+	// is set (an offline optimum ran over the same slot inputs).
+	OptimalValue float64 `json:"optimal_value,omitempty"`
+	Regret       float64 `json:"regret"`
+	HasRegret    bool    `json:"has_regret"`
+}
+
+// RecorderOptions configures a Recorder.
+type RecorderOptions struct {
+	// RingSize bounds the in-memory record ring served by /debug/slots
+	// (default 256; the ring holds the most recent records).
+	RingSize int
+	// Writer, when non-nil, receives every record as one JSON line.
+	Writer io.Writer
+}
+
+// regretBuckets spans the objective scale of the paper's instances (per-slot
+// h_n sums in the low tens).
+var regretBuckets = []float64{0, 0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25}
+
+// utilizationBuckets cover budget utilization 0..1+.
+var utilizationBuckets = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1}
+
+// algAgg is the running aggregation of one algorithm's records.
+type algAgg struct {
+	slots       int
+	valueSum    float64
+	utilHist    *Histogram
+	upgrades    uint64
+	rejections  map[string]uint64
+	regretSlots int
+	regretSum   float64
+	regretMax   float64
+	regretHist  *Histogram
+}
+
+// Recorder is the concurrency-safe decision flight recorder. A nil
+// *Recorder is the disabled recorder: Enabled reports false and Record is
+// an allocation-free no-op.
+type Recorder struct {
+	mu       sync.Mutex
+	ring     []SlotRecord
+	next     int
+	full     bool
+	enc      *json.Encoder
+	writeErr error
+	aggs     map[string]*algAgg
+	order    []string // algorithm names in first-seen order
+	records  uint64
+}
+
+// NewRecorder builds a recorder.
+func NewRecorder(opts RecorderOptions) *Recorder {
+	if opts.RingSize <= 0 {
+		opts.RingSize = 256
+	}
+	r := &Recorder{
+		ring: make([]SlotRecord, opts.RingSize),
+		aggs: make(map[string]*algAgg),
+	}
+	if opts.Writer != nil {
+		r.enc = json.NewEncoder(opts.Writer)
+	}
+	return r
+}
+
+// Enabled reports whether records will be kept. Use it to skip building a
+// SlotRecord on the disabled path.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Record ingests one slot record (copied; the caller may reuse rec).
+func (r *Recorder) Record(rec *SlotRecord) {
+	if r == nil || rec == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.records++
+
+	r.ring[r.next] = *rec
+	r.next++
+	if r.next == len(r.ring) {
+		r.next = 0
+		r.full = true
+	}
+
+	agg := r.aggs[rec.Algorithm]
+	if agg == nil {
+		agg = &algAgg{
+			rejections: make(map[string]uint64),
+			regretHist: NewHistogram(regretBuckets),
+			utilHist:   NewHistogram(utilizationBuckets),
+		}
+		r.aggs[rec.Algorithm] = agg
+		r.order = append(r.order, rec.Algorithm)
+	}
+	agg.slots++
+	agg.valueSum += rec.Value
+	agg.utilHist.Observe(rec.Utilization)
+	agg.upgrades += uint64(rec.Upgrades)
+	for _, rej := range rec.Rejections {
+		agg.rejections[rej.Constraint]++
+	}
+	if rec.HasRegret {
+		agg.regretSlots++
+		agg.regretSum += rec.Regret
+		if rec.Regret > agg.regretMax {
+			agg.regretMax = rec.Regret
+		}
+		agg.regretHist.Observe(rec.Regret)
+	}
+
+	if r.enc != nil && r.writeErr == nil {
+		r.writeErr = r.enc.Encode(rec)
+	}
+}
+
+// Err returns the first JSONL write error, if any.
+func (r *Recorder) Err() error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.writeErr
+}
+
+// Records returns the total number of records ingested.
+func (r *Recorder) Records() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.records
+}
+
+// Recent returns up to n of the most recent records, oldest first.
+func (r *Recorder) Recent(n int) []SlotRecord {
+	if r == nil || n <= 0 {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	size := r.next
+	if r.full {
+		size = len(r.ring)
+	}
+	if n > size {
+		n = size
+	}
+	out := make([]SlotRecord, n)
+	for i := 0; i < n; i++ {
+		idx := (r.next - n + i + len(r.ring)) % len(r.ring)
+		out[i] = r.ring[idx]
+	}
+	return out
+}
+
+// AlgorithmSummary aggregates one algorithm's records.
+type AlgorithmSummary struct {
+	Name            string  `json:"algorithm"`
+	Slots           int     `json:"slots"`
+	MeanValue       float64 `json:"mean_value"`
+	MeanUtilization float64 `json:"mean_utilization"`
+	P90Utilization  float64 `json:"p90_utilization"`
+	Upgrades        uint64  `json:"upgrades"`
+	// RejectsUserCap and RejectsBudget split the quality_verification
+	// rejections by violated constraint.
+	RejectsUserCap uint64 `json:"rejects_user_cap"`
+	RejectsBudget  uint64 `json:"rejects_budget"`
+	// Regret statistics versus the offline optimum (RegretSlots == 0 when
+	// no optimum ran alongside).
+	RegretSlots int     `json:"regret_slots"`
+	MeanRegret  float64 `json:"mean_regret"`
+	MaxRegret   float64 `json:"max_regret"`
+	P50Regret   float64 `json:"p50_regret"`
+	P90Regret   float64 `json:"p90_regret"`
+	P99Regret   float64 `json:"p99_regret"`
+}
+
+// Summary is the end-of-run aggregation of every record seen.
+type Summary struct {
+	Records    uint64             `json:"records"`
+	Algorithms []AlgorithmSummary `json:"algorithms"`
+}
+
+// Summary computes the aggregation so far.
+func (r *Recorder) Summary() Summary {
+	if r == nil {
+		return Summary{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Summary{Records: r.records}
+	names := append([]string(nil), r.order...)
+	sort.Strings(names)
+	for _, name := range names {
+		agg := r.aggs[name]
+		as := AlgorithmSummary{
+			Name:           name,
+			Slots:          agg.slots,
+			Upgrades:       agg.upgrades,
+			RejectsUserCap: agg.rejections[ConstraintUserCap],
+			RejectsBudget:  agg.rejections[ConstraintBudget],
+			RegretSlots:    agg.regretSlots,
+			MaxRegret:      agg.regretMax,
+		}
+		if agg.slots > 0 {
+			as.MeanValue = agg.valueSum / float64(agg.slots)
+			as.MeanUtilization = agg.utilHist.Mean()
+			as.P90Utilization = agg.utilHist.Quantile(0.9)
+		}
+		if agg.regretSlots > 0 {
+			as.MeanRegret = agg.regretSum / float64(agg.regretSlots)
+			as.P50Regret = agg.regretHist.Quantile(0.5)
+			as.P90Regret = agg.regretHist.Quantile(0.9)
+			as.P99Regret = agg.regretHist.Quantile(0.99)
+		}
+		s.Algorithms = append(s.Algorithms, as)
+	}
+	return s
+}
+
+// Format renders the summary as the end-of-run report table.
+func (s Summary) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# trace summary: %d records\n", s.Records)
+	fmt.Fprintf(&b, "%-10s %8s %9s %12s %11s %10s %8s %12s %10s %10s %10s\n",
+		"algorithm", "slots", "upgrades", "rej(capB_n)", "rej(budB)", "mean-util", "p90-util",
+		"mean-regret", "max-regret", "p90-regret", "p99-regret")
+	for _, a := range s.Algorithms {
+		fmt.Fprintf(&b, "%-10s %8d %9d %12d %11d %10.3f %8.3f ",
+			a.Name, a.Slots, a.Upgrades, a.RejectsUserCap, a.RejectsBudget,
+			a.MeanUtilization, a.P90Utilization)
+		if a.RegretSlots > 0 {
+			fmt.Fprintf(&b, "%12.5f %10.5f %10.5f %10.5f\n",
+				a.MeanRegret, a.MaxRegret, a.P90Regret, a.P99Regret)
+		} else {
+			fmt.Fprintf(&b, "%12s %10s %10s %10s\n", "-", "-", "-", "-")
+		}
+	}
+	return b.String()
+}

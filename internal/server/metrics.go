@@ -1,0 +1,109 @@
+package server
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/transport"
+)
+
+// serverMetrics bundles the server's observability instruments. All fields
+// are nil-safe: built from a nil registry every instrument is nil and every
+// operation is an allocation-free no-op, so the hot path pays only pointer
+// checks when observability is disabled.
+type serverMetrics struct {
+	sessionsJoined *obs.Counter
+	sessionsActive *obs.Gauge
+
+	slots        *obs.Counter
+	deadlineMiss *obs.Counter
+	acks         *obs.Counter
+	nacks        *obs.Counter
+	nackTiles    *obs.Counter
+	retransmits  *obs.Counter
+	tilesSent    *obs.Counter
+	tilesSkipped *obs.Counter
+
+	txPackets *obs.Counter
+	txBytes   *obs.Counter
+	txDropped *obs.Counter
+
+	capEstRelErr   *obs.Histogram
+	slotDecisionMs *obs.Histogram
+	allocLevel     *obs.Histogram
+}
+
+// newServerMetrics registers the server's instruments; a nil registry
+// yields all-nil (disabled) instruments.
+func newServerMetrics(r *obs.Registry) serverMetrics {
+	return serverMetrics{
+		sessionsJoined: r.Counter("collabvr_server_sessions_joined_total"),
+		sessionsActive: r.Gauge("collabvr_server_sessions_active"),
+		slots:          r.Counter("collabvr_server_slots_total"),
+		deadlineMiss:   r.Counter("collabvr_server_slot_deadline_miss_total"),
+		acks:           r.Counter("collabvr_server_acks_total"),
+		nacks:          r.Counter("collabvr_server_nacks_total"),
+		nackTiles:      r.Counter("collabvr_server_nack_tiles_total"),
+		retransmits:    r.Counter("collabvr_server_retransmit_tiles_total"),
+		tilesSent:      r.Counter("collabvr_server_tiles_sent_total"),
+		tilesSkipped:   r.Counter("collabvr_server_tiles_skipped_total"),
+		txPackets:      r.Counter("collabvr_server_tx_packets_total"),
+		txBytes:        r.Counter("collabvr_server_tx_bytes_total"),
+		txDropped:      r.Counter("collabvr_server_tx_dropped_total"),
+		// Relative capacity-estimate error |est-measured|/measured.
+		capEstRelErr: r.Histogram("collabvr_server_cap_estimate_rel_error",
+			obs.ExponentialBuckets(0.01, 2, 10)),
+		slotDecisionMs: r.Histogram("collabvr_server_slot_decision_ms",
+			obs.DefaultLatencyBuckets()),
+		allocLevel: r.Histogram("collabvr_server_alloc_level",
+			obs.LinearBuckets(1, 1, 8)),
+	}
+}
+
+// instrumentSender attaches the shared transmit counters to a session's
+// sender.
+func (m *serverMetrics) instrumentSender(s *transport.Sender) {
+	s.Instrument(m.txPackets, m.txBytes, m.txDropped)
+}
+
+// recordSlot feeds one slot's decision into the flight recorder. The server
+// has no co-running optimal, so records carry no regret; the trace still
+// explains every greedy decision (branch, upgrades, rejections).
+func recordSlot(rec *obs.Recorder, name string, params core.Params, slot uint32,
+	problem *core.SlotProblem, alloc core.Allocation, tr *core.SlotTrace) {
+	if !rec.Enabled() {
+		return
+	}
+	r := obs.SlotRecord{
+		Algorithm:  name,
+		Slot:       int(slot),
+		Levels:     alloc.Levels,
+		Value:      alloc.Value,
+		RateMbps:   alloc.Rate,
+		BudgetMbps: problem.Budget,
+	}
+	if problem.Budget > 0 {
+		r.Utilization = alloc.Rate / problem.Budget
+	}
+	if tr != nil {
+		r.Branch = tr.Branch
+		r.Upgrades = tr.Upgrades
+		r.Rejections = tr.Rejections
+	}
+	for i, u := range problem.Users {
+		terms := core.ObjectiveTerms(params, problem.T, u, alloc.Levels[i])
+		r.QualityTerm += terms.Quality
+		r.DelayTerm += terms.Delay
+		r.VarianceTerm += terms.Variance
+	}
+	rec.Record(&r)
+}
+
+// observeDecision records slot pipeline timing and deadline misses.
+func (m *serverMetrics) observeDecision(elapsed, slotDuration time.Duration) {
+	m.slotDecisionMs.Observe(float64(elapsed) / float64(time.Millisecond))
+	if elapsed > slotDuration {
+		m.deadlineMiss.Inc()
+	}
+}

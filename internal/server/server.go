@@ -19,6 +19,7 @@ import (
 	"repro/internal/estimate"
 	"repro/internal/motion"
 	"repro/internal/netem"
+	"repro/internal/obs"
 	"repro/internal/tiles"
 	"repro/internal/transport"
 	"repro/internal/vrmath"
@@ -68,6 +69,12 @@ type Config struct {
 	UDPAddr string
 	// Logf receives diagnostics; nil silences them.
 	Logf func(format string, args ...any)
+	// Metrics receives the server's counters/gauges/histograms; nil
+	// disables metrics with near-zero overhead.
+	Metrics *obs.Registry
+	// Recorder receives one decision record per allocation slot; nil
+	// disables the flight recorder with near-zero overhead.
+	Recorder *obs.Recorder
 }
 
 // DefaultConfig returns a server configuration with the paper's real-system
@@ -102,9 +109,10 @@ type UserStats struct {
 
 // Server is the edge server.
 type Server struct {
-	cfg   Config
-	model *tiles.SizeModel
-	store *tiles.Store
+	cfg     Config
+	model   *tiles.SizeModel
+	store   *tiles.Store
+	metrics serverMetrics
 
 	udp   net.PacketConn
 	tcpLn net.Listener
@@ -255,6 +263,7 @@ func New(cfg Config) (*Server, error) {
 	model := tiles.NewSizeModel(cfg.SizeModelSeed)
 	s := &Server{
 		cfg:      cfg,
+		metrics:  newServerMetrics(cfg.Metrics),
 		model:    model,
 		store:    tiles.NewStore(model, cfg.CacheTiles, 1/cfg.SlotDuration.Seconds()),
 		udp:      udp,
@@ -409,6 +418,7 @@ func (s *Server) handleConn(ctrl *transport.Conn) {
 		allocated: make(map[uint32]allocRecord),
 		sendCh:    make(chan []tileJob, 32),
 	}
+	s.metrics.instrumentSender(sess.sender)
 
 	s.mu.Lock()
 	if s.closed {
@@ -419,9 +429,12 @@ func (s *Server) handleConn(ctrl *transport.Conn) {
 	s.sessions[hello.User] = sess
 	s.mu.Unlock()
 	s.cfg.Logf("server: user %d joined from %s", hello.User, hello.UDPAddr)
+	s.metrics.sessionsJoined.Inc()
+	s.metrics.sessionsActive.Add(1)
 
 	go sess.sendLoop()
 	s.controlLoop(sess)
+	s.metrics.sessionsActive.Add(-1)
 }
 
 // sendLoop transmits one slot's tile batch at a time, absorbing the
@@ -464,6 +477,7 @@ func (s *Server) controlLoop(sess *session) {
 
 // handleACK folds client feedback into the estimators and the QoE state.
 func (s *Server) handleACK(sess *session, ack transport.TileACK) {
+	s.metrics.acks.Inc()
 	for _, id := range ack.Tiles {
 		sess.ledger.MarkDelivered(id)
 	}
@@ -476,6 +490,15 @@ func (s *Server) handleACK(sess *session, ack transport.TileACK) {
 	// actual capacity.
 	if ack.DelayMs > 0.2 && ack.Bytes > 0 {
 		mbps := float64(ack.Bytes) * 8 / (ack.DelayMs / 1000) / 1e6
+		// Capacity-estimate error: how far the estimate the allocator
+		// used was from the goodput the slot actually measured.
+		if prior := sess.capEstimateLocked(s.cfg.InitialUserMbps); prior > 0 {
+			rel := (prior - mbps) / mbps
+			if rel < 0 {
+				rel = -rel
+			}
+			s.metrics.capEstRelErr.Observe(rel)
+		}
 		sess.ema.Update(mbps)
 		if len(sess.capSamples) < capWindow {
 			sess.capSamples = append(sess.capSamples, mbps)
@@ -515,6 +538,8 @@ func (s *Server) handleACK(sess *session, ack transport.TileACK) {
 // handleNack retransmits tiles the client reported as fragment-lost (the
 // Discussion-section loss-handling extension; enabled by RetransmitOnNack).
 func (s *Server) handleNack(sess *session, nack transport.Nack) {
+	s.metrics.nacks.Inc()
+	s.metrics.nackTiles.Add(uint64(len(nack.Tiles)))
 	if !s.cfg.RetransmitOnNack {
 		return
 	}
@@ -537,6 +562,7 @@ func (s *Server) handleNack(sess *session, nack transport.Nack) {
 	sess.mu.Lock()
 	sess.retransmits += len(batch)
 	sess.mu.Unlock()
+	s.metrics.retransmits.Add(uint64(len(batch)))
 	sess.enqueue(batch)
 }
 
@@ -605,6 +631,8 @@ func (s *Server) slotLoop() {
 
 // runSlot predicts, allocates and dispatches one slot.
 func (s *Server) runSlot(slot uint32, sessions []*session) {
+	started := time.Now()
+	s.metrics.slots.Inc()
 	slotMs := s.cfg.SlotDuration.Seconds() * 1000
 	type plan struct {
 		sess  *session
@@ -642,10 +670,21 @@ func (s *Server) runSlot(slot uint32, sessions []*session) {
 	}
 
 	problem := &core.SlotProblem{T: int(slot) + 1, Budget: s.cfg.BudgetMbps, Users: users}
-	allocation := s.cfg.Allocator.Allocate(s.cfg.Params, problem)
+	var allocation core.Allocation
+	var slotTrace *core.SlotTrace
+	if tracer, ok := s.cfg.Allocator.(core.TracingAllocator); ok && s.cfg.Recorder.Enabled() {
+		slotTrace = &core.SlotTrace{}
+		allocation = tracer.AllocateTraced(s.cfg.Params, problem, slotTrace)
+	} else {
+		allocation = s.cfg.Allocator.Allocate(s.cfg.Params, problem)
+	}
+	recordSlot(s.cfg.Recorder, s.cfg.Allocator.Name(), s.cfg.Params, slot,
+		problem, allocation, slotTrace)
+	s.metrics.observeDecision(time.Since(started), s.cfg.SlotDuration)
 
 	for i, p := range plans {
 		level := allocation.Levels[i]
+		s.metrics.allocLevel.Observe(float64(level))
 		var batch []tileJob
 		skipped := 0
 		for _, tile := range p.sel {
@@ -667,6 +706,8 @@ func (s *Server) runSlot(slot uint32, sessions []*session) {
 		p.sess.tilesSent += len(batch)
 		p.sess.tilesSkipped += skipped
 		p.sess.mu.Unlock()
+		s.metrics.tilesSent.Add(uint64(len(batch)))
+		s.metrics.tilesSkipped.Add(uint64(skipped))
 
 		if s.prefetchCh != nil {
 			select {

@@ -19,6 +19,7 @@ import (
 	"repro/internal/motion"
 	"repro/internal/netem"
 	"repro/internal/nettrace"
+	"repro/internal/obs"
 	"repro/internal/tiles"
 )
 
@@ -52,6 +53,12 @@ type Config struct {
 	// EstimateNoise is the relative std-dev of each throughput sample fed
 	// to the estimator (only with EstimateAlpha > 0).
 	EstimateNoise float64
+	// Recorder, when non-nil, receives one obs.SlotRecord per (slot,
+	// algorithm): chosen levels, greedy branch, quality_verification
+	// rejections, budget utilization, objective terms, and — when the
+	// brute-force optimum runs in the same campaign — per-slot regret
+	// versus it. Nil disables tracing with near-zero overhead.
+	Recorder *obs.Recorder
 }
 
 // DefaultConfig returns the paper's simulation parameters for n users.
@@ -240,16 +247,55 @@ func simulateOneRun(cfg Config, slots, run int, algorithms []AlgorithmFactory) (
 
 	budget := cfg.ServerMbpsPerUser * float64(cfg.Users)
 	out := make([]*Result, len(algorithms))
+	records := make([][]obs.SlotRecord, len(algorithms))
 	for i, factory := range algorithms {
-		out[i] = replayAlgorithm(cfg, slots, budget, inputs, factory, seed)
+		out[i], records[i] = replayAlgorithm(cfg, slots, budget, inputs, factory, seed, run)
 	}
+	emitRecords(cfg, algorithms, records)
 	return out, nil
 }
 
+// emitRecords joins per-algorithm slot records against the offline optimum
+// (when it ran) to fill the regret field, then hands everything to the
+// recorder.
+func emitRecords(cfg Config, algorithms []AlgorithmFactory, records [][]obs.SlotRecord) {
+	if !cfg.Recorder.Enabled() {
+		return
+	}
+	optIdx := -1
+	for i, f := range algorithms {
+		if f.Name == "optimal" {
+			optIdx = i
+		}
+	}
+	for i := range records {
+		for j := range records[i] {
+			rec := &records[i][j]
+			if optIdx >= 0 {
+				opt := records[optIdx][j].Value
+				rec.OptimalValue = opt
+				rec.HasRegret = true
+				if r := opt - rec.Value; r > 0 {
+					rec.Regret = r
+				}
+			}
+			cfg.Recorder.Record(rec)
+		}
+	}
+}
+
 // replayAlgorithm runs one allocator over the precomputed inputs and
-// collects per-user metrics.
-func replayAlgorithm(cfg Config, slots int, budget float64, inputs [][]slotInput, factory AlgorithmFactory, seed int64) *Result {
+// collects per-user metrics. With a recorder attached it also returns one
+// flight-recorder record per slot (regret is filled in later by
+// emitRecords, once the optimum's values are known).
+func replayAlgorithm(cfg Config, slots int, budget float64, inputs [][]slotInput, factory AlgorithmFactory, seed int64, run int) (*Result, []obs.SlotRecord) {
 	alloc := factory.New()
+	recording := cfg.Recorder.Enabled()
+	tracer, canTrace := alloc.(core.TracingAllocator)
+	var records []obs.SlotRecord
+	if recording {
+		records = make([]obs.SlotRecord, 0, slots)
+	}
 	tracker := core.NewTracker(cfg.Params, cfg.Users, 1)
 	acc := make([]*metrics.UserQoE, cfg.Users)
 	qoeParams := metrics.QoEParams{Alpha: cfg.Params.Alpha, Beta: cfg.Params.Beta}
@@ -293,7 +339,17 @@ func replayAlgorithm(cfg Config, slots int, budget float64, inputs [][]slotInput
 				netem.DelayTableMs(in.rates, seenCap, slotMs), seenCap)
 		}
 		problem := &core.SlotProblem{T: s + 1, Budget: budget, Users: users}
-		allocation := alloc.Allocate(cfg.Params, problem)
+		var allocation core.Allocation
+		var slotTrace *core.SlotTrace
+		if recording && canTrace {
+			slotTrace = &core.SlotTrace{}
+			allocation = tracer.AllocateTraced(cfg.Params, problem, slotTrace)
+		} else {
+			allocation = alloc.Allocate(cfg.Params, problem)
+		}
+		if recording {
+			records = append(records, slotRecord(cfg, factory.Name, run, s, budget, problem, allocation, slotTrace))
+		}
 		for u := 0; u < cfg.Users; u++ {
 			in := inputs[u][s]
 			q := allocation.Levels[u]
@@ -321,5 +377,33 @@ func replayAlgorithm(cfg Config, slots int, budget float64, inputs [][]slotInput
 		res.Variance = append(res.Variance, acc[u].Variance())
 	}
 	res.Fairness = []float64{metrics.JainIndex(res.QoE)}
-	return res
+	return res, records
+}
+
+// slotRecord builds one flight-recorder entry for a decided slot.
+func slotRecord(cfg Config, name string, run, s int, budget float64, problem *core.SlotProblem, allocation core.Allocation, tr *core.SlotTrace) obs.SlotRecord {
+	rec := obs.SlotRecord{
+		Algorithm:  name,
+		Run:        run,
+		Slot:       s,
+		Levels:     allocation.Levels,
+		Value:      allocation.Value,
+		RateMbps:   allocation.Rate,
+		BudgetMbps: budget,
+	}
+	if budget > 0 {
+		rec.Utilization = allocation.Rate / budget
+	}
+	if tr != nil {
+		rec.Branch = tr.Branch
+		rec.Upgrades = tr.Upgrades
+		rec.Rejections = tr.Rejections
+	}
+	for u, q := range allocation.Levels {
+		terms := core.ObjectiveTerms(cfg.Params, problem.T, problem.Users[u], q)
+		rec.QualityTerm += terms.Quality
+		rec.DelayTerm += terms.Delay
+		rec.VarianceTerm += terms.Variance
+	}
+	return rec
 }

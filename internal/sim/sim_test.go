@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 // smallConfig keeps tests fast: 3 users, 5 seconds, 3 runs.
@@ -182,4 +183,103 @@ func indexResults(results []*Result) map[string]*Result {
 		m[r.Name] = r
 	}
 	return m
+}
+
+func TestRecorderCapturesEverySlotWithRegret(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Users = 5
+	cfg.Seconds = 2
+	cfg.Runs = 2
+	cfg.IncludeOptimal = true
+	rec := obs.NewRecorder(obs.RecorderOptions{RingSize: 16})
+	cfg.Recorder = rec
+
+	algs := StandardAlgorithms(true)
+	if _, err := Run(cfg, algs); err != nil {
+		t.Fatal(err)
+	}
+
+	slots := int(cfg.Seconds * cfg.SlotsPerSecond)
+	want := uint64(slots * cfg.Runs * len(algs))
+	if got := rec.Records(); got != want {
+		t.Fatalf("records = %d, want %d (one per slot per algorithm per run)", got, want)
+	}
+
+	s := rec.Summary()
+	if len(s.Algorithms) != len(algs) {
+		t.Fatalf("summary algorithms = %d, want %d", len(s.Algorithms), len(algs))
+	}
+	byName := map[string]obs.AlgorithmSummary{}
+	for _, a := range s.Algorithms {
+		byName[a.Name] = a
+	}
+	for _, a := range s.Algorithms {
+		if a.Slots != slots*cfg.Runs {
+			t.Errorf("%s slots = %d, want %d", a.Name, a.Slots, slots*cfg.Runs)
+		}
+		// Every slot ran alongside the optimum, so regret is defined and
+		// nonnegative everywhere.
+		if a.RegretSlots != a.Slots {
+			t.Errorf("%s regret slots = %d, want %d", a.Name, a.RegretSlots, a.Slots)
+		}
+		if a.MeanRegret < 0 || a.MaxRegret < a.MeanRegret {
+			t.Errorf("%s regret stats inconsistent: %+v", a.Name, a)
+		}
+	}
+	opt, prop := byName["optimal"], byName["proposed"]
+	if opt.MeanRegret > 1e-9 || opt.MaxRegret > 1e-9 {
+		t.Errorf("optimal has nonzero regret: %+v", opt)
+	}
+	// Theorem 1: Algorithm 1 achieves at least half the optimum, so its
+	// mean regret cannot exceed half the optimum's mean value.
+	if opt.MeanValue > 0 && prop.MeanRegret > 0.5*opt.MeanValue {
+		t.Errorf("proposed mean regret %v breaks the 1/2-approximation bound (optimal mean value %v)",
+			prop.MeanRegret, opt.MeanValue)
+	}
+	if prop.Upgrades == 0 {
+		t.Error("proposed recorded no accepted upgrades")
+	}
+	if prop.RejectsUserCap+prop.RejectsBudget == 0 {
+		t.Error("proposed recorded no quality_verification rejections")
+	}
+
+	// Spot-check record structure off the ring.
+	for _, r := range rec.Recent(16) {
+		if len(r.Levels) != cfg.Users {
+			t.Fatalf("record levels = %v, want %d entries", r.Levels, cfg.Users)
+		}
+		if r.Utilization < 0 || r.Utilization > 1+1e-9 {
+			t.Errorf("utilization = %v outside [0,1]", r.Utilization)
+		}
+		if !r.HasRegret || r.Regret < 0 {
+			t.Errorf("record regret = %+v", r)
+		}
+		if r.Algorithm == "proposed" && r.Branch != "density" && r.Branch != "value" {
+			t.Errorf("proposed record branch = %q", r.Branch)
+		}
+	}
+}
+
+func TestRecorderDisabledMatchesEnabledResults(t *testing.T) {
+	cfg := smallConfig()
+	base, err := Run(cfg, StandardAlgorithms(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Recorder = obs.NewRecorder(obs.RecorderOptions{RingSize: 8})
+	traced, err := Run(cfg, StandardAlgorithms(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base {
+		if len(base[i].QoE) != len(traced[i].QoE) {
+			t.Fatalf("sample counts differ for %s", base[i].Name)
+		}
+		for j := range base[i].QoE {
+			if base[i].QoE[j] != traced[i].QoE[j] {
+				t.Fatalf("%s QoE[%d] differs with tracing: %v vs %v",
+					base[i].Name, j, base[i].QoE[j], traced[i].QoE[j])
+			}
+		}
+	}
 }

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/tiles"
 )
 
@@ -44,6 +45,10 @@ type Reassembler struct {
 	pending map[tileKey]*partialTile
 	stats   map[uint32]*SlotStats
 	done    []CompleteTile
+
+	// Optional observability counters (nil means disabled; see Instrument).
+	cDuplicates *obs.Counter
+	cDropped    *obs.Counter
 }
 
 type tileKey struct {
@@ -63,6 +68,16 @@ func NewReassembler() *Reassembler {
 		pending: make(map[tileKey]*partialTile),
 		stats:   make(map[uint32]*SlotStats),
 	}
+}
+
+// Instrument attaches observability counters for duplicate/out-of-range
+// fragments and for incomplete tiles dropped at slot flush (packet loss made
+// visible). Nil counters are allowed (and free). Call before the first
+// Ingest.
+func (r *Reassembler) Instrument(duplicates, incompleteDropped *obs.Counter) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.cDuplicates, r.cDropped = duplicates, incompleteDropped
 }
 
 // Ingest processes one received packet at the given arrival time.
@@ -94,6 +109,7 @@ func (r *Reassembler) Ingest(p *Packet, now time.Time) {
 		r.pending[key] = pt
 	}
 	if int(p.FragIdx) >= len(pt.frags) || pt.frags[p.FragIdx] != nil {
+		r.cDuplicates.Inc()
 		return // out-of-range or duplicate fragment
 	}
 	payload := make([]byte, len(p.Payload))
@@ -137,6 +153,7 @@ func (r *Reassembler) FlushSlot(slot uint32) (SlotStats, bool) {
 	for k := range r.pending {
 		if k.slot <= slot {
 			delete(r.pending, k)
+			r.cDropped.Inc()
 		}
 	}
 	if !ok {

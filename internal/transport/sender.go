@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/tiles"
 )
 
@@ -66,6 +67,11 @@ type Sender struct {
 	sentPkts  int
 	sentBytes int
 	dropped   int
+
+	// Optional observability counters (nil means disabled; see Instrument).
+	cPackets *obs.Counter
+	cBytes   *obs.Counter
+	cDropped *obs.Counter
 }
 
 // NewSender builds a sender toward dst. A nil shaper means no shaping.
@@ -79,6 +85,16 @@ func NewSender(conn net.PacketConn, dst net.Addr, shaper Shaper, mtu int) *Sende
 	return &Sender{conn: conn, dst: dst, shaper: shaper, mtu: mtu}
 }
 
+// Instrument attaches shared observability counters for transmitted packets,
+// transmitted bytes and shaper drops. Nil counters are allowed (and free):
+// they make the corresponding event unobserved. Call before the first
+// SendTile.
+func (s *Sender) Instrument(packets, bytes, dropped *obs.Counter) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cPackets, s.cBytes, s.cDropped = packets, bytes, dropped
+}
+
 // SendTile fragments and transmits one tile for a slot, pacing against the
 // shaper. It blocks until the last fragment conforms.
 func (s *Sender) SendTile(user, slot uint32, id tiles.VideoID, payload []byte) error {
@@ -86,6 +102,7 @@ func (s *Sender) SendTile(user, slot uint32, id tiles.VideoID, payload []byte) e
 	seq := s.seq
 	packets := Fragment(user, slot, id, payload, s.mtu, seq)
 	s.seq += uint32(len(packets))
+	cPackets, cBytes, cDropped := s.cPackets, s.cBytes, s.cDropped
 	s.mu.Unlock()
 
 	// Pacing sleeps are batched: token-bucket debt below sleepQuantum is
@@ -101,6 +118,7 @@ func (s *Sender) SendTile(user, slot uint32, id tiles.VideoID, payload []byte) e
 			s.mu.Lock()
 			s.dropped++
 			s.mu.Unlock()
+			cDropped.Inc()
 			continue
 		}
 		if d := s.shaper.Admit(len(wire), time.Now()); d >= sleepQuantum {
@@ -113,6 +131,8 @@ func (s *Sender) SendTile(user, slot uint32, id tiles.VideoID, payload []byte) e
 		s.sentPkts++
 		s.sentBytes += len(wire)
 		s.mu.Unlock()
+		cPackets.Inc()
+		cBytes.Add(uint64(len(wire)))
 	}
 	return nil
 }
