@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench ci figures figures-full clean
+.PHONY: all build vet test race bench ci figures figures-full loadtest-smoke clean
 
 all: build vet test
 
@@ -19,18 +19,30 @@ race:
 	$(GO) test -race ./internal/... ./cmd/...
 
 # What CI runs (see .github/workflows/ci.yml).
-ci: build vet test race
+ci: build vet test race loadtest-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Regenerate every paper figure (scaled down; ~minutes).
 figures:
-	$(GO) run ./cmd/collabvr-bench | tee results_bench.txt
+	@mkdir -p results
+	$(GO) run ./cmd/collabvr-bench | tee results/results_bench.txt
 
 # Paper-scale parameters (much longer; run on an idle machine).
 figures-full:
-	$(GO) run ./cmd/collabvr-bench -full | tee results_bench_full.txt
+	@mkdir -p results
+	$(GO) run ./cmd/collabvr-bench -full | tee results/results_bench_full.txt
+
+# Load-harness smoke (< 30 s): a live loopback run with ~100 churning
+# sessions plus a record/replay determinism check, then a sim-mode capacity
+# search on a reduced budget so the search converges inside the bracket.
+loadtest-smoke:
+	$(GO) run ./cmd/collabvr-loadgen -mode live -arrivals poisson -rate 30 \
+		-mean-hold 1 -sessions 100 -slots 180 -slotms 20 -check-replay
+	$(GO) run ./cmd/collabvr-loadgen -find-capacity -budget 120 -slots 120 \
+		-miss-target 0.05 -cap-lo 1 -cap-hi 64
 
 clean:
-	rm -f results_bench.txt results_bench_full.txt test_output.txt bench_output.txt
+	rm -f results/results_bench.txt results/results_bench_full.txt \
+		test_output.txt bench_output.txt

@@ -1,0 +1,273 @@
+// Command collabvr-loadgen generates session-churn workloads and runs them
+// against the edge server — either in deterministic virtual time (-mode sim)
+// or over real loopback sockets with one emulated client per session
+// (-mode live). It can record a workload to JSONL, replay a recorded one
+// bit-identically, verify the record/replay round trip, and binary-search the
+// server's session capacity against a deadline-miss target.
+//
+// Usage:
+//
+//	collabvr-loadgen -arrivals poisson -rate 20 -mean-hold 3 -slots 1200
+//	collabvr-loadgen -arrivals steady -sessions 500 -mode live -slotms 50
+//	collabvr-loadgen -record w.jsonl -check-replay
+//	collabvr-loadgen -replay w.jsonl
+//	collabvr-loadgen -find-capacity -miss-target 0.01 -budget 120
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/load"
+	"repro/internal/obs"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "collabvr-loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("collabvr-loadgen", flag.ContinueOnError)
+	var (
+		arrivals = fs.String("arrivals", "steady", "arrival shape: steady, poisson, mmpp, flash, diurnal")
+		sessions = fs.Int("sessions", 100, "session count (steady: exact; stochastic shapes: cap, 0 = uncapped)")
+		rate     = fs.Float64("rate", 10, "mean arrival rate per second (stochastic shapes)")
+		meanHold = fs.Float64("mean-hold", 0, "mean session duration in seconds (0 = whole horizon)")
+		slots    = fs.Int("slots", 600, "workload horizon in slots")
+		sps      = fs.Float64("sps", 60, "slots per second on the workload timeline")
+		slotMs   = fs.Float64("slotms", 0, "live-mode wall-clock slot duration in ms (0 = 1000/sps)")
+		seed     = fs.Int64("seed", 1, "workload seed (same seed, same workload, byte for byte)")
+
+		algo   = fs.String("algo", "dvgreedy", "allocator: dvgreedy, density, value, optimal, firefly, pavq")
+		budget = fs.Float64("budget", 400, "server throughput budget B(t) in Mbps")
+		alpha  = fs.Float64("alpha", 0.1, "QoE delay weight")
+		beta   = fs.Float64("beta", 0.5, "QoE variance weight")
+
+		mode        = fs.String("mode", "sim", "execution engine: sim (virtual time) or live (loopback sockets)")
+		maxSessions = fs.Int("max-sessions", 0, "live-mode server accept limit, excess rejected (0 = unlimited)")
+		record      = fs.String("record", "", "write the workload to this JSONL file")
+		recordPoses = fs.Bool("record-poses", false, "include per-slot pose events in the recorded JSONL")
+		replay      = fs.String("replay", "", "replay a recorded workload instead of generating one")
+		checkReplay = fs.Bool("check-replay", false, "verify the record/replay round trip is bit-identical, then run")
+
+		findCap    = fs.Bool("find-capacity", false, "binary-search max concurrent sessions under -miss-target")
+		missTarget = fs.Float64("miss-target", 0.01, "capacity-search deadline-miss rate target")
+		capLo      = fs.Int("cap-lo", 1, "capacity-search floor (sessions)")
+		capHi      = fs.Int("cap-hi", 1024, "capacity-search ceiling (sessions)")
+
+		httpAddr = fs.String("http", "", "observability HTTP listen address serving /metrics (empty = disabled)")
+		verbose  = fs.Bool("v", false, "verbose logging")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if _, err := allocatorByName(*algo); err != nil {
+		return err
+	}
+	if *mode != "sim" && *mode != "live" {
+		return fmt.Errorf("unknown mode %q (want sim or live)", *mode)
+	}
+	newAlloc := func() core.Allocator {
+		a, _ := allocatorByName(*algo)
+		return a
+	}
+	params := core.DefaultSystemParams()
+	params.Alpha = *alpha
+	params.Beta = *beta
+
+	base := load.Config{
+		Shape:          load.Shape(*arrivals),
+		Seed:           *seed,
+		HorizonSlots:   *slots,
+		SlotsPerSecond: *sps,
+		Sessions:       *sessions,
+		RatePerSec:     *rate,
+		MeanHoldSec:    *meanHold,
+	}
+
+	reg := obs.NewRegistry()
+	if *httpAddr != "" {
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			return fmt.Errorf("observability listen: %w", err)
+		}
+		defer ln.Close()
+		go http.Serve(ln, obs.NewMux(reg, nil))
+		fmt.Fprintf(out, "observability on http://%s/metrics\n", ln.Addr())
+	}
+	logf := func(string, ...any) {}
+	if *verbose {
+		logf = func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", a...)
+		}
+	}
+
+	slotDur := time.Duration(0)
+	if *slotMs > 0 {
+		slotDur = time.Duration(*slotMs * float64(time.Millisecond))
+	}
+	execute := func(w *load.Workload, r *obs.Registry) (*load.RunReport, error) {
+		if *mode == "live" {
+			return load.RunLive(w, load.LiveConfig{
+				Params:       params,
+				NewAllocator: newAlloc,
+				AllocName:    *algo,
+				BudgetMbps:   *budget,
+				SlotDuration: slotDur,
+				MaxSessions:  *maxSessions,
+				Metrics:      r,
+				Logf:         logf,
+			})
+		}
+		return load.Simulate(w, load.SimConfig{
+			Params:       params,
+			NewAllocator: newAlloc,
+			AllocName:    *algo,
+			BudgetMbps:   *budget,
+			Metrics:      r,
+		})
+	}
+
+	if *findCap {
+		probe := func(n int) (float64, error) {
+			pcfg := base
+			pcfg.Shape = load.Steady
+			pcfg.Sessions = n
+			pcfg.MeanHoldSec = 0 // capacity probes hold all n sessions concurrently
+			pw, err := load.Generate(pcfg)
+			if err != nil {
+				return 0, err
+			}
+			rep, err := execute(pw, nil)
+			if err != nil {
+				return 0, err
+			}
+			miss := rep.AggregateMissRate()
+			fmt.Fprintf(out, "probe %5d sessions: deadline-miss %.4f\n", n, miss)
+			return miss, nil
+		}
+		res, err := load.FindCapacity(*capLo, *capHi, *missTarget, probe)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, res.Format())
+		return nil
+	}
+
+	var w *load.Workload
+	if *replay != "" {
+		f, err := os.Open(*replay)
+		if err != nil {
+			return err
+		}
+		w, err = load.ReadJSONL(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "replaying %s: %d sessions, %d slots\n",
+			*replay, len(w.Sessions), w.Cfg.HorizonSlots)
+	} else {
+		var err error
+		w, err = load.Generate(base)
+		if err != nil {
+			return err
+		}
+	}
+
+	if *record != "" {
+		f, err := os.Create(*record)
+		if err != nil {
+			return err
+		}
+		err = w.WriteJSONL(f, *recordPoses)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "recorded %d sessions to %s\n", len(w.Sessions), *record)
+	}
+
+	if *checkReplay {
+		if err := verifyReplay(w, *recordPoses, params, newAlloc, *budget); err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "replay check: OK (byte-identical JSONL, identical replayed report)")
+	}
+
+	rep, err := execute(w, reg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, rep.Format())
+	return nil
+}
+
+// verifyReplay proves the record/replay loop is lossless: serializing the
+// workload, reading it back, and serializing again must give identical bytes,
+// and simulating the original and the round-tripped workload must give the
+// identical report.
+func verifyReplay(w *load.Workload, poses bool, params core.Params,
+	newAlloc func() core.Allocator, budget float64) error {
+	var b1 bytes.Buffer
+	if err := w.WriteJSONL(&b1, poses); err != nil {
+		return fmt.Errorf("replay check: %w", err)
+	}
+	w2, err := load.ReadJSONL(bytes.NewReader(b1.Bytes()))
+	if err != nil {
+		return fmt.Errorf("replay check: %w", err)
+	}
+	var b2 bytes.Buffer
+	if err := w2.WriteJSONL(&b2, poses); err != nil {
+		return fmt.Errorf("replay check: %w", err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		return fmt.Errorf("replay check: JSONL round trip is not byte-identical (%d vs %d bytes)",
+			b1.Len(), b2.Len())
+	}
+	simCfg := load.SimConfig{Params: params, NewAllocator: newAlloc, BudgetMbps: budget}
+	r1, err := load.Simulate(w, simCfg)
+	if err != nil {
+		return fmt.Errorf("replay check: %w", err)
+	}
+	r2, err := load.Simulate(w2, simCfg)
+	if err != nil {
+		return fmt.Errorf("replay check: %w", err)
+	}
+	if r1.Format() != r2.Format() {
+		return fmt.Errorf("replay check: replayed workload produced a different report")
+	}
+	return nil
+}
+
+func allocatorByName(name string) (core.Allocator, error) {
+	switch name {
+	case "dvgreedy", "proposed":
+		return core.DVGreedy{}, nil
+	case "density":
+		return core.DensityOnly{}, nil
+	case "value":
+		return core.ValueOnly{}, nil
+	case "optimal":
+		return core.Optimal{}, nil
+	case "firefly":
+		return baseline.NewFirefly(), nil
+	case "pavq":
+		return baseline.NewPAVQ(), nil
+	default:
+		return nil, fmt.Errorf("unknown allocator %q", name)
+	}
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSimReport(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-arrivals", "poisson", "-rate", "15", "-mean-hold", "1",
+		"-slots", "240", "-sessions", "0", "-seed", "5"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"# loadgen report (sim", "aggregate deadline-miss rate", "qoe"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunRecordReplayCheck(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "w.jsonl")
+
+	var rec bytes.Buffer
+	err := run([]string{"-arrivals", "flash", "-rate", "8", "-mean-hold", "1",
+		"-slots", "240", "-sessions", "0", "-seed", "3",
+		"-record", path, "-record-poses", "-check-replay"}, &rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rec.String(), "replay check: OK") {
+		t.Fatalf("missing replay-check confirmation:\n%s", rec.String())
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() == 0 {
+		t.Fatalf("workload file not written: %v", err)
+	}
+
+	// Replaying the recorded file must reproduce the recorded run's report.
+	var rep bytes.Buffer
+	if err := run([]string{"-replay", path}, &rep); err != nil {
+		t.Fatal(err)
+	}
+	recReport := rec.String()[strings.Index(rec.String(), "# loadgen report"):]
+	repReport := rep.String()[strings.Index(rep.String(), "# loadgen report"):]
+	if recReport != repReport {
+		t.Fatalf("replayed report differs:\nrecorded:\n%s\nreplayed:\n%s", recReport, repReport)
+	}
+}
+
+func TestRunFindCapacity(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-find-capacity", "-budget", "120", "-slots", "120",
+		"-miss-target", "0.05", "-cap-lo", "1", "-cap-hi", "64"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "# capacity search") ||
+		!strings.Contains(out.String(), "capacity: ") {
+		t.Fatalf("capacity search did not report a verdict:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "search ceiling reached") ||
+		strings.Contains(out.String(), "below the search floor") {
+		t.Fatalf("capacity should converge inside [1,64] at 120 Mbps:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	for name, args := range map[string][]string{
+		"bad algo": {"-algo", "nope"},
+		"bad mode": {"-mode", "warp"},
+	} {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}

@@ -60,6 +60,7 @@ type clientMetrics struct {
 	duplicates *obs.Counter
 	incomplete *obs.Counter
 	delayMs    *obs.Histogram
+	setupMs    *obs.Histogram
 }
 
 func newClientMetrics(r *obs.Registry) clientMetrics {
@@ -73,6 +74,7 @@ func newClientMetrics(r *obs.Registry) clientMetrics {
 		duplicates: r.Counter("collabvr_client_rx_duplicate_fragments_total"),
 		incomplete: r.Counter("collabvr_client_rx_incomplete_tiles_dropped_total"),
 		delayMs:    r.Histogram("collabvr_client_slot_delay_ms", obs.DefaultLatencyBuckets()),
+		setupMs:    r.Histogram("collabvr_client_setup_ms", obs.DefaultLatencyBuckets()),
 	}
 }
 
@@ -100,6 +102,9 @@ type Result struct {
 	Releases int
 	// Nacks counts loss reports sent (only with Config.NackLost).
 	Nacks int
+	// SetupMs is the session setup latency: dial to the server's Welcome
+	// (or to the Hello send, against a server that never acknowledges).
+	SetupMs float64
 }
 
 // Run connects, streams until the configured horizon (or server shutdown),
@@ -119,6 +124,7 @@ func Run(cfg Config) (*Result, error) {
 		cfg.RAMThreshold = 512
 	}
 
+	setupStart := time.Now()
 	udp, err := net.ListenPacket("udp", "127.0.0.1:0")
 	if err != nil {
 		return nil, fmt.Errorf("client: listen udp: %w", err)
@@ -151,6 +157,10 @@ func Run(cfg Config) (*Result, error) {
 		byslot: make(map[uint32][]tiles.VideoID),
 	}
 	c.reasm.Instrument(c.obs.duplicates, c.obs.incomplete)
+	c.setupStart = setupStart
+	// Fallback setup latency against servers that never send Welcome (the
+	// control reader overwrites it when one arrives).
+	c.setupMs = float64(time.Since(setupStart)) / float64(time.Millisecond)
 	return c.run()
 }
 
@@ -174,6 +184,10 @@ type runner struct {
 	releases   int
 	nacks      int
 
+	setupStart time.Time
+	setupMu    sync.Mutex
+	setupMs    float64
+
 	ctrlEnd sync.Once
 	endCh   chan struct{}
 }
@@ -185,13 +199,20 @@ func (c *runner) run() (*Result, error) {
 	recvDone := make(chan struct{})
 	go c.receiveLoop(recvDone)
 
-	// Control-channel reader: the server does not push control messages in
-	// this protocol, but a read detects connection shutdown immediately.
+	// Control-channel reader: consumes the Welcome handshake ack (the
+	// precise setup-latency mark) and detects connection shutdown
+	// immediately.
 	go func() {
 		for {
-			if _, err := c.ctrl.Recv(); err != nil {
+			msg, err := c.ctrl.Recv()
+			if err != nil {
 				c.ctrlEnd.Do(func() { close(c.endCh) })
 				return
+			}
+			if _, ok := msg.(transport.Welcome); ok {
+				c.setupMu.Lock()
+				c.setupMs = float64(time.Since(c.setupStart)) / float64(time.Millisecond)
+				c.setupMu.Unlock()
 			}
 		}
 	}()
@@ -274,6 +295,10 @@ func (c *runner) run() (*Result, error) {
 	c.udp.Close()
 	<-recvDone
 
+	c.setupMu.Lock()
+	setupMs := c.setupMs
+	c.setupMu.Unlock()
+	c.obs.setupMs.Observe(setupMs)
 	return &Result{
 		User:     c.cfg.User,
 		Report:   metrics.Aggregate([]*metrics.UserQoE{c.acc}),
@@ -282,6 +307,7 @@ func (c *runner) run() (*Result, error) {
 		Bytes:    c.bytesTotal,
 		Releases: c.releases,
 		Nacks:    c.nacks,
+		SetupMs:  setupMs,
 	}, nil
 }
 

@@ -1,0 +1,105 @@
+package load
+
+import (
+	"errors"
+	"testing"
+)
+
+// stepProbe models a server whose miss rate jumps above target past a knee.
+func stepProbe(knee int, calls *[]int) ProbeFunc {
+	return func(n int) (float64, error) {
+		*calls = append(*calls, n)
+		if n <= knee {
+			return 0.001 * float64(n) / float64(knee), nil
+		}
+		return 0.5, nil
+	}
+}
+
+func TestFindCapacityConverges(t *testing.T) {
+	for _, knee := range []int{1, 2, 37, 100, 500, 1023} {
+		var calls []int
+		res, err := FindCapacity(1, 1024, 0.01, stepProbe(knee, &calls))
+		if err != nil {
+			t.Fatalf("knee %d: %v", knee, err)
+		}
+		if res.MaxSessions != knee {
+			t.Errorf("knee %d: found %d", knee, res.MaxSessions)
+		}
+		if res.CappedAtHi {
+			t.Errorf("knee %d: wrongly capped at ceiling", knee)
+		}
+		// Doubling plus bisection over [1,1024] is O(log): generous bound.
+		if len(calls) > 25 {
+			t.Errorf("knee %d: %d probes, want O(log hi)", knee, len(calls))
+		}
+	}
+}
+
+func TestFindCapacityFloorFails(t *testing.T) {
+	var calls []int
+	res, err := FindCapacity(8, 512, 0.01, stepProbe(4, &calls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxSessions != 0 {
+		t.Errorf("floor probe fails, want MaxSessions 0, got %d", res.MaxSessions)
+	}
+	if len(calls) != 1 {
+		t.Errorf("want exactly 1 probe after floor failure, got %d", len(calls))
+	}
+}
+
+func TestFindCapacityCappedAtCeiling(t *testing.T) {
+	var calls []int
+	res, err := FindCapacity(1, 64, 0.01, stepProbe(1000, &calls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxSessions != 64 || !res.CappedAtHi {
+		t.Errorf("want capped at 64, got max %d capped %v", res.MaxSessions, res.CappedAtHi)
+	}
+}
+
+func TestFindCapacityProbeError(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := FindCapacity(1, 64, 0.01, func(n int) (float64, error) {
+		if n >= 4 {
+			return 0, boom
+		}
+		return 0, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want probe error propagated, got %v", err)
+	}
+}
+
+// TestFindCapacitySimulated exercises the real probe path end to end: steady
+// workloads through the virtual-time engine, shrinking budget until the knee
+// is inside the bracket. Mirrors what `collabvr-loadgen -find-capacity` does.
+func TestFindCapacitySimulated(t *testing.T) {
+	probe := func(n int) (float64, error) {
+		w, err := Generate(Config{Shape: Steady, Sessions: n, HorizonSlots: 120, Seed: 1})
+		if err != nil {
+			return 0, err
+		}
+		rep, err := Simulate(w, SimConfig{BudgetMbps: 120})
+		if err != nil {
+			return 0, err
+		}
+		return rep.AggregateMissRate(), nil
+	}
+	res, err := FindCapacity(1, 64, 0.05, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxSessions < 1 || res.CappedAtHi {
+		t.Fatalf("capacity search did not converge inside the bracket: %+v", res)
+	}
+	// The knee must actually separate pass from fail.
+	for _, p := range res.Probes {
+		if p.Sessions <= res.MaxSessions && !p.OK && p.Sessions == res.MaxSessions {
+			t.Errorf("probe at reported capacity %d failed", p.Sessions)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package load
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestRunLiveSmall drives a real server over loopback with a handful of
+// churning sessions at an accelerated slot clock and checks the live
+// accounting end to end.
+func TestRunLiveSmall(t *testing.T) {
+	w, err := Generate(Config{Shape: Steady, Sessions: 8, HorizonSlots: 60,
+		MeanHoldSec: 0.5, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	rep, err := RunLive(w, LiveConfig{
+		SlotDuration: 5 * time.Millisecond,
+		Metrics:      reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "live" {
+		t.Errorf("mode %q, want live", rep.Mode)
+	}
+	if rep.Spawned != 8 {
+		t.Errorf("spawned %d, want 8", rep.Spawned)
+	}
+	if rep.Completed+rep.Failed != rep.Spawned {
+		t.Errorf("accounting leak: completed %d + failed %d != spawned %d",
+			rep.Completed, rep.Failed, rep.Spawned)
+	}
+	if rep.Completed == 0 {
+		t.Fatal("no session completed")
+	}
+	if rep.PeakConcurrent < 1 || rep.PeakConcurrent > 8 {
+		t.Errorf("peak concurrent %d out of range", rep.PeakConcurrent)
+	}
+	for i, o := range rep.Outcomes {
+		if o.Slots <= 0 {
+			t.Errorf("outcome %d: no slots served", i)
+		}
+		if o.SetupMs <= 0 {
+			t.Errorf("outcome %d: setup latency not measured", i)
+		}
+		if i > 0 && rep.Outcomes[i-1].ID >= o.ID {
+			t.Errorf("outcomes not sorted by ID at %d", i)
+		}
+	}
+	if rep.WallSec <= 0 {
+		t.Error("wall time not measured")
+	}
+	// The shared registry must carry the harness instruments.
+	var text strings.Builder
+	if err := reg.WritePrometheus(&text); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"collabvr_loadgen_sessions_completed_total",
+		"collabvr_loadgen_session_qoe",
+		"collabvr_server_sessions_joined_total",
+	} {
+		if !strings.Contains(text.String(), want) {
+			t.Errorf("registry exposition missing %s", want)
+		}
+	}
+}
+
+// TestRunLiveBackpressure checks accept-loop backpressure: with MaxSessions
+// below the steady concurrency, the excess sessions are rejected (closed
+// before their first slot) and counted as failed, while admitted sessions
+// finish normally.
+func TestRunLiveBackpressure(t *testing.T) {
+	w, err := Generate(Config{Shape: Steady, Sessions: 6, HorizonSlots: 50,
+		RampSlots: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	rep, err := RunLive(w, LiveConfig{
+		SlotDuration: 5 * time.Millisecond,
+		MaxSessions:  3,
+		Metrics:      reg,
+		Unshaped:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed > 3 {
+		t.Errorf("completed %d sessions with MaxSessions=3", rep.Completed)
+	}
+	if rep.Failed < 3 {
+		t.Errorf("failed %d, want the 3 excess sessions rejected", rep.Failed)
+	}
+	if got := reg.Counter("collabvr_server_sessions_rejected_total").Value(); got < 3 {
+		t.Errorf("rejected counter %v, want >= 3", got)
+	}
+}

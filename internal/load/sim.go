@@ -1,0 +1,255 @@
+package load
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/motion"
+	"repro/internal/netem"
+	"repro/internal/obs"
+	"repro/internal/tiles"
+)
+
+// SimConfig parametrizes the deterministic virtual-time engine. No wall
+// clock, no goroutines, no sockets: the same workload and config always
+// produce the bit-identical RunReport, which is what makes recorded
+// workloads usable as regression reproducers.
+type SimConfig struct {
+	Params core.Params
+	// NewAllocator builds the allocator (fresh per run, since some keep
+	// state). Nil means the paper's proposed algorithm.
+	NewAllocator func() core.Allocator
+	// AllocName labels the report.
+	AllocName string
+	// BudgetMbps is the server's shared throughput budget B(t).
+	BudgetMbps float64
+	// DeadlineSlots is the display-pipeline tolerance: a frame whose
+	// delivery delay exceeds DeadlineSlots slot-times misses its deadline
+	// (default 2, matching the decode-at-t+1/display-at-t+2 pipelining).
+	DeadlineSlots   int
+	PredictorWindow int
+	Coverage        motion.CoverageConfig
+	SizeModelSeed   uint64
+	// Metrics, when non-nil, receives the loadgen histograms (per-session
+	// QoE, deadline-miss fraction).
+	Metrics *obs.Registry
+}
+
+func (c SimConfig) withDefaults() SimConfig {
+	if c.Params.Levels == 0 {
+		c.Params = core.DefaultSystemParams()
+	}
+	if c.NewAllocator == nil {
+		c.NewAllocator = func() core.Allocator { return core.DVGreedy{} }
+		if c.AllocName == "" {
+			c.AllocName = "proposed"
+		}
+	}
+	if c.AllocName == "" {
+		c.AllocName = "custom"
+	}
+	if c.BudgetMbps <= 0 {
+		c.BudgetMbps = 400
+	}
+	if c.DeadlineSlots <= 0 {
+		c.DeadlineSlots = 2
+	}
+	if c.PredictorWindow <= 0 {
+		c.PredictorWindow = motion.DefaultWindow
+	}
+	if c.Coverage == (motion.CoverageConfig{}) {
+		c.Coverage = motion.DefaultCoverage()
+	}
+	return c
+}
+
+// simSession is one active session's streaming state, mirroring the server's
+// per-session estimators (delta_n and qbar_n are maintained exactly as
+// server.session does).
+type simSession struct {
+	spec  SessionSpec
+	trace motion.Trace
+	caps  []float64
+	pred  *motion.Predictor
+	acc   *metrics.UserQoE
+
+	t          int
+	sumViewedQ float64
+	covered    int
+	missed     int
+	served     int
+}
+
+func (s *simSession) delta() float64 { return (1 + float64(s.covered)) / float64(1+s.t) }
+
+func (s *simSession) meanQ() float64 {
+	if s.t == 0 {
+		return 0
+	}
+	return s.sumViewedQ / float64(s.t)
+}
+
+// Simulate replays the workload through the full per-slot decision pipeline
+// (prediction, tile selection, rate tables, M/M/1 delay, allocation) in
+// virtual time, with session churn: sessions join the allocation problem at
+// their arrival slot and leave at departure. Overload is modelled on the
+// shared egress: when the allocated total exceeds the budget, the excess
+// serialization time is charged to every active session's delay.
+func Simulate(w *Workload, cfg SimConfig) (*RunReport, error) {
+	cfg = cfg.withDefaults()
+	if len(w.Sessions) == 0 {
+		return nil, fmt.Errorf("load: empty workload")
+	}
+	horizon := w.Cfg.HorizonSlots
+	sps := w.Cfg.SlotsPerSecond
+	if sps <= 0 {
+		sps = 60
+	}
+	slotMs := 1000 / sps
+	deadlineMs := float64(cfg.DeadlineSlots) * slotMs
+	alloc := cfg.NewAllocator()
+	sizeModel := tiles.NewSizeModel(cfg.SizeModelSeed)
+	qoeParams := metrics.QoEParams{Alpha: cfg.Params.Alpha, Beta: cfg.Params.Beta}
+	lm := newLoadMetrics(cfg.Metrics)
+
+	byArrive := make(map[int][]SessionSpec)
+	for _, s := range w.Sessions {
+		byArrive[s.ArriveSlot] = append(byArrive[s.ArriveSlot], s)
+	}
+
+	report := &RunReport{
+		Mode:           "sim",
+		Algorithm:      cfg.AllocName,
+		HorizonSlots:   horizon,
+		Spawned:        len(w.Sessions),
+		PeakConcurrent: w.PeakConcurrent(),
+	}
+	var active []*simSession
+	users := make([]core.UserInput, 0, 64)
+	type plan struct {
+		sess  *simSession
+		rates []float64
+		cov   bool
+		cap_  float64
+	}
+	plans := make([]plan, 0, 64)
+
+	finish := func(s *simSession) {
+		out := SessionOutcome{
+			ID:       s.spec.ID,
+			Slots:    s.acc.Slots(),
+			QoE:      s.acc.QoE(),
+			Quality:  s.acc.AvgQuality(),
+			DelayMs:  s.acc.AvgDelay(),
+			Variance: s.acc.Variance(),
+			Coverage: s.acc.CoverageRate(),
+		}
+		if s.served > 0 {
+			out.MissFrac = float64(s.missed) / float64(s.served)
+		}
+		report.Outcomes = append(report.Outcomes, out)
+		report.Completed++
+		lm.observeOutcome(out)
+	}
+
+	for slot := 0; slot < horizon; slot++ {
+		// Arrivals.
+		for _, spec := range byArrive[slot] {
+			active = append(active, &simSession{
+				spec:  spec,
+				trace: w.MotionTrace(spec, 0),
+				caps:  w.CapSlots(spec),
+				pred:  motion.NewPredictor(cfg.PredictorWindow),
+				acc:   metrics.NewUserQoE(qoeParams),
+			})
+		}
+		// Departures.
+		next := active[:0]
+		for _, s := range active {
+			if slot >= s.spec.DepartSlot {
+				finish(s)
+				continue
+			}
+			next = append(next, s)
+		}
+		active = next
+		if len(active) == 0 {
+			continue
+		}
+
+		// Build the slot problem over the active set.
+		users = users[:0]
+		plans = plans[:0]
+		for _, s := range active {
+			local := slot - s.spec.ArriveSlot
+			actual := s.trace[local]
+			predicted := s.pred.Predict()
+			if local <= cfg.PredictorWindow {
+				predicted = actual
+			}
+			cell := tiles.CellFor(predicted.Pos)
+			sel := tiles.ForView(predicted, cfg.Coverage.FoV, cfg.Coverage.MarginDeg)
+			rates := sizeModel.RateTable(cell, sel)
+			cap_ := s.caps[local]
+			users = append(users, core.UserInput{
+				Rate:  rates,
+				Delay: netem.DelayTableMs(rates, cap_, slotMs),
+				Delta: s.delta(),
+				MeanQ: s.meanQ(),
+				Cap:   cap_,
+			})
+			plans = append(plans, plan{
+				sess: s, rates: rates,
+				cov:  cfg.Coverage.Covered(predicted, actual),
+				cap_: cap_,
+			})
+			s.pred.Observe(actual)
+		}
+		problem := &core.SlotProblem{T: slot + 1, Budget: cfg.BudgetMbps, Users: users}
+		allocation := alloc.Allocate(cfg.Params, problem)
+
+		// Shared-egress overload: the allocator respects the budget when it
+		// can, but when even the mandatory minimum levels exceed it (the
+		// overload regime capacity search hunts for), delivering R Mbps of
+		// slot content over a B-Mbps egress takes R/B slot-times; the excess
+		// is charged to every session.
+		overloadMs := 0.0
+		if allocation.Rate > cfg.BudgetMbps && cfg.BudgetMbps > 0 {
+			overloadMs = (allocation.Rate/cfg.BudgetMbps - 1) * slotMs
+		}
+
+		for i, p := range plans {
+			q := allocation.Levels[i]
+			rate := p.rates[q-1]
+			delay := netem.DelayMs(rate, p.cap_, slotMs) + overloadMs
+			covered := p.cov
+			missed := delay > deadlineMs
+			if missed {
+				// The frame is dropped, not displayed late: clamp the
+				// charged delay at the pipeline bound (as the client does)
+				// and void its coverage.
+				covered = false
+				delay = deadlineMs
+			}
+			s := p.sess
+			s.served++
+			if missed {
+				s.missed++
+			}
+			s.t++
+			if covered {
+				s.covered++
+				s.sumViewedQ += float64(q)
+			}
+			s.acc.Observe(q, covered, delay)
+			s.acc.ObserveFrame(!missed)
+		}
+	}
+	// Sessions alive at the horizon end complete there.
+	for _, s := range active {
+		finish(s)
+	}
+	sortOutcomes(report.Outcomes)
+	return report, nil
+}

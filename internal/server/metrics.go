@@ -13,8 +13,10 @@ import (
 // operation is an allocation-free no-op, so the hot path pays only pointer
 // checks when observability is disabled.
 type serverMetrics struct {
-	sessionsJoined *obs.Counter
-	sessionsActive *obs.Gauge
+	sessionsJoined   *obs.Counter
+	sessionsLeft     *obs.Counter
+	sessionsRejected *obs.Counter
+	sessionsActive   *obs.Gauge
 
 	slots        *obs.Counter
 	deadlineMiss *obs.Counter
@@ -29,18 +31,26 @@ type serverMetrics struct {
 	txBytes   *obs.Counter
 	txDropped *obs.Counter
 
+	cacheHits     *obs.Counter
+	cacheMisses   *obs.Counter
+	cacheHitRatio *obs.Gauge
+
 	capEstRelErr   *obs.Histogram
 	slotDecisionMs *obs.Histogram
 	allocLevel     *obs.Histogram
+	sessionSetupMs *obs.Histogram
+	sessionMeanQ   *obs.Histogram
 }
 
 // newServerMetrics registers the server's instruments; a nil registry
 // yields all-nil (disabled) instruments.
 func newServerMetrics(r *obs.Registry) serverMetrics {
 	return serverMetrics{
-		sessionsJoined: r.Counter("collabvr_server_sessions_joined_total"),
-		sessionsActive: r.Gauge("collabvr_server_sessions_active"),
-		slots:          r.Counter("collabvr_server_slots_total"),
+		sessionsJoined:   r.Counter("collabvr_server_sessions_joined_total"),
+		sessionsLeft:     r.Counter("collabvr_server_sessions_left_total"),
+		sessionsRejected: r.Counter("collabvr_server_sessions_rejected_total"),
+		sessionsActive:   r.Gauge("collabvr_server_sessions_active"),
+		slots:            r.Counter("collabvr_server_slots_total"),
 		deadlineMiss:   r.Counter("collabvr_server_slot_deadline_miss_total"),
 		acks:           r.Counter("collabvr_server_acks_total"),
 		nacks:          r.Counter("collabvr_server_nacks_total"),
@@ -51,6 +61,9 @@ func newServerMetrics(r *obs.Registry) serverMetrics {
 		txPackets:      r.Counter("collabvr_server_tx_packets_total"),
 		txBytes:        r.Counter("collabvr_server_tx_bytes_total"),
 		txDropped:      r.Counter("collabvr_server_tx_dropped_total"),
+		cacheHits:      r.Counter("collabvr_server_tile_cache_hits_total"),
+		cacheMisses:    r.Counter("collabvr_server_tile_cache_misses_total"),
+		cacheHitRatio:  r.Gauge("collabvr_server_tile_cache_hit_ratio"),
 		// Relative capacity-estimate error |est-measured|/measured.
 		capEstRelErr: r.Histogram("collabvr_server_cap_estimate_rel_error",
 			obs.ExponentialBuckets(0.01, 2, 10)),
@@ -58,6 +71,10 @@ func newServerMetrics(r *obs.Registry) serverMetrics {
 			obs.DefaultLatencyBuckets()),
 		allocLevel: r.Histogram("collabvr_server_alloc_level",
 			obs.LinearBuckets(1, 1, 8)),
+		sessionSetupMs: r.Histogram("collabvr_server_session_setup_ms",
+			obs.DefaultLatencyBuckets()),
+		sessionMeanQ: r.Histogram("collabvr_server_session_mean_quality",
+			obs.LinearBuckets(0.5, 0.5, 12)),
 	}
 }
 

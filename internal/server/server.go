@@ -62,6 +62,12 @@ type Config struct {
 	PrefetchRadius int
 	// CacheTiles bounds the in-memory tile buffer.
 	CacheTiles int
+	// MaxSessions bounds the number of concurrently admitted sessions
+	// (accept-loop backpressure for load-generation runs): beyond it the
+	// server closes new control connections without a Welcome, so clients
+	// see an explicit rejection instead of a hung handshake. 0 means
+	// unlimited.
+	MaxSessions int
 	// TCPAddr and UDPAddr are the bind addresses (default loopback
 	// ephemeral, for in-process testbeds; a standalone server binds
 	// explicit ports).
@@ -272,6 +278,7 @@ func New(cfg Config) (*Server, error) {
 		stop:     make(chan struct{}),
 		loopDone: make(chan struct{}),
 	}
+	s.store.Instrument(s.metrics.cacheHits, s.metrics.cacheMisses)
 	if cfg.PrefetchRadius > 0 {
 		s.prefetchCh = make(chan prefetchReq, 64)
 		s.prefetchWG.Add(1)
@@ -384,8 +391,11 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-// handleConn performs the Hello handshake and then pumps control messages.
+// handleConn performs the Hello handshake, admits or rejects the session
+// (backpressure), pumps control messages until the client leaves, and then
+// retires the session so churn never accumulates state.
 func (s *Server) handleConn(ctrl *transport.Conn) {
+	accepted := time.Now()
 	msg, err := ctrl.Recv()
 	if err != nil {
 		ctrl.Close()
@@ -426,15 +436,58 @@ func (s *Server) handleConn(ctrl *transport.Conn) {
 		ctrl.Close()
 		return
 	}
+	if s.cfg.MaxSessions > 0 && len(s.sessions) >= s.cfg.MaxSessions {
+		s.mu.Unlock()
+		s.metrics.sessionsRejected.Inc()
+		s.cfg.Logf("server: rejecting user %d, session limit %d reached",
+			hello.User, s.cfg.MaxSessions)
+		ctrl.Close()
+		return
+	}
+	prev := s.sessions[hello.User]
 	s.sessions[hello.User] = sess
 	s.mu.Unlock()
+	if prev != nil {
+		// A reconnect superseded a live session with the same ID: retire
+		// the old one so its goroutines and queues do not leak.
+		prev.ctrl.Close()
+		prev.closeSend()
+	}
 	s.cfg.Logf("server: user %d joined from %s", hello.User, hello.UDPAddr)
 	s.metrics.sessionsJoined.Inc()
 	s.metrics.sessionsActive.Add(1)
+	s.metrics.sessionSetupMs.Observe(float64(time.Since(accepted)) / float64(time.Millisecond))
+	if err := ctrl.Send(transport.Welcome{User: hello.User}); err != nil {
+		s.retireSession(sess)
+		return
+	}
 
 	go sess.sendLoop()
 	s.controlLoop(sess)
+	s.retireSession(sess)
+}
+
+// retireSession removes a departed session from the slot loop's view and
+// releases its resources; with thousands of short sessions this is what
+// keeps server state bounded. The final mean viewed quality feeds the
+// per-session QoE histogram.
+func (s *Server) retireSession(sess *session) {
+	s.mu.Lock()
+	if cur, ok := s.sessions[sess.user]; ok && cur == sess {
+		delete(s.sessions, sess.user)
+	}
+	s.mu.Unlock()
+	sess.ctrl.Close()
+	sess.closeSend()
 	s.metrics.sessionsActive.Add(-1)
+	s.metrics.sessionsLeft.Inc()
+	sess.mu.Lock()
+	served := sess.slotsServed
+	meanQ := sess.meanQLocked()
+	sess.mu.Unlock()
+	if served > 0 {
+		s.metrics.sessionMeanQ.Observe(meanQ)
+	}
 }
 
 // sendLoop transmits one slot's tile batch at a time, absorbing the
@@ -681,6 +734,7 @@ func (s *Server) runSlot(slot uint32, sessions []*session) {
 	recordSlot(s.cfg.Recorder, s.cfg.Allocator.Name(), s.cfg.Params, slot,
 		problem, allocation, slotTrace)
 	s.metrics.observeDecision(time.Since(started), s.cfg.SlotDuration)
+	s.metrics.cacheHitRatio.Set(s.store.HitRatio())
 
 	for i, p := range plans {
 		level := allocation.Levels[i]

@@ -4,6 +4,8 @@ import (
 	"container/list"
 	"encoding/binary"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // Store is the offline-rendered content database: it serves the payload of
@@ -21,6 +23,10 @@ type Store struct {
 	cache    map[VideoID]*storedTile
 	hits     int
 	misses   int
+
+	// Optional observability counters (nil-safe no-ops when unset).
+	hitCounter  *obs.Counter
+	missCounter *obs.Counter
 }
 
 type storedTile struct {
@@ -56,9 +62,11 @@ func (s *Store) Payload(id VideoID) []byte {
 	if t, ok := s.cache[id]; ok {
 		s.order.MoveToFront(t.elem)
 		s.hits++
+		s.hitCounter.Inc()
 		return t.payload
 	}
 	s.misses++
+	s.missCounter.Inc()
 	cell, tile, level := id.Unpack()
 	n := s.model.TileBytes(cell, tile, level, s.fps)
 	payload := synthesize(uint64(id), n)
@@ -76,6 +84,25 @@ func (s *Store) Payload(id VideoID) []byte {
 		delete(s.cache, evicted)
 	}
 	return payload
+}
+
+// Instrument mirrors the cache hit/miss counters into observability
+// instruments (nil instruments disable mirroring). Call before serving.
+func (s *Store) Instrument(hits, misses *obs.Counter) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hitCounter = hits
+	s.missCounter = misses
+}
+
+// HitRatio returns hits/(hits+misses), or 0 before any lookup.
+func (s *Store) HitRatio() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if total := s.hits + s.misses; total > 0 {
+		return float64(s.hits) / float64(total)
+	}
+	return 0
 }
 
 // Stats returns cache hit/miss counters.

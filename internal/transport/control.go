@@ -22,6 +22,14 @@ type (
 		RAMThreshold int
 	}
 
+	// Welcome is the server's handshake acknowledgement: the session was
+	// admitted. A server under backpressure (session limit reached) closes
+	// the connection without sending it, so clients can distinguish
+	// rejection from network failure and measure setup latency precisely.
+	Welcome struct {
+		User uint32
+	}
+
 	// PoseUpdate uploads the user's 6-DoF pose for a slot ("Users will
 	// replay real users' motion traces and upload the trace to the server
 	// through TCP periodically").
@@ -69,6 +77,7 @@ type (
 
 func init() {
 	gob.Register(Hello{})
+	gob.Register(Welcome{})
 	gob.Register(PoseUpdate{})
 	gob.Register(TileACK{})
 	gob.Register(Release{})
