@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench ci figures figures-full loadtest-smoke clean
+.PHONY: all build vet test race bench bench-smoke fuzz-smoke ci figures figures-full loadtest-smoke clean
 
 all: build vet test
 
@@ -19,10 +19,24 @@ race:
 	$(GO) test -race ./internal/... ./cmd/...
 
 # What CI runs (see .github/workflows/ci.yml).
-ci: build vet test race loadtest-smoke
+ci: build vet test race bench-smoke fuzz-smoke loadtest-smoke
 
+# Full benchmark pass: the allocator microbenchmark JSON report, then every
+# Go benchmark in the tree.
 bench:
+	$(GO) run ./cmd/collabvr-bench -allocator -alloc-out BENCH_allocator.json
 	$(GO) test -bench=. -benchmem ./...
+
+# One-iteration compile-and-run of the Solve benchmarks (CI keeps them
+# building and panicking-free without paying for a full measurement).
+bench-smoke:
+	$(GO) test -run '^$$' -bench Solve -benchtime 1x ./internal/knapsack ./internal/core
+
+# Brief native fuzzing of the greedy differential and DP targets (~10 s
+# each) on top of the checked-in seed corpora under testdata/fuzz.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzGreedy$$' -fuzztime 10s ./internal/knapsack
+	$(GO) test -run '^$$' -fuzz '^FuzzDynamicProgram$$' -fuzztime 10s ./internal/knapsack
 
 # Regenerate every paper figure (scaled down; ~minutes).
 figures:

@@ -139,6 +139,7 @@ func BenchmarkAllocatorPerSlot(b *testing.B) {
 		mk   func() core.Allocator
 	}{
 		{"dvgreedy", func() core.Allocator { return core.DVGreedy{} }},
+		{"dvgreedy-solver", func() core.Allocator { return core.NewSolverAllocator() }},
 		{"density", func() core.Allocator { return core.DensityOnly{} }},
 		{"value", func() core.Allocator { return core.ValueOnly{} }},
 		{"firefly", func() core.Allocator { return baseline.NewFirefly() }},

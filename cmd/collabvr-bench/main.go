@@ -38,9 +38,14 @@ func run(args []string) error {
 		full     = fs.Bool("full", false, "paper-scale parameters (much slower)")
 		seed     = fs.Int64("seed", 1, "random seed")
 		traceOut = fs.String("trace-out", "", "write the simulation figures' per-slot decision trace as JSONL to this file (empty = disabled)")
+		alloc    = fs.Bool("allocator", false, "run the allocator microbenchmark instead of the figures and write -alloc-out")
+		allocOut = fs.String("alloc-out", "BENCH_allocator.json", "JSON report path for -allocator")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *alloc {
+		return runAllocatorBench(*seed, *allocOut)
 	}
 
 	var rec *obs.Recorder

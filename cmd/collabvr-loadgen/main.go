@@ -49,7 +49,7 @@ func run(args []string, out io.Writer) error {
 		slotMs   = fs.Float64("slotms", 0, "live-mode wall-clock slot duration in ms (0 = 1000/sps)")
 		seed     = fs.Int64("seed", 1, "workload seed (same seed, same workload, byte for byte)")
 
-		algo   = fs.String("algo", "dvgreedy", "allocator: dvgreedy, density, value, optimal, firefly, pavq")
+		algo   = fs.String("algo", "dvgreedy", "allocator: dvgreedy, dvgreedy-scan, density, value, optimal, firefly, pavq")
 		budget = fs.Float64("budget", 400, "server throughput budget B(t) in Mbps")
 		alpha  = fs.Float64("alpha", 0.1, "QoE delay weight")
 		beta   = fs.Float64("beta", 0.5, "QoE variance weight")
@@ -256,6 +256,9 @@ func verifyReplay(w *load.Workload, poses bool, params core.Params,
 func allocatorByName(name string) (core.Allocator, error) {
 	switch name {
 	case "dvgreedy", "proposed":
+		return core.NewSolverAllocator(), nil
+	case "dvgreedy-scan":
+		// The original rescan engine, kept for differential comparison.
 		return core.DVGreedy{}, nil
 	case "density":
 		return core.DensityOnly{}, nil

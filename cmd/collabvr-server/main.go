@@ -32,12 +32,12 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("collabvr-server", flag.ContinueOnError)
 	var (
-		tcpAddr = fs.String("tcp", "127.0.0.1:7400", "control (TCP) listen address")
-		udpAddr = fs.String("udp", "127.0.0.1:7401", "data (UDP) bind address")
-		algo    = fs.String("algo", "dvgreedy", "allocator: dvgreedy, density, value, optimal, firefly, pavq")
-		budget  = fs.Float64("budget", 400, "server throughput budget B(t) in Mbps")
-		slots   = fs.Int("slots", 0, "stop after this many slots (0 = run until interrupted)")
-		slotMs  = fs.Float64("slotms", 1000.0/60, "slot duration in milliseconds")
+		tcpAddr  = fs.String("tcp", "127.0.0.1:7400", "control (TCP) listen address")
+		udpAddr  = fs.String("udp", "127.0.0.1:7401", "data (UDP) bind address")
+		algo     = fs.String("algo", "dvgreedy", "allocator: dvgreedy, dvgreedy-scan, density, value, optimal, firefly, pavq")
+		budget   = fs.Float64("budget", 400, "server throughput budget B(t) in Mbps")
+		slots    = fs.Int("slots", 0, "stop after this many slots (0 = run until interrupted)")
+		slotMs   = fs.Float64("slotms", 1000.0/60, "slot duration in milliseconds")
 		alpha    = fs.Float64("alpha", 0.1, "QoE delay weight")
 		beta     = fs.Float64("beta", 0.5, "QoE variance weight")
 		httpAddr = fs.String("http", "", "observability HTTP listen address serving /metrics and /debug/slots (empty = disabled)")
@@ -111,6 +111,9 @@ func run(args []string) error {
 func allocatorByName(name string) (core.Allocator, error) {
 	switch name {
 	case "dvgreedy", "proposed":
+		return core.NewSolverAllocator(), nil
+	case "dvgreedy-scan":
+		// The original rescan engine, kept for differential comparison.
 		return core.DVGreedy{}, nil
 	case "density":
 		return core.DensityOnly{}, nil

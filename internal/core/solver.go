@@ -1,0 +1,106 @@
+package core
+
+import (
+	"repro/internal/knapsack"
+)
+
+// SolverAllocator is Algorithm 1 on the heap-based incremental
+// knapsack.Solver with reusable lowering buffers: a steady-state slot
+// solve reuses the same scratch for the objective tables, the item views
+// and the solver's heap, so the only per-Allocate allocation is the Levels
+// slice handed back to the caller (which call sites retain, e.g. in flight
+// recorder records).
+//
+// Decisions, values and traces are bit-identical to DVGreedy — both run
+// the same Algorithm 1 over the same lowered instance; the solver engine
+// is differentially tested against the original scan in
+// internal/knapsack. A SolverAllocator is safe for sequential reuse
+// across slots (the Allocator contract) but not for concurrent use; build
+// one per goroutine.
+type SolverAllocator struct {
+	solver knapsack.Solver
+	items  []knapsack.Item
+	values []float64
+	prob   knapsack.Problem
+}
+
+// NewSolverAllocator returns a fresh solver-backed Algorithm 1 allocator.
+func NewSolverAllocator() *SolverAllocator { return &SolverAllocator{} }
+
+// Name implements Allocator. It reports the same algorithm name as
+// DVGreedy: the decisions are identical, only the engine differs.
+func (a *SolverAllocator) Name() string { return "dvgreedy" }
+
+// lower rebuilds the knapsack view of p on the allocator's scratch.
+// The float arithmetic matches toKnapsack exactly (same Objective calls in
+// the same order), keeping solutions bit-identical to the DVGreedy path.
+func (a *SolverAllocator) lower(params Params, p *SlotProblem) *knapsack.Problem {
+	n, levels := len(p.Users), params.Levels
+	if cap(a.values) < n*levels {
+		a.values = make([]float64, n*levels)
+	}
+	if cap(a.items) < n {
+		a.items = make([]knapsack.Item, n)
+	}
+	vals, items := a.values[:n*levels], a.items[:n]
+	for i := range p.Users {
+		u := &p.Users[i]
+		v := vals[i*levels : (i+1)*levels : (i+1)*levels]
+		for q := 1; q <= levels; q++ {
+			v[q-1] = Objective(params, p.T, *u, q)
+		}
+		items[i] = knapsack.Item{Values: v, Weights: u.Rate, Cap: u.Cap}
+	}
+	a.prob = knapsack.Problem{Items: items, Budget: p.Budget}
+	return &a.prob
+}
+
+// Allocate implements Allocator.
+func (a *SolverAllocator) Allocate(params Params, p *SlotProblem) Allocation {
+	return fromKnapsack(a.solver.Combined(a.lower(params, p)).Clone())
+}
+
+// AllocateTraced implements TracingAllocator; the trace is identical to
+// DVGreedy's.
+func (a *SolverAllocator) AllocateTraced(params Params, p *SlotProblem, tr *SlotTrace) Allocation {
+	if tr == nil {
+		return a.Allocate(params, p)
+	}
+	var kt knapsack.CombinedTrace
+	sol := a.solver.CombinedTraced(a.lower(params, p), &kt)
+	pass := kt.Density
+	if kt.Picked == knapsack.BranchValue {
+		pass = kt.Value
+	}
+	fillTrace(tr, kt.Picked.String(), pass)
+	return fromKnapsack(sol.Clone())
+}
+
+// LowerProblem exposes the SlotProblem -> nonlinear-knapsack lowering used
+// by every Algorithm 1 allocator, for benchmarks and tools that want to
+// drive internal/knapsack solvers directly.
+func LowerProblem(params Params, p *SlotProblem) *knapsack.Problem {
+	return toKnapsack(params, p)
+}
+
+// AllocateBatch solves independent slot problems (separate budgets, e.g.
+// distinct rooms, servers or replayed slots) concurrently on a worker
+// pool via knapsack.SolveBatch. out[i] is identical to
+// DVGreedy{}.Allocate(params, problems[i]). workers <= 0 uses GOMAXPROCS.
+func AllocateBatch(params Params, problems []*SlotProblem, workers int) []Allocation {
+	ks := make([]*knapsack.Problem, len(problems))
+	for i, p := range problems {
+		ks[i] = toKnapsack(params, p)
+	}
+	sols := knapsack.SolveBatch(ks, workers)
+	out := make([]Allocation, len(sols))
+	for i, sol := range sols {
+		out[i] = fromKnapsack(sol)
+	}
+	return out
+}
+
+var (
+	_ Allocator        = (*SolverAllocator)(nil)
+	_ TracingAllocator = (*SolverAllocator)(nil)
+)

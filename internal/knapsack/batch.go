@@ -1,0 +1,68 @@
+package knapsack
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// batchShard is how many problems a worker claims per cursor bump: large
+// enough to amortize the atomic, small enough to keep the pool balanced
+// when solve times vary (e.g. mixed 5-user and 1000-user instances).
+const batchShard = 8
+
+// SolveBatch solves many independent allocation problems with Algorithm 1
+// across a worker pool and returns one Solution per problem, in order:
+// out[i] is identical (bit-for-bit, including tie-breaks) to what
+// problems[i].Combined() returns. This is the fan-out path for the
+// loadgen's hundreds-of-sessions regime, where per-user subproblems
+// decouple (separate budgets) and per-slot instances pile up faster than
+// one core can drain them.
+//
+// Workers claim dynamic shards of the index space through an atomic
+// cursor and each reuses a single Solver, so a batch performs O(workers)
+// scratch allocations regardless of batch size. workers <= 0 uses
+// GOMAXPROCS. Problems must be non-nil.
+func SolveBatch(problems []*Problem, workers int) []Solution {
+	out := make([]Solution, len(problems))
+	if len(problems) == 0 {
+		return out
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if max := (len(problems) + batchShard - 1) / batchShard; workers > max {
+		workers = max
+	}
+	if workers == 1 {
+		s := solverPool.Get().(*Solver)
+		for i, p := range problems {
+			out[i] = s.Combined(p).Clone()
+		}
+		solverPool.Put(s)
+		return out
+	}
+
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := solverPool.Get().(*Solver)
+			defer solverPool.Put(s)
+			for {
+				start := int(cursor.Add(batchShard)) - batchShard
+				if start >= len(problems) {
+					return
+				}
+				end := min(start+batchShard, len(problems))
+				for i := start; i < end; i++ {
+					out[i] = s.Combined(problems[i]).Clone()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

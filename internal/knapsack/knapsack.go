@@ -7,11 +7,24 @@
 // (Algorithm 1 of the paper, with the quality_verification subroutine), an
 // exact brute-force solver for small instances, and the fractional upper
 // bound V_p used in the proof of Theorem 1.
+//
+// Two interchangeable engines implement the greedy passes. The Solver
+// (solver.go) is the fast path: an incremental max-heap of pending
+// upgrades with reusable scratch, O(log N) per pick and zero allocations
+// in steady state; DensityGreedy, ValueGreedy and Combined run on a
+// pooled Solver. The original O(N * picks) scan is kept verbatim as
+// ReferenceDensityGreedy / ReferenceValueGreedy / ReferenceCombined; both
+// engines share the scoring and tie-breaking rules below and return
+// bit-identical solutions and traces, which the golden-corpus and fuzz
+// tests enforce. Inputs are expected to be finite (no NaN/Inf); the
+// solvers do not panic on non-finite values but the two engines may then
+// disagree, since NaN breaks the candidate total order.
 package knapsack
 
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Item is one user's quality ladder. Values[l] and Weights[l] are the
@@ -60,6 +73,14 @@ type Solution struct {
 	Weight float64
 }
 
+// Clone returns a deep copy of the solution whose Levels no longer alias
+// any solver scratch buffer.
+func (s Solution) Clone() Solution {
+	out := s
+	out.Levels = append([]int(nil), s.Levels...)
+	return out
+}
+
 // valueOf recomputes the total value and weight of an assignment.
 func (p *Problem) valueOf(levels []int) (value, weight float64) {
 	for i, l := range levels {
@@ -88,6 +109,43 @@ const (
 	byDensity greedyKind = iota + 1 // eta_n = dV/dW
 	byValue                         // v_n = dV
 )
+
+// upgradeScore is the score of raising it from its current 1-based level l
+// to l+1. Both the reference scan and the heap Solver rank candidates with
+// this function, so the two engines see identical float64 scores.
+func upgradeScore(it *Item, l int, kind greedyKind) float64 {
+	dv := it.Values[l] - it.Values[l-1]
+	if kind != byDensity {
+		return dv
+	}
+	dw := it.Weights[l] - it.Weights[l-1]
+	if dw <= 0 {
+		// Degenerate non-increasing weight: a free (or weight-reducing)
+		// upgrade; give it absolute priority when its value gain is
+		// nonnegative.
+		if dv >= 0 {
+			return dv/1e-12 + 1
+		}
+		return dv / 1e-12
+	}
+	return dv / dw
+}
+
+// betterCandidate is the deterministic selection rule of the greedy passes:
+// the candidate (score, item) replaces the incumbent (bestScore, bestItem)
+// on a strictly higher score, or on an equal score with a lower item index.
+// Ties are therefore always broken toward the lowest index — an explicit
+// invariant both engines implement (the heap orders entries the same way in
+// entryBefore), rather than an accident of scan order.
+func betterCandidate(score float64, item int, bestScore float64, bestItem int) bool {
+	if bestItem < 0 {
+		return true
+	}
+	if score != bestScore {
+		return score > bestScore
+	}
+	return item < bestItem
+}
 
 // RejectReason identifies the constraint a quality_verification check found
 // violated.
@@ -155,9 +213,11 @@ type CombinedTrace struct {
 	Picked  Branch
 }
 
-// greedy runs one pass of Algorithm 1's loop with the given scoring rule.
-// tr, when non-nil, receives the pass's decision trace.
-func (p *Problem) greedy(kind greedyKind, tr *PassTrace) Solution {
+// referenceGreedy runs one pass of Algorithm 1's loop with the given
+// scoring rule, rescanning every active item per pick — the original,
+// obviously-correct implementation the heap Solver is differentially
+// tested against. tr, when non-nil, receives the pass's decision trace.
+func (p *Problem) referenceGreedy(kind greedyKind, tr *PassTrace) Solution {
 	sol := p.baseSolution()
 	active := make([]bool, len(p.Items))
 	numActive := 0
@@ -171,29 +231,12 @@ func (p *Problem) greedy(kind greedyKind, tr *PassTrace) Solution {
 	for numActive > 0 {
 		best := -1
 		bestScore := 0.0
-		for i, it := range p.Items {
+		for i := range p.Items {
 			if !active[i] {
 				continue
 			}
-			l := sol.Levels[i]
-			dv := it.Values[l] - it.Values[l-1]
-			score := dv
-			if kind == byDensity {
-				dw := it.Weights[l] - it.Weights[l-1]
-				if dw <= 0 {
-					// Degenerate non-increasing weight: a free (or
-					// weight-reducing) upgrade; give it absolute priority
-					// when its value gain is nonnegative.
-					if dv >= 0 {
-						score = dv/1e-12 + 1
-					} else {
-						score = dv / 1e-12
-					}
-				} else {
-					score = dv / dw
-				}
-			}
-			if best == -1 || score > bestScore {
+			score := upgradeScore(&p.Items[i], sol.Levels[i], kind)
+			if betterCandidate(score, i, bestScore, best) {
 				best = i
 				bestScore = score
 			}
@@ -239,21 +282,36 @@ func (p *Problem) greedy(kind greedyKind, tr *PassTrace) Solution {
 	return sol
 }
 
+// solverPool recycles Solver scratch across the convenience methods below,
+// so Problem.Combined and friends keep their allocate-fresh-Levels contract
+// while paying only one small allocation per call in steady state.
+var solverPool = sync.Pool{New: func() any { return new(Solver) }}
+
 // DensityGreedy runs the density-greedy pass alone: repeatedly upgrade the
 // item with the largest value-per-rate increment.
-func (p *Problem) DensityGreedy() Solution { return p.greedy(byDensity, nil) }
+func (p *Problem) DensityGreedy() Solution { return p.DensityGreedyTraced(nil) }
 
 // DensityGreedyTraced is DensityGreedy with a decision trace (nil tr is
 // allowed and traces nothing).
-func (p *Problem) DensityGreedyTraced(tr *PassTrace) Solution { return p.greedy(byDensity, tr) }
+func (p *Problem) DensityGreedyTraced(tr *PassTrace) Solution {
+	s := solverPool.Get().(*Solver)
+	sol := s.DensityGreedyTraced(p, tr).Clone()
+	solverPool.Put(s)
+	return sol
+}
 
 // ValueGreedy runs the value-greedy pass alone: repeatedly upgrade the item
 // with the largest value increment.
-func (p *Problem) ValueGreedy() Solution { return p.greedy(byValue, nil) }
+func (p *Problem) ValueGreedy() Solution { return p.ValueGreedyTraced(nil) }
 
 // ValueGreedyTraced is ValueGreedy with a decision trace (nil tr is allowed
 // and traces nothing).
-func (p *Problem) ValueGreedyTraced(tr *PassTrace) Solution { return p.greedy(byValue, tr) }
+func (p *Problem) ValueGreedyTraced(tr *PassTrace) Solution {
+	s := solverPool.Get().(*Solver)
+	sol := s.ValueGreedyTraced(p, tr).Clone()
+	solverPool.Put(s)
+	return sol
+}
 
 // Combined is Algorithm 1 of the paper: run both greedy passes and return
 // the better solution. By Theorem 1 its value is at least half the optimum
@@ -263,12 +321,43 @@ func (p *Problem) Combined() Solution { return p.CombinedTraced(nil) }
 // CombinedTraced is Combined with a decision trace: both passes are traced
 // and Picked records which one was returned (nil tr traces nothing).
 func (p *Problem) CombinedTraced(tr *CombinedTrace) Solution {
+	s := solverPool.Get().(*Solver)
+	sol := s.CombinedTraced(p, tr).Clone()
+	solverPool.Put(s)
+	return sol
+}
+
+// ReferenceDensityGreedy is DensityGreedy on the original rescan engine.
+func (p *Problem) ReferenceDensityGreedy() Solution { return p.referenceGreedy(byDensity, nil) }
+
+// ReferenceDensityGreedyTraced is DensityGreedyTraced on the original
+// rescan engine.
+func (p *Problem) ReferenceDensityGreedyTraced(tr *PassTrace) Solution {
+	return p.referenceGreedy(byDensity, tr)
+}
+
+// ReferenceValueGreedy is ValueGreedy on the original rescan engine.
+func (p *Problem) ReferenceValueGreedy() Solution { return p.referenceGreedy(byValue, nil) }
+
+// ReferenceValueGreedyTraced is ValueGreedyTraced on the original rescan
+// engine.
+func (p *Problem) ReferenceValueGreedyTraced(tr *PassTrace) Solution {
+	return p.referenceGreedy(byValue, tr)
+}
+
+// ReferenceCombined is Combined on the original rescan engine. The heap
+// Solver must return bit-identical solutions; it exists for differential
+// tests and for regenerating the golden corpus.
+func (p *Problem) ReferenceCombined() Solution { return p.ReferenceCombinedTraced(nil) }
+
+// ReferenceCombinedTraced is CombinedTraced on the original rescan engine.
+func (p *Problem) ReferenceCombinedTraced(tr *CombinedTrace) Solution {
 	var dtr, vtr *PassTrace
 	if tr != nil {
 		dtr, vtr = &tr.Density, &tr.Value
 	}
-	d := p.greedy(byDensity, dtr)
-	v := p.greedy(byValue, vtr)
+	d := p.referenceGreedy(byDensity, dtr)
+	v := p.referenceGreedy(byValue, vtr)
 	if d.Value >= v.Value {
 		if tr != nil {
 			tr.Picked = BranchDensity

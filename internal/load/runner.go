@@ -84,7 +84,7 @@ func (c LiveConfig) withDefaults(sps float64) LiveConfig {
 		c.Params = core.DefaultSystemParams()
 	}
 	if c.NewAllocator == nil {
-		c.NewAllocator = func() core.Allocator { return core.DVGreedy{} }
+		c.NewAllocator = func() core.Allocator { return core.NewSolverAllocator() }
 		if c.AllocName == "" {
 			c.AllocName = "proposed"
 		}

@@ -41,7 +41,7 @@ func (c SimConfig) withDefaults() SimConfig {
 		c.Params = core.DefaultSystemParams()
 	}
 	if c.NewAllocator == nil {
-		c.NewAllocator = func() core.Allocator { return core.DVGreedy{} }
+		c.NewAllocator = func() core.Allocator { return core.NewSolverAllocator() }
 		if c.AllocName == "" {
 			c.AllocName = "proposed"
 		}

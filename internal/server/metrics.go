@@ -51,19 +51,19 @@ func newServerMetrics(r *obs.Registry) serverMetrics {
 		sessionsRejected: r.Counter("collabvr_server_sessions_rejected_total"),
 		sessionsActive:   r.Gauge("collabvr_server_sessions_active"),
 		slots:            r.Counter("collabvr_server_slots_total"),
-		deadlineMiss:   r.Counter("collabvr_server_slot_deadline_miss_total"),
-		acks:           r.Counter("collabvr_server_acks_total"),
-		nacks:          r.Counter("collabvr_server_nacks_total"),
-		nackTiles:      r.Counter("collabvr_server_nack_tiles_total"),
-		retransmits:    r.Counter("collabvr_server_retransmit_tiles_total"),
-		tilesSent:      r.Counter("collabvr_server_tiles_sent_total"),
-		tilesSkipped:   r.Counter("collabvr_server_tiles_skipped_total"),
-		txPackets:      r.Counter("collabvr_server_tx_packets_total"),
-		txBytes:        r.Counter("collabvr_server_tx_bytes_total"),
-		txDropped:      r.Counter("collabvr_server_tx_dropped_total"),
-		cacheHits:      r.Counter("collabvr_server_tile_cache_hits_total"),
-		cacheMisses:    r.Counter("collabvr_server_tile_cache_misses_total"),
-		cacheHitRatio:  r.Gauge("collabvr_server_tile_cache_hit_ratio"),
+		deadlineMiss:     r.Counter("collabvr_server_slot_deadline_miss_total"),
+		acks:             r.Counter("collabvr_server_acks_total"),
+		nacks:            r.Counter("collabvr_server_nacks_total"),
+		nackTiles:        r.Counter("collabvr_server_nack_tiles_total"),
+		retransmits:      r.Counter("collabvr_server_retransmit_tiles_total"),
+		tilesSent:        r.Counter("collabvr_server_tiles_sent_total"),
+		tilesSkipped:     r.Counter("collabvr_server_tiles_skipped_total"),
+		txPackets:        r.Counter("collabvr_server_tx_packets_total"),
+		txBytes:          r.Counter("collabvr_server_tx_bytes_total"),
+		txDropped:        r.Counter("collabvr_server_tx_dropped_total"),
+		cacheHits:        r.Counter("collabvr_server_tile_cache_hits_total"),
+		cacheMisses:      r.Counter("collabvr_server_tile_cache_misses_total"),
+		cacheHitRatio:    r.Gauge("collabvr_server_tile_cache_hit_ratio"),
 		// Relative capacity-estimate error |est-measured|/measured.
 		capEstRelErr: r.Histogram("collabvr_server_cap_estimate_rel_error",
 			obs.ExponentialBuckets(0.01, 2, 10)),

@@ -36,7 +36,7 @@ func TestServerObservabilityUnderInjectedLoss(t *testing.T) {
 	cfg.Metrics = reg
 	cfg.Recorder = rec
 	cfg.ShaperFor = func(user uint32) transport.Shaper {
-		return lossyShaper{netem.NewLossModel(0.25, int64(user) + 1)}
+		return lossyShaper{netem.NewLossModel(0.25, int64(user)+1)}
 	}
 	srv, err := New(cfg)
 	if err != nil {
@@ -77,6 +77,12 @@ func TestServerObservabilityUnderInjectedLoss(t *testing.T) {
 	if res.Nacks == 0 {
 		t.Fatal("client sent no NACKs under 25% loss")
 	}
+	// The client's last NACK may still be in flight when Run returns; give
+	// the server a moment to drain before comparing counts.
+	deadline := time.Now().Add(2 * time.Second)
+	for counter("collabvr_server_nack_tiles_total") != uint64(res.Nacks) && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
 	if got := counter("collabvr_server_nack_tiles_total"); got != uint64(res.Nacks) {
 		t.Errorf("server counted %d NACKed tiles, client sent %d", got, res.Nacks)
 	}
@@ -87,13 +93,28 @@ func TestServerObservabilityUnderInjectedLoss(t *testing.T) {
 			counter("collabvr_server_retransmit_tiles_total"))
 	}
 
-	// The retransmit counter must agree with the per-user Stats view.
-	var statRetransmits int
-	for _, st := range srv.Stats() {
-		statRetransmits += st.Retransmits
-	}
-	if got := counter("collabvr_server_retransmit_tiles_total"); got != uint64(statRetransmits) {
-		t.Errorf("retransmit counter = %d, Stats = %d", got, statRetransmits)
+	// The retransmit counter must agree with the per-user Stats view — as
+	// long as the session is still live. The server retires departed
+	// sessions (dropping their Stats entry), and the client has already
+	// exited, so only compare while the session is visible.
+	for {
+		stats := srv.Stats()
+		if len(stats) == 0 {
+			break // session retired; the Stats view is gone
+		}
+		var statRetransmits int
+		for _, st := range stats {
+			statRetransmits += st.Retransmits
+		}
+		got := counter("collabvr_server_retransmit_tiles_total")
+		if got == uint64(statRetransmits) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Errorf("retransmit counter = %d, Stats = %d", got, statRetransmits)
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 
 	// Flight recorder: every record explains a dvgreedy decision.

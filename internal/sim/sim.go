@@ -93,7 +93,7 @@ type AlgorithmFactory struct {
 // per-slot brute-force optimum.
 func StandardAlgorithms(includeOptimal bool) []AlgorithmFactory {
 	algs := []AlgorithmFactory{
-		{Name: "proposed", New: func() core.Allocator { return core.DVGreedy{} }},
+		{Name: "proposed", New: func() core.Allocator { return core.NewSolverAllocator() }},
 		{Name: "firefly", New: func() core.Allocator { return baseline.NewFirefly() }},
 		{Name: "pavq", New: func() core.Allocator { return baseline.NewPAVQ() }},
 	}
