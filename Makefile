@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke fuzz-smoke ci figures figures-full loadtest-smoke clean
+.PHONY: all build vet test race lint bench bench-smoke fuzz-smoke ci figures figures-full loadtest-smoke trace-smoke clean
 
 all: build vet test
 
@@ -12,6 +12,15 @@ build:
 vet:
 	$(GO) vet ./...
 
+# staticcheck when available (CI installs it; locally the target degrades to
+# a notice rather than failing on a missing tool).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
 test:
 	$(GO) test ./...
 
@@ -19,7 +28,7 @@ race:
 	$(GO) test -race ./internal/... ./cmd/...
 
 # What CI runs (see .github/workflows/ci.yml).
-ci: build vet test race bench-smoke fuzz-smoke loadtest-smoke
+ci: build lint test race bench-smoke fuzz-smoke loadtest-smoke trace-smoke
 
 # Full benchmark pass: the allocator microbenchmark JSON report, then every
 # Go benchmark in the tree.
@@ -57,6 +66,18 @@ loadtest-smoke:
 	$(GO) run ./cmd/collabvr-loadgen -find-capacity -budget 120 -slots 120 \
 		-miss-target 0.05 -cap-lo 1 -cap-hi 64
 
+# Tracing smoke (< 30 s): a sim-mode loadgen run with span export on,
+# asserting the exporter dropped nothing, then the span-analysis CLI over
+# the exported JSONL (it exits nonzero on malformed or empty input).
+trace-smoke:
+	@mkdir -p results
+	$(GO) run ./cmd/collabvr-loadgen -arrivals poisson -rate 20 -mean-hold 1 \
+		-sessions 50 -slots 240 -slo -span-out results/smoke_spans.jsonl \
+		| tee results/smoke_spans.txt
+	grep -q 'dropped 0' results/smoke_spans.txt
+	$(GO) run ./cmd/collabvr-spans results/smoke_spans.jsonl
+
 clean:
 	rm -f results/results_bench.txt results/results_bench_full.txt \
+		results/smoke_spans.jsonl results/smoke_spans.txt \
 		test_output.txt bench_output.txt

@@ -6,8 +6,10 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"strings"
@@ -22,6 +24,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/testbed"
 	"repro/internal/tiles"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -40,12 +43,17 @@ func run(args []string) error {
 		traceOut = fs.String("trace-out", "", "write the simulation figures' per-slot decision trace as JSONL to this file (empty = disabled)")
 		alloc    = fs.Bool("allocator", false, "run the allocator microbenchmark instead of the figures and write -alloc-out")
 		allocOut = fs.String("alloc-out", "BENCH_allocator.json", "JSON report path for -allocator")
+		spans    = fs.Bool("spans", false, "run a traced simulation campaign and print the end-to-end span analysis")
+		spanOut  = fs.String("span-out", "", "with -spans: also write the span JSONL to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *alloc {
 		return runAllocatorBench(*seed, *allocOut)
+	}
+	if *spans {
+		return runSpanAnalysis(*seed, *full, *spanOut)
 	}
 
 	var rec *obs.Recorder
@@ -110,6 +118,57 @@ func run(args []string) error {
 			return fmt.Errorf("trace-out: %w", err)
 		}
 		fmt.Printf("# decision trace written to %s\n", *traceOut)
+	}
+	return nil
+}
+
+// runSpanAnalysis runs one traced virtual-time campaign over the standard
+// algorithm set and prints the per-stage latency breakdown, critical-path
+// attribution and slowest-trace exemplars — the latency-breakdown table of
+// docs/OBSERVABILITY.md, produced without sockets or wall-clock slots.
+func runSpanAnalysis(seed int64, full bool, spanOut string) error {
+	var buf bytes.Buffer
+	w := io.Writer(&buf)
+	if spanOut != "" {
+		f, err := os.Create(spanOut)
+		if err != nil {
+			return fmt.Errorf("span-out: %w", err)
+		}
+		defer f.Close()
+		w = io.MultiWriter(&buf, f)
+	}
+	exp := trace.NewExporter(trace.ExporterOptions{Writer: w, Sync: true})
+	tracer := trace.New(trace.Options{Exporter: exp})
+
+	cfg := sim.DefaultConfig(5)
+	cfg.Seed = seed
+	cfg.Seconds = 10
+	cfg.Runs = 1
+	if full {
+		cfg.Seconds = 60
+	}
+	cfg.IncludeOptimal = false
+	cfg.Tracer = tracer
+	cfg.TraceEpoch = uint64(seed)
+	fmt.Printf("# span analysis: traced simulation, N=%d (%gs, %d algorithms)\n",
+		cfg.Users, cfg.Seconds, len(sim.StandardAlgorithms(false)))
+	if _, err := sim.Run(cfg, sim.StandardAlgorithms(false)); err != nil {
+		return err
+	}
+	if err := exp.Close(); err != nil {
+		return err
+	}
+	if exp.Dropped() != 0 {
+		return fmt.Errorf("span exporter dropped %d spans", exp.Dropped())
+	}
+	recs, err := trace.ReadSpans(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		return err
+	}
+	a := trace.Analyze(recs, 5)
+	fmt.Print(a.Format())
+	if spanOut != "" {
+		fmt.Printf("# span JSONL written to %s\n", spanOut)
 	}
 	return nil
 }

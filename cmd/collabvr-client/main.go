@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/client"
 	"repro/internal/motion"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -37,18 +38,20 @@ func run(args []string) error {
 		seconds    = fs.Float64("seconds", 300, "generated trace length")
 		seed       = fs.Int64("seed", 1, "generation seed")
 		ram        = fs.Int("ram", 512, "client RAM threshold in tiles")
+		spanOut    = fs.String("span-out", "", "write client-side request spans to this JSONL file (merge with the server's via collabvr-spans a.jsonl b.jsonl)")
+		spanSample = fs.Uint64("span-sample", 1, "keep 1 in N traces (deterministic by trace ID; 0 or 1 = all)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	var trace motion.Trace
+	var mt motion.Trace
 	if *tracePath != "" {
 		f, err := os.Open(*tracePath)
 		if err != nil {
 			return err
 		}
-		trace, err = motion.ReadCSV(f)
+		mt, err = motion.ReadCSV(f)
 		f.Close()
 		if err != nil {
 			return err
@@ -57,18 +60,36 @@ func run(args []string) error {
 		fps := 1000 / *slotMs
 		slots := int(*seconds * fps)
 		scenes := motion.Scenes()
-		trace = motion.Generate(scenes[*scene%2], int(*user), slots, fps, *seed)
+		mt = motion.Generate(scenes[*scene%2], int(*user), slots, fps, *seed)
 	}
 
-	cfg := client.DefaultConfig(uint32(*user), *serverAddr, trace)
+	cfg := client.DefaultConfig(uint32(*user), *serverAddr, mt)
 	cfg.SlotDuration = time.Duration(*slotMs * float64(time.Millisecond))
 	cfg.RAMThreshold = *ram
 
+	var spanExp *trace.Exporter
+	if *spanOut != "" {
+		f, err := os.Create(*spanOut)
+		if err != nil {
+			return fmt.Errorf("span export: %w", err)
+		}
+		defer f.Close()
+		spanExp = trace.NewExporter(trace.ExporterOptions{Writer: f})
+		cfg.Tracer = trace.New(trace.Options{Sample: *spanSample, Exporter: spanExp})
+	}
+
 	fmt.Printf("collabvr-client: user %d joining %s (%d-slot trace)\n",
-		*user, *serverAddr, len(trace))
+		*user, *serverAddr, len(mt))
 	res, err := client.Run(cfg)
 	if err != nil {
 		return err
+	}
+	if spanExp != nil {
+		if err := spanExp.Close(); err != nil {
+			return fmt.Errorf("span export: %w", err)
+		}
+		fmt.Printf("spans: exported %d dropped %d to %s\n",
+			spanExp.Exported(), spanExp.Dropped(), *spanOut)
 	}
 	r := res.Report
 	fmt.Printf("user %d: slots=%d tiles=%d bytes=%d releases=%d\n",

@@ -28,6 +28,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/load"
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -66,8 +67,12 @@ func run(args []string, out io.Writer) error {
 		capLo      = fs.Int("cap-lo", 1, "capacity-search floor (sessions)")
 		capHi      = fs.Int("cap-hi", 1024, "capacity-search ceiling (sessions)")
 
-		httpAddr = fs.String("http", "", "observability HTTP listen address serving /metrics (empty = disabled)")
-		verbose  = fs.Bool("v", false, "verbose logging")
+		httpAddr   = fs.String("http", "", "observability HTTP listen address serving /metrics (empty = disabled)")
+		debug      = fs.Bool("debug", false, "expose pprof, /debug/runtime and runtime gauges on the -http mux")
+		spanOut    = fs.String("span-out", "", "write end-to-end request spans to this JSONL file (analyze with collabvr-spans)")
+		spanSample = fs.Uint64("span-sample", 1, "keep 1 in N traces (deterministic by trace ID; 0 or 1 = all)")
+		sloOn      = fs.Bool("slo", false, "track per-session QoE SLO burn rates (served on /debug/slo with -http)")
+		verbose    = fs.Bool("v", false, "verbose logging")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -97,13 +102,33 @@ func run(args []string, out io.Writer) error {
 	}
 
 	reg := obs.NewRegistry()
+	var slo *obs.SLOMonitor
+	if *sloOn {
+		slo = obs.NewSLOMonitor(obs.DefaultSLOConfig(), reg)
+	}
+	var (
+		tracer  *trace.Tracer
+		spanExp *trace.Exporter
+	)
+	if *spanOut != "" {
+		f, err := os.Create(*spanOut)
+		if err != nil {
+			return fmt.Errorf("span export: %w", err)
+		}
+		defer f.Close()
+		// The virtual-time engine exports synchronously (deterministic
+		// ordering, nothing can drop); the live engine uses the async queue
+		// to keep JSON encoding off the pipeline hot path.
+		spanExp = trace.NewExporter(trace.ExporterOptions{Writer: f, Sync: *mode == "sim"})
+		tracer = trace.New(trace.Options{Sample: *spanSample, Exporter: spanExp})
+	}
 	if *httpAddr != "" {
 		ln, err := net.Listen("tcp", *httpAddr)
 		if err != nil {
 			return fmt.Errorf("observability listen: %w", err)
 		}
 		defer ln.Close()
-		go http.Serve(ln, obs.NewMux(reg, nil))
+		go http.Serve(ln, obs.NewMuxOpts(reg, nil, obs.MuxOptions{SLO: slo, Debug: *debug}))
 		fmt.Fprintf(out, "observability on http://%s/metrics\n", ln.Addr())
 	}
 	logf := func(string, ...any) {}
@@ -127,6 +152,9 @@ func run(args []string, out io.Writer) error {
 				SlotDuration: slotDur,
 				MaxSessions:  *maxSessions,
 				Metrics:      r,
+				Tracer:       tracer,
+				TraceEpoch:   uint64(*seed),
+				SLO:          slo,
 				Logf:         logf,
 			})
 		}
@@ -136,6 +164,9 @@ func run(args []string, out io.Writer) error {
 			AllocName:    *algo,
 			BudgetMbps:   *budget,
 			Metrics:      r,
+			Tracer:       tracer,
+			TraceEpoch:   uint64(*seed),
+			SLO:          slo,
 		})
 	}
 
@@ -213,6 +244,18 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	fmt.Fprint(out, rep.Format())
+	if spanExp != nil {
+		if err := spanExp.Close(); err != nil {
+			return fmt.Errorf("span export: %w", err)
+		}
+		fmt.Fprintf(out, "spans: exported %d dropped %d to %s\n",
+			spanExp.Exported(), spanExp.Dropped(), *spanOut)
+	}
+	if slo != nil {
+		fmt.Fprintf(out, "slo: warn transitions %d, page transitions %d\n",
+			reg.Counter("collabvr_slo_warn_transitions_total").Value(),
+			reg.Counter("collabvr_slo_page_transitions_total").Value())
+	}
 	return nil
 }
 

@@ -20,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/server"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -32,17 +33,22 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("collabvr-server", flag.ContinueOnError)
 	var (
-		tcpAddr  = fs.String("tcp", "127.0.0.1:7400", "control (TCP) listen address")
-		udpAddr  = fs.String("udp", "127.0.0.1:7401", "data (UDP) bind address")
-		algo     = fs.String("algo", "dvgreedy", "allocator: dvgreedy, dvgreedy-scan, density, value, optimal, firefly, pavq")
-		budget   = fs.Float64("budget", 400, "server throughput budget B(t) in Mbps")
-		slots    = fs.Int("slots", 0, "stop after this many slots (0 = run until interrupted)")
-		slotMs   = fs.Float64("slotms", 1000.0/60, "slot duration in milliseconds")
-		alpha    = fs.Float64("alpha", 0.1, "QoE delay weight")
-		beta     = fs.Float64("beta", 0.5, "QoE variance weight")
-		httpAddr = fs.String("http", "", "observability HTTP listen address serving /metrics and /debug/slots (empty = disabled)")
-		ringSize = fs.Int("trace-ring", 1024, "flight-recorder ring size (records kept for /debug/slots)")
-		verbose  = fs.Bool("v", false, "verbose logging")
+		tcpAddr    = fs.String("tcp", "127.0.0.1:7400", "control (TCP) listen address")
+		udpAddr    = fs.String("udp", "127.0.0.1:7401", "data (UDP) bind address")
+		algo       = fs.String("algo", "dvgreedy", "allocator: dvgreedy, dvgreedy-scan, density, value, optimal, firefly, pavq")
+		budget     = fs.Float64("budget", 400, "server throughput budget B(t) in Mbps")
+		slots      = fs.Int("slots", 0, "stop after this many slots (0 = run until interrupted)")
+		slotMs     = fs.Float64("slotms", 1000.0/60, "slot duration in milliseconds")
+		alpha      = fs.Float64("alpha", 0.1, "QoE delay weight")
+		beta       = fs.Float64("beta", 0.5, "QoE variance weight")
+		httpAddr   = fs.String("http", "", "observability HTTP listen address serving /metrics and /debug/slots (empty = disabled)")
+		ringSize   = fs.Int("trace-ring", 1024, "flight-recorder ring size (records kept for /debug/slots)")
+		debug      = fs.Bool("debug", false, "expose pprof, /debug/runtime and runtime gauges on the -http mux")
+		spanOut    = fs.String("span-out", "", "write server-side request spans to this JSONL file (analyze with collabvr-spans)")
+		spanSample = fs.Uint64("span-sample", 1, "keep 1 in N traces (deterministic by trace ID; 0 or 1 = all)")
+		traceEpoch = fs.Uint64("trace-epoch", 0, "trace-ID epoch salt (clients stitching must share it)")
+		sloOn      = fs.Bool("slo", false, "track per-session QoE SLO burn rates (served on /debug/slo with -http)")
+		verbose    = fs.Bool("v", false, "verbose logging")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -67,9 +73,29 @@ func run(args []string) error {
 		}
 	}
 
+	var spanExp *trace.Exporter
+	if *spanOut != "" {
+		f, err := os.Create(*spanOut)
+		if err != nil {
+			return fmt.Errorf("span export: %w", err)
+		}
+		defer f.Close()
+		spanExp = trace.NewExporter(trace.ExporterOptions{Writer: f})
+		cfg.Tracer = trace.New(trace.Options{Sample: *spanSample, Exporter: spanExp})
+		cfg.TraceEpoch = *traceEpoch
+	}
+	if *sloOn {
+		if cfg.Metrics == nil {
+			cfg.Metrics = obs.NewRegistry()
+		}
+		cfg.SLO = obs.NewSLOMonitor(obs.DefaultSLOConfig(), cfg.Metrics)
+	}
+
 	var rec *obs.Recorder
 	if *httpAddr != "" {
-		cfg.Metrics = obs.NewRegistry()
+		if cfg.Metrics == nil {
+			cfg.Metrics = obs.NewRegistry()
+		}
 		rec = obs.NewRecorder(obs.RecorderOptions{RingSize: *ringSize})
 		cfg.Recorder = rec
 		ln, err := net.Listen("tcp", *httpAddr)
@@ -77,7 +103,7 @@ func run(args []string) error {
 			return fmt.Errorf("observability listen: %w", err)
 		}
 		defer ln.Close()
-		go http.Serve(ln, obs.NewMux(cfg.Metrics, rec))
+		go http.Serve(ln, obs.NewMuxOpts(cfg.Metrics, rec, obs.MuxOptions{SLO: cfg.SLO, Debug: *debug}))
 		fmt.Printf("collabvr-server: observability on http://%s/metrics and /debug/slots\n",
 			ln.Addr())
 	}
@@ -104,6 +130,13 @@ func run(args []string) error {
 	if rec != nil && rec.Records() > 0 {
 		fmt.Println()
 		fmt.Print(rec.Summary().Format())
+	}
+	if spanExp != nil {
+		if err := spanExp.Close(); err != nil {
+			return fmt.Errorf("span export: %w", err)
+		}
+		fmt.Printf("spans: exported %d dropped %d to %s\n",
+			spanExp.Exported(), spanExp.Dropped(), *spanOut)
 	}
 	return nil
 }

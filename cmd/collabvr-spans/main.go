@@ -1,0 +1,82 @@
+// Command collabvr-spans analyzes end-to-end request traces exported as
+// JSONL by the tracer (collabvr-server -span-out, collabvr-loadgen
+// -span-out, or collabvr-bench -spans). It prints per-stage latency
+// quantiles (p50/p95/p99), critical-path attribution — which stage most
+// often dominates a trace — and the slowest-trace exemplars.
+//
+// Usage:
+//
+//	collabvr-spans spans.jsonl
+//	collabvr-spans -top 10 server.jsonl client.jsonl
+//	collabvr-loadgen -span-out /dev/stdout ... | collabvr-spans -
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "collabvr-spans:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("collabvr-spans", flag.ContinueOnError)
+	var (
+		topN   = fs.Int("top", 3, "slowest-trace exemplars to print")
+		asJSON = fs.Bool("json", false, "emit the full analysis as JSON instead of text")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	paths := fs.Args()
+	if len(paths) == 0 {
+		paths = []string{"-"}
+	}
+
+	var spans []trace.SpanRecord
+	for _, path := range paths {
+		s, err := readFile(path)
+		if err != nil {
+			return err
+		}
+		spans = append(spans, s...)
+	}
+	if len(spans) == 0 {
+		return fmt.Errorf("no spans in input")
+	}
+
+	a := trace.Analyze(spans, *topN)
+	if *asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(a)
+	}
+	fmt.Fprint(out, a.Format())
+	return nil
+}
+
+func readFile(path string) ([]trace.SpanRecord, error) {
+	r := io.Reader(os.Stdin)
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	spans, err := trace.ReadSpans(r)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return spans, nil
+}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// writeSpanFile exports a small two-sided trace set through the real
+// sync exporter, so the test input is the exact on-disk format.
+func writeSpanFile(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "spans.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := trace.NewExporter(trace.ExporterOptions{Writer: f, Sync: true})
+	clock := int64(0)
+	tr := trace.New(trace.Options{Exporter: exp, Clock: func() int64 { clock += 1e6; return clock }})
+	for slot := uint32(0); slot < 5; slot++ {
+		tid := trace.TileTraceID(1, 7, slot)
+		d := tr.Start(tid, trace.StageDecide, trace.SideServer, 7, slot)
+		d.SetAlgo("proposed")
+		d.End()
+		tx := tr.Start(tid, trace.StageSend, trace.SideServer, 7, slot)
+		tx.SetBytes(4096)
+		tx.End()
+		disp := tr.Start(tid, trace.StageDisplay, trace.SideClient, 7, slot)
+		disp.SetOutcome(trace.OutcomeDisplayed)
+		disp.End()
+	}
+	if err := exp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunPrintsAnalysis(t *testing.T) {
+	path := writeSpanFile(t)
+	var out bytes.Buffer
+	if err := run([]string{"-top", "2", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"span analysis", trace.StageDecide, trace.StageSend, trace.StageDisplay, "slowest"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	path := writeSpanFile(t)
+	var out bytes.Buffer
+	if err := run([]string{"-json", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "\"stitched\"") && !strings.Contains(out.String(), "\"Stitched\"") {
+		t.Errorf("JSON output missing stitched field:\n%s", out.String())
+	}
+}
+
+func TestRunMergesMultipleFiles(t *testing.T) {
+	a, b := writeSpanFile(t), writeSpanFile(t)
+	var out bytes.Buffer
+	if err := run([]string{a, b}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "span analysis") {
+		t.Errorf("merged analysis missing:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	garbage := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := os.WriteFile(garbage, []byte("{not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{garbage}, &bytes.Buffer{}); err == nil {
+		t.Error("malformed input should error")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.jsonl")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{empty}, &bytes.Buffer{}); err == nil {
+		t.Error("empty input should error")
+	}
+	if err := run([]string{filepath.Join(t.TempDir(), "missing.jsonl")}, &bytes.Buffer{}); err == nil {
+		t.Error("missing file should error")
+	}
+	if err := run([]string{"-top", "x"}, &bytes.Buffer{}); err == nil {
+		t.Error("bad flag should error")
+	}
+}

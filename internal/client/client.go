@@ -18,6 +18,7 @@ import (
 	"repro/internal/motion"
 	"repro/internal/obs"
 	"repro/internal/tiles"
+	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/vrmath"
 )
@@ -47,6 +48,10 @@ type Config struct {
 	// Metrics receives the client's counters/histograms (names prefixed
 	// collabvr_client_); nil disables metrics with near-zero overhead.
 	Metrics *obs.Registry
+	// Tracer receives the client half of each tile request's trace
+	// (rx.recv, rx.decode, rx.display), stitched onto the server's spans by
+	// the trace ID carried in the packet headers; nil disables tracing.
+	Tracer *trace.Tracer
 }
 
 // clientMetrics bundles the client-side instruments; all nil-safe.
@@ -346,6 +351,15 @@ func (c *runner) displaySlot(slot uint32) {
 		}
 	}
 	stats, _ := c.reasm.FlushSlot(slot)
+	// The trace ID rode in on the slot's packet headers; an untraced or
+	// packet-less slot (stats.Trace == 0) emits no spans.
+	traceID := stats.Trace
+	rsp := c.cfg.Tracer.StartAt(traceID, trace.StageRecv, trace.SideClient, c.cfg.User, slot, stats.First.UnixNano())
+	rsp.SetTiles(stats.Tiles)
+	rsp.SetBytes(stats.Bytes)
+	rsp.SetRetry(stats.MaxRetry)
+	rsp.EndAt(stats.Last.UnixNano())
+
 	c.mu.Lock()
 	ids := c.byslot[slot]
 	delete(c.byslot, slot)
@@ -366,16 +380,33 @@ func (c *runner) displaySlot(slot uint32) {
 
 	// Decode stage: the parallel decoders handle up to Decoders new tiles
 	// per slot; beyond that the frame misses its display deadline.
+	dsp := c.cfg.Tracer.Start(traceID, trace.StageDecode, trace.SideClient, c.cfg.User, slot)
 	decodable := len(ids) <= c.cfg.Decoders
 
 	// Coverage: the tiles of the actual FoV (for the actual cell) must be
 	// available, freshly delivered or held in RAM, at some quality level.
 	level, covered := c.coverage(actual, ids)
+	dsp.SetTiles(len(ids))
+	dsp.SetLevel(level)
+	if !decodable {
+		dsp.SetErr("decoder-overflow")
+	}
+	dsp.End()
 
 	// A frame counts as displayed when it made its deadline with content to
 	// show: decodable and either fresh tiles or a full RAM-covered view.
 	displayed := decodable && (len(ids) > 0 || covered)
 	delayMs := float64(stats.Delay()) / float64(time.Millisecond)
+
+	psp := c.cfg.Tracer.Start(traceID, trace.StageDisplay, trace.SideClient, c.cfg.User, slot)
+	psp.SetLevel(level)
+	psp.SetRetry(stats.MaxRetry)
+	if displayed {
+		psp.SetOutcome(trace.OutcomeDisplayed)
+	} else {
+		psp.SetOutcome(trace.OutcomeMissed)
+	}
+	psp.End()
 
 	c.acc.Observe(level, covered && decodable, delayMs)
 	c.acc.ObserveFrame(displayed)

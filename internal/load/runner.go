@@ -11,6 +11,7 @@ import (
 	"repro/internal/netem"
 	"repro/internal/obs"
 	"repro/internal/server"
+	"repro/internal/trace"
 	"repro/internal/transport"
 )
 
@@ -75,6 +76,15 @@ type LiveConfig struct {
 	// Recorder receives the server's per-slot decision records; nil
 	// disables.
 	Recorder *obs.Recorder
+	// Tracer receives end-to-end request spans from the server pipeline and
+	// every emulated client; nil disables tracing.
+	Tracer *trace.Tracer
+	// TraceEpoch salts deterministic trace-ID derivation (distinguishes
+	// runs sharing an exporter).
+	TraceEpoch uint64
+	// SLO, when non-nil, tracks per-session deadline-miss and stall burn
+	// rates from client ACKs.
+	SLO *obs.SLOMonitor
 	// Logf receives diagnostics; nil silences them.
 	Logf func(format string, args ...any)
 }
@@ -163,6 +173,9 @@ func RunLive(w *Workload, cfg LiveConfig) (*RunReport, error) {
 	srvCfg.MaxSessions = cfg.MaxSessions
 	srvCfg.Metrics = cfg.Metrics
 	srvCfg.Recorder = cfg.Recorder
+	srvCfg.Tracer = cfg.Tracer
+	srvCfg.TraceEpoch = cfg.TraceEpoch
+	srvCfg.SLO = cfg.SLO
 	srvCfg.Logf = cfg.Logf
 	if !cfg.Unshaped {
 		srvCfg.ShaperFor = func(user uint32) transport.Shaper {
@@ -239,6 +252,7 @@ func RunLive(w *Workload, cfg LiveConfig) (*RunReport, error) {
 			ccfg.Params = qoeParams
 			ccfg.Slots = spec.Slots()
 			ccfg.Metrics = cfg.Metrics
+			ccfg.Tracer = cfg.Tracer
 			res, err := client.Run(ccfg)
 			if err != nil {
 				cfg.Logf("loadgen: session %d: %v", spec.ID, err)

@@ -2,6 +2,7 @@ package load
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/netem"
 	"repro/internal/obs"
 	"repro/internal/tiles"
+	"repro/internal/trace"
 )
 
 // SimConfig parametrizes the deterministic virtual-time engine. No wall
@@ -34,6 +36,17 @@ type SimConfig struct {
 	// Metrics, when non-nil, receives the loadgen histograms (per-session
 	// QoE, deadline-miss fraction).
 	Metrics *obs.Registry
+	// Tracer, when non-nil, emits the same span schema as the live engine,
+	// on the virtual slot clock: slot boundaries become span timestamps, so
+	// a sim run and a live run are analyzable by the same tooling. The
+	// slot.decide span's duration is the measured wall time of the solve
+	// (the one real cost inside a virtual-time slot); all transport spans
+	// are purely virtual.
+	Tracer *trace.Tracer
+	// TraceEpoch salts trace-ID derivation, as in LiveConfig.
+	TraceEpoch uint64
+	// SLO, when non-nil, is fed each session's per-slot display outcome.
+	SLO *obs.SLOMonitor
 }
 
 func (c SimConfig) withDefaults() SimConfig {
@@ -136,6 +149,7 @@ func Simulate(w *Workload, cfg SimConfig) (*RunReport, error) {
 	plans := make([]plan, 0, 64)
 
 	finish := func(s *simSession) {
+		cfg.SLO.Retire(s.spec.ID)
 		out := SessionOutcome{
 			ID:       s.spec.ID,
 			Slots:    s.acc.Slots(),
@@ -207,7 +221,16 @@ func Simulate(w *Workload, cfg SimConfig) (*RunReport, error) {
 			s.pred.Observe(actual)
 		}
 		problem := &core.SlotProblem{T: slot + 1, Budget: cfg.BudgetMbps, Users: users}
+		var solveStart time.Time
+		if cfg.Tracer.Enabled() {
+			solveStart = time.Now()
+		}
 		allocation := alloc.Allocate(cfg.Params, problem)
+		var slotNs, solveNs int64
+		if cfg.Tracer.Enabled() {
+			solveNs = time.Since(solveStart).Nanoseconds()
+			slotNs = int64(float64(slot) * slotMs * 1e6)
+		}
 
 		// Shared-egress overload: the allocator respects the budget when it
 		// can, but when even the mandatory minimum levels exceed it (the
@@ -244,6 +267,44 @@ func Simulate(w *Workload, cfg SimConfig) (*RunReport, error) {
 			}
 			s.acc.Observe(q, covered, delay)
 			s.acc.ObserveFrame(!missed)
+
+			quality := float64(q)
+			if missed {
+				quality = 0
+			}
+			cfg.SLO.ObserveSlot(s.spec.ID, !missed, quality)
+
+			if tr := cfg.Tracer; tr.Enabled() {
+				user, vslot := s.spec.ID, uint32(slot)
+				tid := trace.TileTraceID(cfg.TraceEpoch, user, vslot)
+				delayNs := int64(delay * 1e6)
+				// rate Mbps over a slotMs slot = rate*slotMs*125 bytes.
+				bytes := int(rate * slotMs * 125)
+
+				d := tr.StartAt(tid, trace.StageDecide, trace.SideServer, user, vslot, slotNs)
+				d.SetAlgo(cfg.AllocName)
+				d.SetLevel(q)
+				d.SetTiles(len(plans))
+				d.EndAt(slotNs + solveNs)
+
+				tx := tr.StartAt(tid, trace.StageSend, trace.SideServer, user, vslot, slotNs)
+				tx.SetLevel(q)
+				tx.SetBytes(bytes)
+				tx.EndAt(slotNs + delayNs)
+
+				rx := tr.StartAt(tid, trace.StageRecv, trace.SideClient, user, vslot, slotNs)
+				rx.SetBytes(bytes)
+				rx.EndAt(slotNs + delayNs)
+
+				disp := tr.StartAt(tid, trace.StageDisplay, trace.SideClient, user, vslot, slotNs+delayNs)
+				disp.SetLevel(q)
+				if missed {
+					disp.SetOutcome(trace.OutcomeMissed)
+				} else {
+					disp.SetOutcome(trace.OutcomeDisplayed)
+				}
+				disp.EndAt(slotNs + delayNs)
+			}
 		}
 	}
 	// Sessions alive at the horizon end complete there.

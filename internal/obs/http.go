@@ -45,8 +45,36 @@ func SlotsHandler(rec *Recorder) http.Handler {
 // NewMux returns an http.ServeMux with the standard observability routes:
 // /metrics (Prometheus text) and /debug/slots (flight-recorder JSON).
 func NewMux(r *Registry, rec *Recorder) *http.ServeMux {
+	return NewMuxOpts(r, rec, MuxOptions{})
+}
+
+// MuxOptions selects the optional observability routes.
+type MuxOptions struct {
+	// SLO, when non-nil, adds /debug/slo and refreshes the SLO gauges on
+	// every /metrics scrape.
+	SLO *SLOMonitor
+	// Debug adds the pprof endpoints and /debug/runtime, and samples the
+	// runtime into collabvr_runtime_* gauges on every /metrics scrape.
+	Debug bool
+}
+
+// NewMuxOpts is NewMux with the optional routes.
+func NewMuxOpts(r *Registry, rec *Recorder, opts MuxOptions) *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.Handle("/metrics", MetricsHandler(r))
+	metricsHandler := MetricsHandler(r)
+	mux.Handle("/metrics", http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if opts.Debug {
+			CollectRuntime(r)
+		}
+		opts.SLO.RefreshGauges()
+		metricsHandler.ServeHTTP(w, req)
+	}))
 	mux.Handle("/debug/slots", SlotsHandler(rec))
+	if opts.SLO != nil {
+		mux.Handle("/debug/slo", SLOHandler(opts.SLO))
+	}
+	if opts.Debug {
+		AttachDebug(mux, r)
+	}
 	return mux
 }

@@ -143,13 +143,14 @@ func (h *Histogram) Mean() float64 {
 }
 
 // Quantile estimates the q-quantile (0..1) by linear interpolation within
-// the containing bucket. Samples in the overflow bucket report the largest
-// finite bound.
+// the containing bucket. An empty histogram reports 0; q is clamped to
+// [0, 1] (NaN counts as 0); samples in the +Inf overflow bucket report the
+// largest finite bound, because the histogram cannot resolve beyond it.
 func (h *Histogram) Quantile(q float64) float64 {
 	if h == nil || h.Count() == 0 || len(h.bounds) == 0 {
 		return 0
 	}
-	if q < 0 {
+	if math.IsNaN(q) || q < 0 {
 		q = 0
 	}
 	if q > 1 {
@@ -161,6 +162,13 @@ func (h *Histogram) Quantile(q float64) float64 {
 	for i, bound := range h.bounds {
 		c := float64(h.counts[i].Load())
 		if cum+c >= target && c > 0 {
+			// The first bucket has no finite lower edge. Interpolating from
+			// 0 is only meaningful when the bound is positive (the
+			// Prometheus convention); otherwise report the bound itself
+			// rather than a value above it.
+			if i == 0 && bound <= 0 {
+				return bound
+			}
 			frac := (target - cum) / c
 			return lo + frac*(bound-lo)
 		}

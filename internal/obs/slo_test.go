@@ -1,0 +1,236 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func sloForTest() *SLOMonitor {
+	return NewSLOMonitor(SLOConfig{WindowSlots: 100, ShortWindowSlots: 20}, NewRegistry())
+}
+
+func TestSLOHealthySessionStaysOK(t *testing.T) {
+	m := sloForTest()
+	for i := 0; i < 300; i++ {
+		m.ObserveSlot(1, true, 4)
+	}
+	if got := m.State(1); got != SLOStateOK {
+		t.Fatalf("healthy session state = %q", got)
+	}
+	snap := m.Snapshot()
+	if snap.OK != 1 || snap.Warn != 0 || snap.Page != 0 {
+		t.Errorf("snapshot counts = %+v", snap)
+	}
+	s := snap.Sessions[0]
+	if s.MissRate != 0 || s.MeanQuality != 4 || s.QualityLow {
+		t.Errorf("session state = %+v", s)
+	}
+	if s.Slots != 100 {
+		t.Errorf("window fill = %d, want capped at 100", s.Slots)
+	}
+}
+
+func TestSLOAllMissesPages(t *testing.T) {
+	m := sloForTest()
+	for i := 0; i < 50; i++ {
+		m.ObserveSlot(7, false, 0)
+	}
+	if got := m.State(7); got != SLOStatePage {
+		t.Fatalf("all-miss session state = %q", got)
+	}
+	snap := m.Snapshot()
+	if snap.Page != 1 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+	s := snap.Sessions[0]
+	if s.MissRate != 1 {
+		t.Errorf("miss rate = %v", s.MissRate)
+	}
+	// Burn = rate/target = 1/0.02 = 50x.
+	if s.MissBurn != 50 {
+		t.Errorf("miss burn = %v", s.MissBurn)
+	}
+	// Every miss after the first is a stall (consecutive misses).
+	if s.StallRate != 49.0/50 {
+		t.Errorf("stall rate = %v", s.StallRate)
+	}
+	reg := m.reg
+	if reg.Gauge("collabvr_slo_sessions_page").Value() != 1 {
+		t.Error("page gauge not mirrored")
+	}
+	if reg.Counter("collabvr_slo_page_transitions_total").Value() == 0 {
+		t.Error("page transition not counted")
+	}
+}
+
+func TestSLOAlertGatedUntilShortWindowFills(t *testing.T) {
+	m := sloForTest()
+	for i := 0; i < 19; i++ { // one short of the 20-slot short window
+		m.ObserveSlot(3, false, 0)
+	}
+	if got := m.State(3); got != SLOStateOK {
+		t.Fatalf("state before window fill = %q", got)
+	}
+	m.ObserveSlot(3, false, 0)
+	if got := m.State(3); got != SLOStatePage {
+		t.Fatalf("state after window fill = %q", got)
+	}
+}
+
+func TestSLOIsolatedMissesWarnNotPage(t *testing.T) {
+	// 10% miss rate (burn 5x: above SlowBurn 3, below FastBurn 10), spread
+	// out so no two misses are consecutive (no stalls).
+	m := sloForTest()
+	for i := 0; i < 200; i++ {
+		m.ObserveSlot(2, i%10 != 0, 3)
+	}
+	if got := m.State(2); got != SLOStateWarn {
+		t.Fatalf("10%% miss session state = %q", got)
+	}
+	snap := m.Snapshot()
+	if s := snap.Sessions[0]; s.StallRate != 0 {
+		t.Errorf("isolated misses counted as stalls: %+v", s)
+	}
+}
+
+func TestSLORecoveryReturnsToOK(t *testing.T) {
+	m := sloForTest()
+	for i := 0; i < 30; i++ {
+		m.ObserveSlot(5, false, 0)
+	}
+	if m.State(5) != SLOStatePage {
+		t.Fatal("not paging during the outage")
+	}
+	// Recover: the misses age out of the 100-slot window.
+	for i := 0; i < 200; i++ {
+		m.ObserveSlot(5, true, 4)
+	}
+	if got := m.State(5); got != SLOStateOK {
+		t.Fatalf("state after recovery = %q", got)
+	}
+}
+
+func TestSLOQualityBreachFlag(t *testing.T) {
+	m := sloForTest()
+	for i := 0; i < 50; i++ {
+		m.ObserveSlot(9, true, 1) // displayed, but at the lowest level
+	}
+	snap := m.Snapshot()
+	s := snap.Sessions[0]
+	if !s.QualityLow || s.MeanQuality != 1 {
+		t.Errorf("low-quality session = %+v", s)
+	}
+	if s.State != SLOStateOK {
+		t.Errorf("quality breach must not page by itself: %q", s.State)
+	}
+	if m.reg.Gauge("collabvr_slo_sessions_quality_breach").Value() != 1 {
+		t.Error("quality-breach gauge not mirrored")
+	}
+}
+
+func TestSLORetire(t *testing.T) {
+	m := sloForTest()
+	m.ObserveSlot(1, true, 3)
+	m.ObserveSlot(2, true, 3)
+	m.Retire(1)
+	snap := m.Snapshot()
+	if len(snap.Sessions) != 1 || snap.Sessions[0].Session != 2 {
+		t.Errorf("sessions after retire = %+v", snap.Sessions)
+	}
+	if m.State(1) != "" {
+		t.Error("retired session still has a state")
+	}
+}
+
+func TestSLONilSafety(t *testing.T) {
+	var m *SLOMonitor
+	if m.Enabled() {
+		t.Fatal("nil monitor enabled")
+	}
+	m.ObserveSlot(1, false, 0)
+	m.Retire(1)
+	m.RefreshGauges()
+	if m.State(1) != "" || len(m.Snapshot().Sessions) != 0 {
+		t.Fatal("nil monitor not inert")
+	}
+	// A monitor without a registry still tracks state.
+	free := NewSLOMonitor(SLOConfig{WindowSlots: 10, ShortWindowSlots: 2}, nil)
+	for i := 0; i < 10; i++ {
+		free.ObserveSlot(1, false, 0)
+	}
+	if free.State(1) != SLOStatePage {
+		t.Error("registry-free monitor did not page")
+	}
+}
+
+func TestSLOHandlerAndMux(t *testing.T) {
+	reg := NewRegistry()
+	m := NewSLOMonitor(SLOConfig{WindowSlots: 50, ShortWindowSlots: 10}, reg)
+	for i := 0; i < 20; i++ {
+		m.ObserveSlot(4, false, 0)
+	}
+	mux := NewMuxOpts(reg, nil, MuxOptions{SLO: m, Debug: true})
+
+	// /debug/slo serves the snapshot.
+	rw := httptest.NewRecorder()
+	mux.ServeHTTP(rw, httptest.NewRequest("GET", "/debug/slo", nil))
+	var snap SLOSnapshot
+	if err := json.Unmarshal(rw.Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Page != 1 || len(snap.Sessions) != 1 || snap.Sessions[0].State != SLOStatePage {
+		t.Errorf("slo page = %+v", snap)
+	}
+
+	// /metrics refreshes the SLO gauges and the runtime sample.
+	rw = httptest.NewRecorder()
+	mux.ServeHTTP(rw, httptest.NewRequest("GET", "/metrics", nil))
+	body := rw.Body.String()
+	for _, want := range []string{
+		"collabvr_slo_sessions_page 1",
+		"collabvr_runtime_goroutines",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	// /debug/pprof and /debug/runtime respond.
+	rw = httptest.NewRecorder()
+	mux.ServeHTTP(rw, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rw.Code != 200 {
+		t.Errorf("pprof index = %d", rw.Code)
+	}
+	rw = httptest.NewRecorder()
+	mux.ServeHTTP(rw, httptest.NewRequest("GET", "/debug/runtime", nil))
+	var doc map[string]float64
+	if err := json.Unmarshal(rw.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc["goroutines"] <= 0 {
+		t.Errorf("runtime doc = %v", doc)
+	}
+
+	// Plain NewMux keeps the old surface and omits the debug routes.
+	plain := NewMux(reg, nil)
+	rw = httptest.NewRecorder()
+	plain.ServeHTTP(rw, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rw.Code == 200 {
+		t.Error("plain mux serves pprof")
+	}
+}
+
+func TestSLOObserveSlotZeroAllocsSteadyState(t *testing.T) {
+	m := sloForTest()
+	for i := 0; i < 200; i++ {
+		m.ObserveSlot(1, true, 3)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		m.ObserveSlot(1, true, 3)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state ObserveSlot allocates %.1f/op", allocs)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/netem"
 	"repro/internal/obs"
 	"repro/internal/tiles"
+	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/vrmath"
 )
@@ -81,6 +82,17 @@ type Config struct {
 	// Recorder receives one decision record per allocation slot; nil
 	// disables the flight recorder with near-zero overhead.
 	Recorder *obs.Recorder
+	// Tracer receives request-scoped spans following each tile request
+	// through the slot pipeline; nil disables tracing with one pointer
+	// check per instrumentation point.
+	Tracer *trace.Tracer
+	// TraceEpoch seeds the deterministic trace-ID derivation; clients that
+	// share it (and the epoch 0 default) stitch their spans onto the
+	// server's traces.
+	TraceEpoch uint64
+	// SLO receives per-session display outcomes for burn-rate alerting;
+	// nil disables SLO monitoring.
+	SLO *obs.SLOMonitor
 }
 
 // DefaultConfig returns a server configuration with the paper's real-system
@@ -147,6 +159,7 @@ type session struct {
 	user   uint32
 	ctrl   *transport.Conn
 	sender *transport.Sender
+	tracer *trace.Tracer
 
 	mu        sync.Mutex
 	pose      vrmath.Pose
@@ -171,6 +184,11 @@ type session struct {
 	// allocated maps recent slots to the level and rate chosen, so ACK
 	// feedback can be joined back for the delay regression.
 	allocated map[uint32]allocRecord
+
+	// retries counts NACK-driven retransmissions per tile, so each resend
+	// carries its attempt number in the packet header; ACKed tiles are
+	// forgotten.
+	retries map[tiles.VideoID]uint8
 
 	// delaySamples feed the polynomial delay predictor.
 	delayRates []float64
@@ -232,6 +250,13 @@ type tileJob struct {
 	slot    uint32
 	id      tiles.VideoID
 	payload []byte
+	// trace is the request's trace ID (0 = untraced); origSlot the slot the
+	// ID derives from (a NACK retransmission keeps the original request's
+	// trace while transmitting under the current slot); retry the tile's
+	// retransmission count.
+	trace    uint64
+	origSlot uint32
+	retry    uint8
 }
 
 // maxDelaySamples bounds the regression window.
@@ -422,10 +447,12 @@ func (s *Server) handleConn(ctrl *transport.Conn) {
 		user:      hello.User,
 		ctrl:      ctrl,
 		sender:    transport.NewSender(s.udp, dst, shaper, s.cfg.MTU),
+		tracer:    s.cfg.Tracer,
 		predictor: motion.NewPredictor(s.cfg.PredictorWindow),
 		ledger:    tiles.NewDeliveryLedger(),
 		ema:       estimate.NewEMA(s.cfg.EMAAlpha),
 		allocated: make(map[uint32]allocRecord),
+		retries:   make(map[tiles.VideoID]uint8),
 		sendCh:    make(chan []tileJob, 32),
 	}
 	s.metrics.instrumentSender(sess.sender)
@@ -473,10 +500,17 @@ func (s *Server) handleConn(ctrl *transport.Conn) {
 // per-session QoE histogram.
 func (s *Server) retireSession(sess *session) {
 	s.mu.Lock()
+	current := false
 	if cur, ok := s.sessions[sess.user]; ok && cur == sess {
 		delete(s.sessions, sess.user)
+		current = true
 	}
 	s.mu.Unlock()
+	if current {
+		// Only the current session retires the SLO window: a superseding
+		// reconnect with the same ID keeps accumulating into it.
+		s.cfg.SLO.Retire(sess.user)
+	}
 	sess.ctrl.Close()
 	sess.closeSend()
 	s.metrics.sessionsActive.Add(-1)
@@ -494,11 +528,33 @@ func (s *Server) retireSession(sess *session) {
 // shaper's pacing sleeps off the slot loop's critical path.
 func (sess *session) sendLoop() {
 	for batch := range sess.sendCh {
+		if len(batch) == 0 {
+			continue
+		}
+		stage := trace.StageSend
+		maxRetry := 0
 		for _, job := range batch {
-			if err := sess.sender.SendTile(sess.user, job.slot, job.id, job.payload); err != nil {
-				return
+			if int(job.retry) > maxRetry {
+				maxRetry = int(job.retry)
 			}
 		}
+		if maxRetry > 0 {
+			stage = trace.StageRetry
+		}
+		sp := sess.tracer.Start(batch[0].trace, stage, trace.SideServer, sess.user, batch[0].origSlot)
+		bytes := 0
+		for _, job := range batch {
+			if err := sess.sender.SendTileTraced(sess.user, job.slot, job.id, job.payload, job.trace, job.retry); err != nil {
+				sp.SetErr("send-failed")
+				sp.End()
+				return
+			}
+			bytes += len(job.payload)
+		}
+		sp.SetTiles(len(batch))
+		sp.SetBytes(bytes)
+		sp.SetRetry(maxRetry)
+		sp.End()
 	}
 }
 
@@ -531,11 +587,24 @@ func (s *Server) controlLoop(sess *session) {
 // handleACK folds client feedback into the estimators and the QoE state.
 func (s *Server) handleACK(sess *session, ack transport.TileACK) {
 	s.metrics.acks.Inc()
+	traceID := trace.TileTraceID(s.cfg.TraceEpoch, sess.user, ack.Slot)
+	sp := s.cfg.Tracer.Start(traceID, trace.StageAck, trace.SideServer, sess.user, ack.Slot)
+	sp.SetTiles(len(ack.Tiles))
+	sp.SetBytes(ack.Bytes)
+	if ack.Displayed {
+		sp.SetOutcome(trace.OutcomeDisplayed)
+	} else {
+		sp.SetOutcome(trace.OutcomeMissed)
+	}
+	defer sp.End()
 	for _, id := range ack.Tiles {
 		sess.ledger.MarkDelivered(id)
 	}
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
+	for _, id := range ack.Tiles {
+		delete(sess.retries, id)
+	}
 
 	// Throughput estimate: goodput across the slot's arrival window
 	// approximates the bottleneck rate when the link is the constraint.
@@ -570,6 +639,11 @@ func (s *Server) handleACK(sess *session, ack transport.TileACK) {
 			sess.covered++
 			sess.sumViewedQ += float64(rec.level)
 		}
+		quality := 0.0
+		if ack.Displayed {
+			quality = float64(rec.level)
+		}
+		s.cfg.SLO.ObserveSlot(sess.user, ack.Displayed, quality)
 		// Delay regression sample.
 		if ack.DelayMs > 0 {
 			sess.delayRates = append(sess.delayRates, rec.rate)
@@ -602,17 +676,31 @@ func (s *Server) handleNack(sess *session, nack transport.Nack) {
 	s.mu.Lock()
 	curSlot := s.slot
 	s.mu.Unlock()
+	// The retransmission keeps the original request's trace: the NACKed
+	// slot derives the ID, so the retry span lands in the same trace as the
+	// first transmission and the client's eventual receive.
+	traceID := trace.TileTraceID(s.cfg.TraceEpoch, sess.user, nack.Slot)
 	batch := make([]tileJob, 0, len(nack.Tiles))
+	sess.mu.Lock()
+	if sess.retries == nil {
+		sess.retries = make(map[tiles.VideoID]uint8)
+	}
 	for _, id := range nack.Tiles {
 		if sess.ledger.Has(id) {
 			continue // already confirmed via a later ACK
 		}
-		batch = append(batch, tileJob{slot: curSlot, id: id, payload: s.store.Payload(id)})
+		if sess.retries[id] < 0xFF {
+			sess.retries[id]++
+		}
+		batch = append(batch, tileJob{
+			slot: curSlot, id: id, payload: s.store.Payload(id),
+			trace: traceID, origSlot: nack.Slot, retry: sess.retries[id],
+		})
 	}
 	if len(batch) == 0 {
+		sess.mu.Unlock()
 		return
 	}
-	sess.mu.Lock()
 	sess.retransmits += len(batch)
 	sess.mu.Unlock()
 	s.metrics.retransmits.Add(uint64(len(batch)))
@@ -723,6 +811,7 @@ func (s *Server) runSlot(slot uint32, sessions []*session) {
 	}
 
 	problem := &core.SlotProblem{T: int(slot) + 1, Budget: s.cfg.BudgetMbps, Users: users}
+	decideStart := s.cfg.Tracer.Now()
 	var allocation core.Allocation
 	var slotTrace *core.SlotTrace
 	if tracer, ok := s.cfg.Allocator.(core.TracingAllocator); ok && s.cfg.Recorder.Enabled() {
@@ -731,6 +820,7 @@ func (s *Server) runSlot(slot uint32, sessions []*session) {
 	} else {
 		allocation = s.cfg.Allocator.Allocate(s.cfg.Params, problem)
 	}
+	decideEnd := s.cfg.Tracer.Now()
 	recordSlot(s.cfg.Recorder, s.cfg.Allocator.Name(), s.cfg.Params, slot,
 		problem, allocation, slotTrace)
 	s.metrics.observeDecision(time.Since(started), s.cfg.SlotDuration)
@@ -739,7 +829,20 @@ func (s *Server) runSlot(slot uint32, sessions []*session) {
 	for i, p := range plans {
 		level := allocation.Levels[i]
 		s.metrics.allocLevel.Observe(float64(level))
-		var batch []tileJob
+		traceID := trace.TileTraceID(s.cfg.TraceEpoch, p.sess.user, slot)
+
+		// The solve ran once for the whole slot; each planned user's trace
+		// records it as its decision stage.
+		dsp := s.cfg.Tracer.StartAt(traceID, trace.StageDecide, trace.SideServer, p.sess.user, slot, decideStart)
+		dsp.SetAlgo(s.cfg.Allocator.Name())
+		dsp.SetLevel(level)
+		dsp.SetTiles(len(plans))
+		dsp.EndAt(decideEnd)
+
+		// Admission: level assignment plus repetitive-tile suppression
+		// against the delivery ledger.
+		asp := s.cfg.Tracer.Start(traceID, trace.StageAdmit, trace.SideServer, p.sess.user, slot)
+		ids := make([]tiles.VideoID, 0, len(p.sel))
 		skipped := 0
 		for _, tile := range p.sel {
 			id, err := tiles.PackVideoID(p.cell, tile, level)
@@ -751,8 +854,25 @@ func (s *Server) runSlot(slot uint32, sessions []*session) {
 				skipped++
 				continue // repetitive-tile suppression
 			}
-			batch = append(batch, tileJob{slot: slot, id: id, payload: s.store.Payload(id)})
+			ids = append(ids, id)
 		}
+		asp.SetLevel(level)
+		asp.SetTiles(len(ids))
+		asp.End()
+
+		// Fetch/encode: tile payloads from the store (cache or generate).
+		fsp := s.cfg.Tracer.Start(traceID, trace.StageFetch, trace.SideServer, p.sess.user, slot)
+		batch := make([]tileJob, 0, len(ids))
+		fetched := 0
+		for _, id := range ids {
+			payload := s.store.Payload(id)
+			fetched += len(payload)
+			batch = append(batch, tileJob{slot: slot, origSlot: slot, id: id, payload: payload, trace: traceID})
+		}
+		fsp.SetTiles(len(batch))
+		fsp.SetBytes(fetched)
+		fsp.End()
+
 		p.sess.mu.Lock()
 		p.sess.allocated[slot] = allocRecord{level: level, rate: p.rates[level-1]}
 		p.sess.levelSum += level

@@ -11,6 +11,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/baseline"
 	"repro/internal/core"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/nettrace"
 	"repro/internal/obs"
 	"repro/internal/tiles"
+	"repro/internal/trace"
 )
 
 // Config parametrizes one simulation campaign.
@@ -59,6 +61,14 @@ type Config struct {
 	// brute-force optimum runs in the same campaign — per-slot regret
 	// versus it. Nil disables tracing with near-zero overhead.
 	Recorder *obs.Recorder
+	// Tracer, when non-nil, emits virtual-time spans — the same schema as
+	// the live engine — for the campaign's first run only (the remaining
+	// runs are statistical repeats). The trace epoch is salted per
+	// algorithm so replays over identical inputs occupy distinct trace
+	// spaces instead of merging into one trace.
+	Tracer *trace.Tracer
+	// TraceEpoch salts trace-ID derivation.
+	TraceEpoch uint64
 }
 
 // DefaultConfig returns the paper's simulation parameters for n users.
@@ -224,7 +234,7 @@ func simulateOneRun(cfg Config, slots, run int, algorithms []AlgorithmFactory) (
 	inputs := make([][]slotInput, cfg.Users) // [user][slot]
 	scenes := motion.Scenes()
 	for u := 0; u < cfg.Users; u++ {
-		trace := motion.Generate(scenes[u%2], u, slots, cfg.SlotsPerSecond, seed)
+		mt := motion.Generate(scenes[u%2], u, slots, cfg.SlotsPerSecond, seed)
 		pred := motion.NewPredictor(cfg.PredictorWindow)
 		inputs[u] = make([]slotInput, slots)
 		for s := 0; s < slots; s++ {
@@ -232,16 +242,16 @@ func simulateOneRun(cfg Config, slots, run int, algorithms []AlgorithmFactory) (
 			if s <= cfg.PredictorWindow {
 				// Cold start: assume perfect knowledge until the regression
 				// window has data (the real system warms up the same way).
-				predicted = trace[s]
+				predicted = mt[s]
 			}
 			cell := tiles.CellFor(predicted.Pos)
 			sel := tiles.ForView(predicted, cfg.Coverage.FoV, cfg.Coverage.MarginDeg)
 			inputs[u][s] = slotInput{
 				rates:   sizeModel.RateTable(cell, sel),
-				covered: cfg.Coverage.Covered(predicted, trace[s]),
+				covered: cfg.Coverage.Covered(predicted, mt[s]),
 				cap_:    caps[u][s],
 			}
-			pred.Observe(trace[s])
+			pred.Observe(mt[s])
 		}
 	}
 
@@ -291,6 +301,14 @@ func emitRecords(cfg Config, algorithms []AlgorithmFactory, records [][]obs.Slot
 func replayAlgorithm(cfg Config, slots int, budget float64, inputs [][]slotInput, factory AlgorithmFactory, seed int64, run int) (*Result, []obs.SlotRecord) {
 	alloc := factory.New()
 	recording := cfg.Recorder.Enabled()
+	// Spans: the campaign's runs beyond the first are statistical repeats,
+	// so only run 0 is traced; the epoch salt keeps each algorithm's replay
+	// of the identical inputs in its own trace space.
+	spanning := cfg.Tracer.Enabled() && run == 0
+	var epoch uint64
+	if spanning {
+		epoch = algoEpoch(cfg.TraceEpoch, factory.Name)
+	}
 	tracer, canTrace := alloc.(core.TracingAllocator)
 	var records []obs.SlotRecord
 	if recording {
@@ -341,11 +359,20 @@ func replayAlgorithm(cfg Config, slots int, budget float64, inputs [][]slotInput
 		problem := &core.SlotProblem{T: s + 1, Budget: budget, Users: users}
 		var allocation core.Allocation
 		var slotTrace *core.SlotTrace
+		var solveStart time.Time
+		if spanning {
+			solveStart = time.Now()
+		}
 		if recording && canTrace {
 			slotTrace = &core.SlotTrace{}
 			allocation = tracer.AllocateTraced(cfg.Params, problem, slotTrace)
 		} else {
 			allocation = alloc.Allocate(cfg.Params, problem)
+		}
+		var slotNs, solveNs int64
+		if spanning {
+			solveNs = time.Since(solveStart).Nanoseconds()
+			slotNs = int64(float64(s) * slotMs * 1e6)
 		}
 		if recording {
 			records = append(records, slotRecord(cfg, factory.Name, run, s, budget, problem, allocation, slotTrace))
@@ -366,6 +393,10 @@ func replayAlgorithm(cfg Config, slots int, budget float64, inputs [][]slotInput
 			}
 			tracker.Record(u, q, covered, delay)
 			acc[u].Observe(q, covered, delay)
+			if spanning {
+				emitSimSpans(cfg.Tracer, epoch, factory.Name, uint32(u), uint32(s),
+					slotNs, solveNs, q, len(users), rate*slotMs*125, delay, delay <= 2*slotMs)
+			}
 		}
 	}
 
@@ -378,6 +409,50 @@ func replayAlgorithm(cfg Config, slots int, budget float64, inputs [][]slotInput
 	}
 	res.Fairness = []float64{metrics.JainIndex(res.QoE)}
 	return res, records
+}
+
+// algoEpoch mixes an algorithm name into the trace epoch (FNV-1a style) so
+// per-algorithm replays of the same (user, slot) grid derive distinct
+// deterministic trace IDs.
+func algoEpoch(base uint64, name string) uint64 {
+	h := base ^ 14695981039346656037
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint64(name[i])) * 1099511628211
+	}
+	return h
+}
+
+// emitSimSpans writes one slot's virtual-time spans for one user: the solve
+// (its duration is the only wall-clock measurement inside a virtual slot),
+// the virtual transmit/receive window, and the display outcome.
+func emitSimSpans(tr *trace.Tracer, epoch uint64, algo string, user, slot uint32,
+	slotNs, solveNs int64, level, tilesN int, bytes, delayMs float64, displayed bool) {
+	tid := trace.TileTraceID(epoch, user, slot)
+	delayNs := int64(delayMs * 1e6)
+
+	d := tr.StartAt(tid, trace.StageDecide, trace.SideServer, user, slot, slotNs)
+	d.SetAlgo(algo)
+	d.SetLevel(level)
+	d.SetTiles(tilesN)
+	d.EndAt(slotNs + solveNs)
+
+	tx := tr.StartAt(tid, trace.StageSend, trace.SideServer, user, slot, slotNs)
+	tx.SetLevel(level)
+	tx.SetBytes(int(bytes))
+	tx.EndAt(slotNs + delayNs)
+
+	rx := tr.StartAt(tid, trace.StageRecv, trace.SideClient, user, slot, slotNs)
+	rx.SetBytes(int(bytes))
+	rx.EndAt(slotNs + delayNs)
+
+	disp := tr.StartAt(tid, trace.StageDisplay, trace.SideClient, user, slot, slotNs+delayNs)
+	disp.SetLevel(level)
+	if displayed {
+		disp.SetOutcome(trace.OutcomeDisplayed)
+	} else {
+		disp.SetOutcome(trace.OutcomeMissed)
+	}
+	disp.EndAt(slotNs + delayNs)
 }
 
 // slotRecord builds one flight-recorder entry for a decided slot.

@@ -1,0 +1,285 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// ReadSpans parses a JSONL span export (the format Exporter writes). Blank
+// lines are skipped; a malformed line is an error that names its number.
+func ReadSpans(r io.Reader) ([]SpanRecord, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	var out []SpanRecord
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var rec SpanRecord
+		if err := json.Unmarshal([]byte(text), &rec); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		if rec.Trace == 0 || rec.Stage == "" {
+			return nil, fmt.Errorf("trace: line %d: span without trace/stage", line)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read spans: %w", err)
+	}
+	return out, nil
+}
+
+// StageStat aggregates one pipeline stage across every trace.
+type StageStat struct {
+	Stage string  `json:"stage"`
+	Count int     `json:"count"`
+	P50Ms float64 `json:"p50_ms"`
+	P95Ms float64 `json:"p95_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	MaxMs float64 `json:"max_ms"`
+	// TotalMs is the summed duration of the stage across all traces, and
+	// Share its fraction of the summed duration of all stages — where the
+	// pipeline's time goes in aggregate.
+	TotalMs float64 `json:"total_ms"`
+	Share   float64 `json:"share"`
+	// Critical counts the traces in which this stage was the single
+	// longest one — the per-trace critical-path attribution.
+	Critical int `json:"critical"`
+}
+
+// StageDur is one stage's duration inside a trace breakdown.
+type StageDur struct {
+	Stage string  `json:"stage"`
+	Ms    float64 `json:"ms"`
+}
+
+// TraceBreakdown is one trace's per-stage latency decomposition; the
+// analysis keeps the slowest ones as exemplars.
+type TraceBreakdown struct {
+	Trace   uint64     `json:"trace"`
+	User    uint32     `json:"user"`
+	Slot    uint32     `json:"slot"`
+	TotalMs float64    `json:"total_ms"`
+	Outcome string     `json:"outcome,omitempty"`
+	Retries int        `json:"retries,omitempty"`
+	Stages  []StageDur `json:"stages"`
+}
+
+// Analysis is the trace-level aggregation collabvr-spans prints.
+type Analysis struct {
+	Spans  int `json:"spans"`
+	Traces int `json:"traces"`
+	// Stitched counts traces holding spans from both the server and the
+	// client side — requests whose halves joined across the wire.
+	Stitched  int              `json:"stitched"`
+	Displayed int              `json:"displayed"`
+	Missed    int              `json:"missed"`
+	Retried   int              `json:"retried"`
+	Stages    []StageStat      `json:"stages"`
+	Slowest   []TraceBreakdown `json:"slowest"`
+}
+
+// stageOrder ranks the canonical stages in pipeline order for stable output;
+// unknown stages sort after them alphabetically.
+var stageOrder = map[string]int{
+	StageDecide:  0,
+	StageAdmit:   1,
+	StageFetch:   2,
+	StageSend:    3,
+	StageRetry:   4,
+	StageAck:     5,
+	StageRecv:    6,
+	StageDecode:  7,
+	StageDisplay: 8,
+}
+
+func stageLess(a, b string) bool {
+	ra, oka := stageOrder[a]
+	rb, okb := stageOrder[b]
+	switch {
+	case oka && okb:
+		return ra < rb
+	case oka:
+		return true
+	case okb:
+		return false
+	default:
+		return a < b
+	}
+}
+
+// quantile returns the nearest-rank q-quantile of sorted (ascending) values.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Analyze aggregates spans into per-stage latency statistics, critical-path
+// attribution and the topN slowest-trace exemplars.
+func Analyze(spans []SpanRecord, topN int) *Analysis {
+	if topN <= 0 {
+		topN = 3
+	}
+	a := &Analysis{Spans: len(spans)}
+
+	type traceAgg struct {
+		user, slot uint32
+		server     bool
+		client     bool
+		outcome    string
+		retries    int
+		minStart   int64
+		maxEnd     int64
+		stageMs    map[string]float64
+	}
+	traces := make(map[uint64]*traceAgg)
+	durs := make(map[string][]float64)
+
+	for _, s := range spans {
+		d := s.DurationMs()
+		if d < 0 {
+			d = 0
+		}
+		durs[s.Stage] = append(durs[s.Stage], d)
+
+		tr := traces[s.Trace]
+		if tr == nil {
+			tr = &traceAgg{user: s.User, slot: s.Slot,
+				minStart: s.StartNs, maxEnd: s.EndNs,
+				stageMs: make(map[string]float64)}
+			traces[s.Trace] = tr
+		}
+		if s.StartNs < tr.minStart {
+			tr.minStart = s.StartNs
+		}
+		if s.EndNs > tr.maxEnd {
+			tr.maxEnd = s.EndNs
+		}
+		tr.stageMs[s.Stage] += d
+		switch s.Side {
+		case SideServer:
+			tr.server = true
+		case SideClient:
+			tr.client = true
+		}
+		// The display outcome wins; the server's ack outcome fills in when
+		// no display span was captured.
+		if s.Outcome != "" && (tr.outcome == "" || s.Stage == StageDisplay) {
+			tr.outcome = s.Outcome
+		}
+		if s.Retry > tr.retries {
+			tr.retries = s.Retry
+		}
+	}
+
+	a.Traces = len(traces)
+	critical := make(map[string]int)
+	breakdowns := make([]TraceBreakdown, 0, len(traces))
+	for id, tr := range traces {
+		if tr.server && tr.client {
+			a.Stitched++
+		}
+		switch tr.outcome {
+		case OutcomeDisplayed:
+			a.Displayed++
+		case OutcomeMissed:
+			a.Missed++
+		}
+		if tr.retries > 0 {
+			a.Retried++
+		}
+		critStage, critMs := "", -1.0
+		bd := TraceBreakdown{
+			Trace: id, User: tr.user, Slot: tr.slot,
+			TotalMs: float64(tr.maxEnd-tr.minStart) / 1e6,
+			Outcome: tr.outcome, Retries: tr.retries,
+		}
+		for stage, ms := range tr.stageMs {
+			bd.Stages = append(bd.Stages, StageDur{Stage: stage, Ms: ms})
+			if ms > critMs {
+				critStage, critMs = stage, ms
+			}
+		}
+		sort.Slice(bd.Stages, func(i, j int) bool { return stageLess(bd.Stages[i].Stage, bd.Stages[j].Stage) })
+		if critStage != "" {
+			critical[critStage]++
+		}
+		breakdowns = append(breakdowns, bd)
+	}
+
+	totalAll := 0.0
+	for stage, ds := range durs {
+		sort.Float64s(ds)
+		total := 0.0
+		for _, d := range ds {
+			total += d
+		}
+		totalAll += total
+		a.Stages = append(a.Stages, StageStat{
+			Stage: stage, Count: len(ds),
+			P50Ms: quantile(ds, 0.50), P95Ms: quantile(ds, 0.95),
+			P99Ms: quantile(ds, 0.99), MaxMs: ds[len(ds)-1],
+			TotalMs: total, Critical: critical[stage],
+		})
+	}
+	for i := range a.Stages {
+		if totalAll > 0 {
+			a.Stages[i].Share = a.Stages[i].TotalMs / totalAll
+		}
+	}
+	sort.Slice(a.Stages, func(i, j int) bool { return stageLess(a.Stages[i].Stage, a.Stages[j].Stage) })
+
+	sort.Slice(breakdowns, func(i, j int) bool {
+		if breakdowns[i].TotalMs != breakdowns[j].TotalMs {
+			return breakdowns[i].TotalMs > breakdowns[j].TotalMs
+		}
+		return breakdowns[i].Trace < breakdowns[j].Trace
+	})
+	if len(breakdowns) > topN {
+		breakdowns = breakdowns[:topN]
+	}
+	a.Slowest = breakdowns
+	return a
+}
+
+// Format renders the analysis as the report collabvr-spans prints.
+func (a *Analysis) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# span analysis: %d spans, %d traces (%d stitched server+client, %d retried)\n",
+		a.Spans, a.Traces, a.Stitched, a.Retried)
+	if a.Displayed+a.Missed > 0 {
+		fmt.Fprintf(&b, "# outcomes: %d displayed, %d missed (%.2f%% deadline miss)\n",
+			a.Displayed, a.Missed, 100*float64(a.Missed)/float64(a.Displayed+a.Missed))
+	}
+	fmt.Fprintf(&b, "%-14s %8s %10s %10s %10s %10s %7s %9s\n",
+		"stage", "count", "p50(ms)", "p95(ms)", "p99(ms)", "max(ms)", "share", "critical")
+	for _, s := range a.Stages {
+		fmt.Fprintf(&b, "%-14s %8d %10.3f %10.3f %10.3f %10.3f %6.1f%% %9d\n",
+			s.Stage, s.Count, s.P50Ms, s.P95Ms, s.P99Ms, s.MaxMs, 100*s.Share, s.Critical)
+	}
+	for i, bd := range a.Slowest {
+		fmt.Fprintf(&b, "slowest[%d] trace=%016x user=%d slot=%d total=%.3fms outcome=%s retries=%d\n",
+			i, bd.Trace, bd.User, bd.Slot, bd.TotalMs, bd.Outcome, bd.Retries)
+		for _, sd := range bd.Stages {
+			fmt.Fprintf(&b, "  %-14s %10.3fms\n", sd.Stage, sd.Ms)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// synthSpans builds two traces: a fast displayed one and a slow missed one
+// with a retry, the slow one dominated by tx.retry.
+func synthSpans() []SpanRecord {
+	t1 := TileTraceID(1, 1, 10)
+	t2 := TileTraceID(1, 2, 10)
+	ms := func(v float64) int64 { return int64(v * 1e6) }
+	return []SpanRecord{
+		{Trace: t1, Span: 1, Stage: StageDecide, Side: SideServer, User: 1, Slot: 10, StartNs: 0, EndNs: ms(1)},
+		{Trace: t1, Span: 2, Stage: StageSend, Side: SideServer, User: 1, Slot: 10, StartNs: ms(1), EndNs: ms(3), Tiles: 4, Bytes: 4096},
+		{Trace: t1, Span: 3, Stage: StageRecv, Side: SideClient, User: 1, Slot: 10, StartNs: ms(2), EndNs: ms(4)},
+		{Trace: t1, Span: 4, Stage: StageDisplay, Side: SideClient, User: 1, Slot: 10, StartNs: ms(4), EndNs: ms(5), Outcome: OutcomeDisplayed, Level: 2},
+
+		{Trace: t2, Span: 5, Stage: StageDecide, Side: SideServer, User: 2, Slot: 10, StartNs: 0, EndNs: ms(1)},
+		{Trace: t2, Span: 6, Stage: StageSend, Side: SideServer, User: 2, Slot: 10, StartNs: ms(1), EndNs: ms(2), Tiles: 4},
+		{Trace: t2, Span: 7, Stage: StageRetry, Side: SideServer, User: 2, Slot: 10, StartNs: ms(5), EndNs: ms(25), Retry: 2, Tiles: 1},
+		{Trace: t2, Span: 8, Stage: StageRecv, Side: SideClient, User: 2, Slot: 10, StartNs: ms(2), EndNs: ms(26), Retry: 2},
+		{Trace: t2, Span: 9, Stage: StageDisplay, Side: SideClient, User: 2, Slot: 10, StartNs: ms(26), EndNs: ms(27), Outcome: OutcomeMissed},
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	a := Analyze(synthSpans(), 1)
+	if a.Spans != 9 || a.Traces != 2 {
+		t.Fatalf("spans=%d traces=%d", a.Spans, a.Traces)
+	}
+	if a.Stitched != 2 {
+		t.Errorf("stitched = %d, want 2 (both traces have server and client spans)", a.Stitched)
+	}
+	if a.Displayed != 1 || a.Missed != 1 || a.Retried != 1 {
+		t.Errorf("displayed=%d missed=%d retried=%d", a.Displayed, a.Missed, a.Retried)
+	}
+
+	byStage := map[string]StageStat{}
+	for _, s := range a.Stages {
+		byStage[s.Stage] = s
+	}
+	if got := byStage[StageDecide]; got.Count != 2 || got.P50Ms != 1 || got.MaxMs != 1 {
+		t.Errorf("decide stat = %+v", got)
+	}
+	if got := byStage[StageRetry]; got.Count != 1 || got.P50Ms != 20 || got.P99Ms != 20 {
+		t.Errorf("retry stat = %+v", got)
+	}
+	// Critical-path attribution: trace 1 is dominated by send or recv (2ms
+	// each -> first max wins, deterministic per map iteration is not — accept
+	// either), trace 2 by recv (24ms).
+	if got := byStage[StageRecv].Critical + byStage[StageSend].Critical; got != 2 {
+		t.Errorf("critical attribution = %+v", a.Stages)
+	}
+	if byStage[StageDecide].Critical != 0 {
+		t.Errorf("decide marked critical: %+v", byStage[StageDecide])
+	}
+
+	// Stage ordering follows the pipeline.
+	var order []string
+	for _, s := range a.Stages {
+		order = append(order, s.Stage)
+	}
+	want := []string{StageDecide, StageSend, StageRetry, StageRecv, StageDisplay}
+	if strings.Join(order, ",") != strings.Join(want, ",") {
+		t.Errorf("stage order = %v", order)
+	}
+
+	// Slowest exemplar is trace 2 (27ms wall span vs 5ms).
+	if len(a.Slowest) != 1 {
+		t.Fatalf("slowest has %d entries", len(a.Slowest))
+	}
+	slow := a.Slowest[0]
+	if slow.Trace != TileTraceID(1, 2, 10) || slow.TotalMs != 27 ||
+		slow.Outcome != OutcomeMissed || slow.Retries != 2 {
+		t.Errorf("slowest = %+v", slow)
+	}
+
+	out := a.Format()
+	for _, want := range []string{"slot.decide", "tx.retry", "rx.display", "stitched", "slowest[0]", "missed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	a := Analyze(nil, 5)
+	if a.Spans != 0 || a.Traces != 0 || len(a.Stages) != 0 || len(a.Slowest) != 0 {
+		t.Fatalf("empty analysis = %+v", a)
+	}
+	if out := a.Format(); !strings.Contains(out, "0 spans") {
+		t.Errorf("empty format = %q", out)
+	}
+}
+
+func TestReadSpansRejectsGarbage(t *testing.T) {
+	if _, err := ReadSpans(strings.NewReader("{\"trace\":1,\"stage\":\"x\"}\nnot json\n")); err == nil {
+		t.Fatal("malformed line accepted")
+	}
+	if _, err := ReadSpans(strings.NewReader("{\"trace\":0,\"stage\":\"x\"}\n")); err == nil {
+		t.Fatal("zero trace ID accepted")
+	}
+	spans, err := ReadSpans(strings.NewReader("\n{\"trace\":1,\"stage\":\"tx.send\"}\n\n"))
+	if err != nil || len(spans) != 1 {
+		t.Fatalf("blank-line tolerance: spans=%d err=%v", len(spans), err)
+	}
+}
+
+func TestQuantileNearestRank(t *testing.T) {
+	ds := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if q := quantile(ds, 0.5); q != 5 {
+		t.Errorf("p50 = %v", q)
+	}
+	if q := quantile(ds, 0.9); q != 9 {
+		t.Errorf("p90 = %v", q)
+	}
+	if q := quantile(ds, 0.95); q != 10 {
+		t.Errorf("p95 = %v", q)
+	}
+	if q := quantile(ds, 0.99); q != 10 {
+		t.Errorf("p99 = %v", q)
+	}
+	if q := quantile(ds, 0); q != 1 {
+		t.Errorf("p0 = %v", q)
+	}
+	if q := quantile(nil, 0.5); q != 0 {
+		t.Errorf("empty = %v", q)
+	}
+}

@@ -17,8 +17,10 @@ import (
 // Magic identifies packets of this protocol.
 const Magic uint16 = 0x5652 // "VR"
 
-// HeaderSize is the fixed data-packet header length in bytes.
-const HeaderSize = 32
+// HeaderSize is the fixed data-packet header length in bytes. The last
+// eight bytes carry the trace ID so the client can stitch its half of a
+// request onto the server's; a zero trace ID means "untraced".
+const HeaderSize = 40
 
 // DefaultMTU bounds a whole datagram (header + payload).
 const DefaultMTU = 1200
@@ -40,6 +42,8 @@ type Packet struct {
 	FragIdx   uint16 // fragment index within the tile
 	FragCount uint16 // total fragments of the tile
 	Seq       uint32 // per-user monotonically increasing sequence
+	Retry     uint8  // retransmission count of this tile (0 = first send)
+	Trace     uint64 // trace ID of the tile request; 0 = untraced
 	Payload   []byte
 }
 
@@ -60,7 +64,7 @@ func (p *Packet) Encode(buf []byte) []byte {
 	buf = buf[:n]
 	binary.BigEndian.PutUint16(buf[0:2], Magic)
 	buf[2] = byte(p.Type)
-	buf[3] = 0
+	buf[3] = p.Retry
 	binary.BigEndian.PutUint32(buf[4:8], p.User)
 	binary.BigEndian.PutUint32(buf[8:12], p.Slot)
 	binary.BigEndian.PutUint64(buf[12:20], uint64(p.VideoID))
@@ -69,6 +73,7 @@ func (p *Packet) Encode(buf []byte) []byte {
 	binary.BigEndian.PutUint16(buf[24:26], uint16(len(p.Payload)))
 	binary.BigEndian.PutUint32(buf[26:30], p.Seq)
 	buf[30], buf[31] = 0, 0
+	binary.BigEndian.PutUint64(buf[32:40], p.Trace)
 	copy(buf[HeaderSize:], p.Payload)
 	return buf
 }
@@ -94,6 +99,8 @@ func Decode(data []byte) (*Packet, error) {
 		FragIdx:   binary.BigEndian.Uint16(data[20:22]),
 		FragCount: binary.BigEndian.Uint16(data[22:24]),
 		Seq:       binary.BigEndian.Uint32(data[26:30]),
+		Retry:     data[3],
+		Trace:     binary.BigEndian.Uint64(data[32:40]),
 		Payload:   data[HeaderSize:],
 	}, nil
 }

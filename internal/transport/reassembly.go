@@ -24,7 +24,9 @@ type SlotStats struct {
 	First, Last time.Time
 	Bytes       int
 	Packets     int
-	Tiles       int // complete tiles
+	Tiles       int    // complete tiles
+	Trace       uint64 // trace ID carried by the slot's packets (0 = untraced)
+	MaxRetry    int    // highest retransmission count seen in the slot
 }
 
 // Delay returns the first-to-last packet spacing (zero for single-packet
@@ -101,6 +103,12 @@ func (r *Reassembler) Ingest(p *Packet, now time.Time) {
 	}
 	st.Packets++
 	st.Bytes += len(p.Payload)
+	if st.Trace == 0 && p.Trace != 0 {
+		st.Trace = p.Trace
+	}
+	if int(p.Retry) > st.MaxRetry {
+		st.MaxRetry = int(p.Retry)
+	}
 
 	key := tileKey{slot: p.Slot, id: p.VideoID}
 	pt := r.pending[key]

@@ -98,12 +98,23 @@ func (s *Sender) Instrument(packets, bytes, dropped *obs.Counter) {
 // SendTile fragments and transmits one tile for a slot, pacing against the
 // shaper. It blocks until the last fragment conforms.
 func (s *Sender) SendTile(user, slot uint32, id tiles.VideoID, payload []byte) error {
+	return s.SendTileTraced(user, slot, id, payload, 0, 0)
+}
+
+// SendTileTraced is SendTile with a trace ID and retransmission count
+// stamped into every fragment header, so the receiver can stitch its half of
+// the request onto the sender's trace and attribute retransmissions.
+func (s *Sender) SendTileTraced(user, slot uint32, id tiles.VideoID, payload []byte, traceID uint64, retry uint8) error {
 	s.mu.Lock()
 	seq := s.seq
 	packets := Fragment(user, slot, id, payload, s.mtu, seq)
 	s.seq += uint32(len(packets))
 	cPackets, cBytes, cDropped := s.cPackets, s.cBytes, s.cDropped
 	s.mu.Unlock()
+	for _, p := range packets {
+		p.Trace = traceID
+		p.Retry = retry
+	}
 
 	// Pacing sleeps are batched: token-bucket debt below sleepQuantum is
 	// carried instead of slept, so the OS sleep overshoot (tens of
