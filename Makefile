@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race lint bench bench-smoke fuzz-smoke ci figures figures-full loadtest-smoke trace-smoke clean
+.PHONY: all build vet test race lint bench bench-smoke fuzz-smoke ci figures figures-full loadtest-smoke trace-smoke chaos-smoke clean
 
 all: build vet test
 
@@ -28,7 +28,7 @@ race:
 	$(GO) test -race ./internal/... ./cmd/...
 
 # What CI runs (see .github/workflows/ci.yml).
-ci: build lint test race bench-smoke fuzz-smoke loadtest-smoke trace-smoke
+ci: build lint test race bench-smoke fuzz-smoke loadtest-smoke trace-smoke chaos-smoke
 
 # Full benchmark pass: the allocator microbenchmark JSON report, then every
 # Go benchmark in the tree.
@@ -66,6 +66,23 @@ loadtest-smoke:
 	$(GO) run ./cmd/collabvr-loadgen -find-capacity -budget 120 -slots 120 \
 		-miss-target 0.05 -cap-lo 1 -cap-hi 64
 
+# Chaos smoke (< 30 s): validate the example fault profiles, run the seeded
+# sim campaign under a mid-run blackout and assert the QoE dip/recovery
+# summary appears, then a short live loopback run under the same profile
+# exercising reconnect, bounded retransmission and graceful drain.
+chaos-smoke:
+	@mkdir -p results
+	$(GO) run ./cmd/collabvr-loadgen -chaos examples/chaos/smoke.json -chaos-check
+	$(GO) run ./cmd/collabvr-loadgen -chaos examples/chaos/blackout.json -chaos-check
+	$(GO) run ./cmd/collabvr-loadgen -chaos examples/chaos/burst-loss.json -chaos-check
+	$(GO) run ./cmd/collabvr-loadgen -arrivals steady -sessions 12 -slots 600 \
+		-seed 7 -chaos examples/chaos/smoke.json | tee results/chaos_smoke.txt
+	grep -q 'breaker-degraded session-slots' results/chaos_smoke.txt
+	grep -q 'chaos recovery' results/chaos_smoke.txt
+	$(GO) run ./cmd/collabvr-loadgen -mode live -arrivals steady -sessions 8 \
+		-slots 240 -slotms 10 -reconnect -drain-timeout 2s \
+		-chaos examples/chaos/smoke.json
+
 # Tracing smoke (< 30 s): a sim-mode loadgen run with span export on,
 # asserting the exporter dropped nothing, then the span-analysis CLI over
 # the exported JSONL (it exits nonzero on malformed or empty input).
@@ -80,4 +97,4 @@ trace-smoke:
 clean:
 	rm -f results/results_bench.txt results/results_bench_full.txt \
 		results/smoke_spans.jsonl results/smoke_spans.txt \
-		test_output.txt bench_output.txt
+		results/chaos_smoke.txt test_output.txt bench_output.txt

@@ -66,6 +66,9 @@ func run(args []string) error {
 	cfg := client.DefaultConfig(uint32(*user), *serverAddr, mt)
 	cfg.SlotDuration = time.Duration(*slotMs * float64(time.Millisecond))
 	cfg.RAMThreshold = *ram
+	// Bound the run to the trace horizon so the client leaves on its own
+	// after -seconds instead of waiting for the server to close.
+	cfg.Slots = len(mt)
 
 	var spanExp *trace.Exporter
 	if *spanOut != "" {

@@ -25,10 +25,12 @@ import (
 	"time"
 
 	"repro/internal/baseline"
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/load"
 	"repro/internal/obs"
 	"repro/internal/trace"
+	"repro/internal/transport"
 )
 
 func main() {
@@ -67,6 +69,10 @@ func run(args []string, out io.Writer) error {
 		capLo      = fs.Int("cap-lo", 1, "capacity-search floor (sessions)")
 		capHi      = fs.Int("cap-hi", 1024, "capacity-search ceiling (sessions)")
 
+		chaosPath  = fs.String("chaos", "", "chaos profile JSON injecting faults into the run (enables SLO + breaker)")
+		chaosCheck = fs.Bool("chaos-check", false, "validate the -chaos profile, print its schedule, and exit")
+		drainT     = fs.Duration("drain-timeout", 0, "live mode: gracefully drain the server for up to this long before closing (0 = immediate close)")
+		reconnect  = fs.Bool("reconnect", false, "live mode: clients redial the control channel when it drops")
 		httpAddr   = fs.String("http", "", "observability HTTP listen address serving /metrics (empty = disabled)")
 		debug      = fs.Bool("debug", false, "expose pprof, /debug/runtime and runtime gauges on the -http mux")
 		spanOut    = fs.String("span-out", "", "write end-to-end request spans to this JSONL file (analyze with collabvr-spans)")
@@ -91,6 +97,22 @@ func run(args []string, out io.Writer) error {
 	params.Alpha = *alpha
 	params.Beta = *beta
 
+	var chaosProf *chaos.Profile
+	if *chaosPath != "" {
+		var err error
+		chaosProf, err = chaos.LoadProfile(*chaosPath)
+		if err != nil {
+			return err
+		}
+	}
+	if *chaosCheck {
+		if chaosProf == nil {
+			return fmt.Errorf("-chaos-check needs -chaos <profile.json>")
+		}
+		fmt.Fprint(out, chaosSummary(chaosProf))
+		return nil
+	}
+
 	base := load.Config{
 		Shape:          load.Shape(*arrivals),
 		Seed:           *seed,
@@ -103,8 +125,17 @@ func run(args []string, out io.Writer) error {
 
 	reg := obs.NewRegistry()
 	var slo *obs.SLOMonitor
-	if *sloOn {
+	// A chaos campaign implies SLO tracking and the circuit breaker: the
+	// resilience path is SLO state -> breaker cap, so running faults without
+	// them would measure nothing.
+	if *sloOn || chaosProf != nil {
 		slo = obs.NewSLOMonitor(obs.DefaultSLOConfig(), reg)
+	}
+	var brk *obs.Breaker
+	if chaosProf != nil {
+		bcfg := obs.DefaultBreakerConfig()
+		bcfg.Levels = params.Levels
+		brk = obs.NewBreaker(bcfg, reg)
 	}
 	var (
 		tracer  *trace.Tracer
@@ -144,7 +175,7 @@ func run(args []string, out io.Writer) error {
 	}
 	execute := func(w *load.Workload, r *obs.Registry) (*load.RunReport, error) {
 		if *mode == "live" {
-			return load.RunLive(w, load.LiveConfig{
+			lcfg := load.LiveConfig{
 				Params:       params,
 				NewAllocator: newAlloc,
 				AllocName:    *algo,
@@ -155,8 +186,22 @@ func run(args []string, out io.Writer) error {
 				Tracer:       tracer,
 				TraceEpoch:   uint64(*seed),
 				SLO:          slo,
+				Chaos:        chaosProf,
+				Breaker:      brk,
+				Reconnect:    *reconnect,
+				DrainTimeout: *drainT,
 				Logf:         logf,
-			})
+			}
+			if chaosProf != nil {
+				// Faults on the wire need the adaptive retransmission path;
+				// the retry slot tracks the display-slot clock.
+				retrySlot := slotDur
+				if retrySlot <= 0 && *sps > 0 {
+					retrySlot = time.Duration(float64(time.Second) / *sps)
+				}
+				lcfg.RetryPolicy = transport.DefaultRetryPolicy(retrySlot)
+			}
+			return load.RunLive(w, lcfg)
 		}
 		return load.Simulate(w, load.SimConfig{
 			Params:       params,
@@ -167,6 +212,8 @@ func run(args []string, out io.Writer) error {
 			Tracer:       tracer,
 			TraceEpoch:   uint64(*seed),
 			SLO:          slo,
+			Chaos:        chaosProf,
+			Breaker:      brk,
 		})
 	}
 
@@ -256,7 +303,65 @@ func run(args []string, out io.Writer) error {
 			reg.Counter("collabvr_slo_warn_transitions_total").Value(),
 			reg.Counter("collabvr_slo_page_transitions_total").Value())
 	}
+	if chaosProf != nil {
+		fmt.Fprintf(out, "chaos %q: breaker transitions degraded %d, open %d, close %d\n",
+			chaosProf.Name,
+			reg.Counter("collabvr_breaker_degraded_transitions_total").Value(),
+			reg.Counter("collabvr_breaker_open_transitions_total").Value(),
+			reg.Counter("collabvr_breaker_close_transitions_total").Value())
+		if start, end := faultWindow(chaosProf); end > 0 && end < len(rep.SlotQuality) {
+			fmt.Fprintf(out, "chaos recovery: mean slot quality %.3f in fault window [%d,%d), %.3f after\n",
+				rep.MeanSlotQuality(start, end), start, end,
+				rep.MeanSlotQuality(end, len(rep.SlotQuality)))
+		}
+	}
 	return nil
+}
+
+// chaosSummary renders a profile's fault schedule for -chaos-check.
+func chaosSummary(p *chaos.Profile) string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "chaos profile %q: seed %d, %d fault(s)\n", p.Name, p.Seed, len(p.Faults))
+	for i, f := range p.Faults {
+		fmt.Fprintf(&b, "  fault %d: %-15s start slot %d", i, f.Kind, f.StartSlot)
+		if f.DurationSlots > 0 {
+			fmt.Fprintf(&b, ", %d slots", f.DurationSlots)
+		} else {
+			fmt.Fprint(&b, ", open-ended")
+		}
+		if len(f.Sessions) > 0 {
+			fmt.Fprintf(&b, ", sessions %v", f.Sessions)
+		}
+		switch f.Kind {
+		case chaos.FaultBurstLoss:
+			fmt.Fprintf(&b, ", p_gb %g p_bg %g p_good %g p_bad %g", f.PGoodBad, f.PBadGood, f.PGood, f.PBad)
+		case chaos.FaultLoss, chaos.FaultReorder, chaos.FaultDuplicate, chaos.FaultCorrupt:
+			fmt.Fprintf(&b, ", p %g", f.P)
+		case chaos.FaultBandwidth:
+			fmt.Fprintf(&b, ", factor %g", f.Factor)
+		case chaos.FaultStall, chaos.FaultSlowACK:
+			fmt.Fprintf(&b, ", delay %g ms", f.DelayMs)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintln(&b, "profile OK")
+	return b.String()
+}
+
+// faultWindow returns the earliest start and latest bounded end slot across
+// the profile's faults (end 0 when every fault is open-ended).
+func faultWindow(p *chaos.Profile) (start, end int) {
+	end = p.EndSlot()
+	if end == 0 {
+		return 0, 0
+	}
+	start = end
+	for i := range p.Faults {
+		if p.Faults[i].StartSlot < start {
+			start = p.Faults[i].StartSlot
+		}
+	}
+	return start, end
 }
 
 // verifyReplay proves the record/replay loop is lossless: serializing the

@@ -14,13 +14,17 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/baseline"
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/trace"
+	"repro/internal/transport"
 )
 
 func main() {
@@ -48,6 +52,10 @@ func run(args []string) error {
 		spanSample = fs.Uint64("span-sample", 1, "keep 1 in N traces (deterministic by trace ID; 0 or 1 = all)")
 		traceEpoch = fs.Uint64("trace-epoch", 0, "trace-ID epoch salt (clients stitching must share it)")
 		sloOn      = fs.Bool("slo", false, "track per-session QoE SLO burn rates (served on /debug/slo with -http)")
+		chaosPath  = fs.String("chaos", "", "chaos profile JSON; server-pipeline faults (server-stall, slow-ack) apply here, packet faults need the loadgen live harness")
+		breakerOn  = fs.Bool("breaker", false, "SLO-driven per-session circuit breaker: cap quality on warn/page instead of dropping users (implies -slo)")
+		retryOn    = fs.Bool("retry", false, "bound NACK retransmissions with full-jitter backoff and abandonment")
+		drainT     = fs.Duration("drain-timeout", 5*time.Second, "on SIGTERM/SIGINT, drain in-flight sessions for up to this long before closing")
 		verbose    = fs.Bool("v", false, "verbose logging")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -84,11 +92,30 @@ func run(args []string) error {
 		cfg.Tracer = trace.New(trace.Options{Sample: *spanSample, Exporter: spanExp})
 		cfg.TraceEpoch = *traceEpoch
 	}
-	if *sloOn {
+	if *sloOn || *breakerOn {
 		if cfg.Metrics == nil {
 			cfg.Metrics = obs.NewRegistry()
 		}
 		cfg.SLO = obs.NewSLOMonitor(obs.DefaultSLOConfig(), cfg.Metrics)
+	}
+	if *breakerOn {
+		bcfg := obs.DefaultBreakerConfig()
+		bcfg.Levels = cfg.Params.Levels
+		cfg.Breaker = obs.NewBreaker(bcfg, cfg.Metrics)
+	}
+	if *retryOn {
+		cfg.RetryPolicy = transport.DefaultRetryPolicy(cfg.SlotDuration)
+	}
+	if *chaosPath != "" {
+		prof, err := chaos.LoadProfile(*chaosPath)
+		if err != nil {
+			return err
+		}
+		cfg.Chaos = chaos.NewServerInjector(prof)
+		if prof.HasSessionFaults() {
+			fmt.Fprintln(os.Stderr, "collabvr-server: note: profile contains packet/bandwidth faults;"+
+				" only server-pipeline faults (server-stall, slow-ack) inject here")
+		}
 	}
 
 	var rec *obs.Recorder
@@ -115,7 +142,21 @@ func run(args []string) error {
 	fmt.Printf("collabvr-server: control %s, algorithm %s, budget %g Mbps\n",
 		srv.ControlAddr(), *algo, *budget)
 
-	<-srv.Done()
+	// Crash-safe lifecycle: SIGTERM/SIGINT triggers a graceful drain —
+	// in-flight sessions get up to -drain-timeout to flush and depart before
+	// the sockets close, so clients are not stranded on half-delivered
+	// frames.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, os.Interrupt)
+	defer signal.Stop(sigCh)
+	select {
+	case <-srv.Done():
+	case sig := <-sigCh:
+		fmt.Fprintf(os.Stderr, "collabvr-server: %v: draining (timeout %s)\n", sig, *drainT)
+		if !srv.Drain(*drainT) {
+			fmt.Fprintln(os.Stderr, "collabvr-server: drain timed out with unflushed sessions")
+		}
+	}
 	stats := srv.Stats()
 	if err := srv.Close(); err != nil {
 		return err

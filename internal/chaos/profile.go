@@ -1,0 +1,271 @@
+// Package chaos is the seeded, deterministic fault-injection layer of the
+// collabvr stack. The paper's evaluation assumes well-behaved traces with
+// piecewise-constant bandwidth; chaos exists to provoke exactly the regimes
+// the QoE model says hurt most — missed FoV coverage and the M/M/1 delay
+// blowup near capacity — so the resilience path (adaptive retransmission,
+// SLO-driven circuit breaking, graceful drain) can be exercised and
+// regression-tested instead of trusted.
+//
+// A campaign is described by a Profile: a seed plus a list of scheduled
+// Faults on the slot clock. Every random decision derives from the profile
+// seed, the session ID and the fault index, so the same profile produces the
+// same fault sequence run after run (the virtual-time engine is bit-stable;
+// the live engine is statistically stable).
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// FaultKind enumerates the injectable fault types.
+type FaultKind string
+
+const (
+	// FaultBurstLoss is Gilbert-Elliott two-state burst loss: a Markov
+	// chain alternates between a good state (loss PGood, default 0) and a
+	// bad state (loss PBad, default 1), with transition probabilities
+	// PGoodBad and PBadGood per decision.
+	FaultBurstLoss FaultKind = "burst-loss"
+	// FaultLoss is i.i.d. loss with probability P.
+	FaultLoss FaultKind = "loss"
+	// FaultReorder holds a packet behind its successor with probability P.
+	FaultReorder FaultKind = "reorder"
+	// FaultDuplicate duplicates a packet with probability P.
+	FaultDuplicate FaultKind = "duplicate"
+	// FaultCorrupt flips one random byte of a packet with probability P.
+	FaultCorrupt FaultKind = "corrupt"
+	// FaultBandwidth is a bandwidth cliff: the session's capacity is
+	// multiplied by Factor (0 < Factor < 1) for the window.
+	FaultBandwidth FaultKind = "bandwidth-cliff"
+	// FaultBlackout is a full partition: every packet in the window is
+	// lost (the virtual-time engine models it as zero capacity).
+	FaultBlackout FaultKind = "blackout"
+	// FaultStall freezes the server's slot pipeline for DelayMs each slot
+	// of the window (decision-loop stall injection).
+	FaultStall FaultKind = "server-stall"
+	// FaultSlowACK delays the server's control-plane ACK processing by
+	// DelayMs per message during the window (estimator staleness).
+	FaultSlowACK FaultKind = "slow-ack"
+)
+
+// Fault is one scheduled fault window on the slot clock.
+type Fault struct {
+	Kind FaultKind `json:"kind"`
+	// StartSlot is the first slot the fault is active.
+	StartSlot int `json:"start_slot"`
+	// DurationSlots bounds the window (0 = open-ended).
+	DurationSlots int `json:"duration_slots,omitempty"`
+	// Sessions limits the fault to these session IDs (empty = all).
+	Sessions []uint32 `json:"sessions,omitempty"`
+
+	// P is the per-decision probability for loss/reorder/duplicate/corrupt.
+	P float64 `json:"p,omitempty"`
+	// Gilbert-Elliott parameters (burst-loss).
+	PGoodBad float64 `json:"p_good_bad,omitempty"`
+	PBadGood float64 `json:"p_bad_good,omitempty"`
+	PGood    float64 `json:"p_good,omitempty"`
+	PBad     float64 `json:"p_bad,omitempty"`
+	// Factor is the capacity multiplier of a bandwidth cliff.
+	Factor float64 `json:"factor,omitempty"`
+	// DelayMs parametrizes server-stall and slow-ack injection.
+	DelayMs float64 `json:"delay_ms,omitempty"`
+}
+
+// active reports whether the fault window covers the slot.
+func (f *Fault) active(slot int) bool {
+	if slot < f.StartSlot {
+		return false
+	}
+	return f.DurationSlots <= 0 || slot < f.StartSlot+f.DurationSlots
+}
+
+// appliesTo reports whether the fault targets the session.
+func (f *Fault) appliesTo(session uint32) bool {
+	if len(f.Sessions) == 0 {
+		return true
+	}
+	for _, s := range f.Sessions {
+		if s == session {
+			return true
+		}
+	}
+	return false
+}
+
+// prob01 validates a probability field.
+func prob01(name string, v float64) error {
+	if v < 0 || v > 1 {
+		return fmt.Errorf("%s = %g outside [0, 1]", name, v)
+	}
+	return nil
+}
+
+// validate checks one fault's parameters; i is its index for error text.
+func (f *Fault) validate(i int) error {
+	fail := func(err error) error {
+		return fmt.Errorf("chaos: fault %d (%s): %w", i, f.Kind, err)
+	}
+	if f.StartSlot < 0 {
+		return fail(fmt.Errorf("start_slot %d < 0", f.StartSlot))
+	}
+	if f.DurationSlots < 0 {
+		return fail(fmt.Errorf("duration_slots %d < 0", f.DurationSlots))
+	}
+	switch f.Kind {
+	case FaultBurstLoss:
+		for _, c := range []struct {
+			name string
+			v    float64
+		}{{"p_good_bad", f.PGoodBad}, {"p_bad_good", f.PBadGood}, {"p_good", f.PGood}, {"p_bad", f.PBad}} {
+			if err := prob01(c.name, c.v); err != nil {
+				return fail(err)
+			}
+		}
+		if f.PGoodBad == 0 {
+			return fail(fmt.Errorf("p_good_bad must be > 0 (the chain never leaves the good state)"))
+		}
+	case FaultLoss, FaultReorder, FaultDuplicate, FaultCorrupt:
+		if err := prob01("p", f.P); err != nil {
+			return fail(err)
+		}
+		if f.P == 0 {
+			return fail(fmt.Errorf("p must be > 0 (the fault never fires)"))
+		}
+	case FaultBandwidth:
+		if f.Factor <= 0 || f.Factor >= 1 {
+			return fail(fmt.Errorf("factor %g outside (0, 1)", f.Factor))
+		}
+	case FaultBlackout:
+		// No parameters.
+	case FaultStall, FaultSlowACK:
+		if f.DelayMs <= 0 || f.DelayMs > 5000 {
+			return fail(fmt.Errorf("delay_ms %g outside (0, 5000]", f.DelayMs))
+		}
+	default:
+		return fail(fmt.Errorf("unknown kind"))
+	}
+	return nil
+}
+
+// Profile is a complete chaos campaign description.
+type Profile struct {
+	// Name labels reports and logs.
+	Name string `json:"name,omitempty"`
+	// Seed roots every random decision of the campaign.
+	Seed int64 `json:"seed"`
+	// Faults are the scheduled fault windows.
+	Faults []Fault `json:"faults"`
+}
+
+// Validate checks every fault; a nil profile is valid (no chaos).
+func (p *Profile) Validate() error {
+	if p == nil {
+		return nil
+	}
+	if len(p.Faults) == 0 {
+		return fmt.Errorf("chaos: profile %q has no faults", p.Name)
+	}
+	for i := range p.Faults {
+		if err := p.Faults[i].validate(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ParseProfile decodes and validates a JSON profile. Unknown fields are
+// rejected so a typoed knob fails loudly instead of silently injecting
+// nothing.
+func ParseProfile(data []byte) (*Profile, error) {
+	var p Profile
+	dec := json.NewDecoder(newByteReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("chaos: parse profile: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// LoadProfile reads and parses a profile file.
+func LoadProfile(path string) (*Profile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: %w", err)
+	}
+	p, err := ParseProfile(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w (in %s)", err, path)
+	}
+	return p, nil
+}
+
+// HasSessionFaults reports whether any fault targets the delivery path
+// (everything except server-stall/slow-ack).
+func (p *Profile) HasSessionFaults() bool {
+	if p == nil {
+		return false
+	}
+	for i := range p.Faults {
+		switch p.Faults[i].Kind {
+		case FaultStall, FaultSlowACK:
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// HasServerFaults reports whether any fault targets the server pipeline.
+func (p *Profile) HasServerFaults() bool {
+	if p == nil {
+		return false
+	}
+	for i := range p.Faults {
+		switch p.Faults[i].Kind {
+		case FaultStall, FaultSlowACK:
+			return true
+		}
+	}
+	return false
+}
+
+// EndSlot returns the last slot any bounded fault is active (open-ended
+// faults are ignored); campaign reports use it to place the recovery window.
+func (p *Profile) EndSlot() int {
+	if p == nil {
+		return 0
+	}
+	end := 0
+	for i := range p.Faults {
+		f := &p.Faults[i]
+		if f.DurationSlots > 0 && f.StartSlot+f.DurationSlots > end {
+			end = f.StartSlot + f.DurationSlots
+		}
+	}
+	return end
+}
+
+// byteReader is a minimal io.Reader over a byte slice (avoids importing
+// bytes just for NewReader).
+type byteReader struct {
+	data []byte
+	off  int
+}
+
+func newByteReader(data []byte) *byteReader { return &byteReader{data: data} }
+
+func (r *byteReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.data) {
+		return 0, errEOF
+	}
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	return n, nil
+}
+
+var errEOF = fmt.Errorf("EOF")

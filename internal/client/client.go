@@ -10,6 +10,7 @@ package client
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -45,6 +46,18 @@ type Config struct {
 	// Discussion section: tiles with missing fragments are reported so the
 	// server retransmits them.
 	NackLost bool
+	// Reconnect enables automatic redial when the control connection drops
+	// mid-run: capped full-jitter exponential backoff, a fresh Hello with
+	// the SAME UDP address (so the tile stream resumes where it was), and
+	// validation that the server's Welcome resumes this user's session.
+	Reconnect bool
+	// ReconnectAttempts bounds consecutive redial attempts before the
+	// client gives up (default 5; the counter resets on success).
+	ReconnectAttempts int
+	// ReconnectBase and ReconnectCap tune the redial backoff: attempt k
+	// sleeps uniform [0, min(Cap, Base<<k)) (defaults 50 ms / 1 s).
+	ReconnectBase time.Duration
+	ReconnectCap  time.Duration
 	// Metrics receives the client's counters/histograms (names prefixed
 	// collabvr_client_); nil disables metrics with near-zero overhead.
 	Metrics *obs.Registry
@@ -64,6 +77,8 @@ type clientMetrics struct {
 	missed     *obs.Counter
 	duplicates *obs.Counter
 	incomplete *obs.Counter
+	malformed  *obs.Counter
+	reconnects *obs.Counter
 	delayMs    *obs.Histogram
 	setupMs    *obs.Histogram
 }
@@ -78,6 +93,8 @@ func newClientMetrics(r *obs.Registry) clientMetrics {
 		missed:     r.Counter("collabvr_client_frames_missed_total"),
 		duplicates: r.Counter("collabvr_client_rx_duplicate_fragments_total"),
 		incomplete: r.Counter("collabvr_client_rx_incomplete_tiles_dropped_total"),
+		malformed:  r.Counter("collabvr_client_rx_malformed_total"),
+		reconnects: r.Counter("collabvr_client_reconnects_total"),
 		delayMs:    r.Histogram("collabvr_client_slot_delay_ms", obs.DefaultLatencyBuckets()),
 		setupMs:    r.Histogram("collabvr_client_setup_ms", obs.DefaultLatencyBuckets()),
 	}
@@ -107,6 +124,9 @@ type Result struct {
 	Releases int
 	// Nacks counts loss reports sent (only with Config.NackLost).
 	Nacks int
+	// Reconnects counts successful control-channel redials (only with
+	// Config.Reconnect).
+	Reconnects int
 	// SetupMs is the session setup latency: dial to the server's Welcome
 	// (or to the Hello send, against a server that never acknowledges).
 	SetupMs float64
@@ -128,6 +148,15 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.RAMThreshold <= 0 {
 		cfg.RAMThreshold = 512
 	}
+	if cfg.ReconnectAttempts <= 0 {
+		cfg.ReconnectAttempts = 5
+	}
+	if cfg.ReconnectBase <= 0 {
+		cfg.ReconnectBase = 50 * time.Millisecond
+	}
+	if cfg.ReconnectCap <= 0 {
+		cfg.ReconnectCap = time.Second
+	}
 
 	setupStart := time.Now()
 	udp, err := net.ListenPacket("udp", "127.0.0.1:0")
@@ -141,13 +170,13 @@ func Run(cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("client: dial server: %w", err)
 	}
 	ctrl := transport.NewConn(raw)
-	defer ctrl.Close()
 
 	if err := ctrl.Send(transport.Hello{
 		User:         cfg.User,
 		UDPAddr:      udp.LocalAddr().String(),
 		RAMThreshold: cfg.RAMThreshold,
 	}); err != nil {
+		ctrl.Close()
 		return nil, err
 	}
 
@@ -160,7 +189,9 @@ func Run(cfg Config) (*Result, error) {
 		ram:    tiles.NewClientRAM(cfg.RAMThreshold),
 		acc:    metrics.NewUserQoE(cfg.Params),
 		byslot: make(map[uint32][]tiles.VideoID),
+		rng:    rand.New(rand.NewSource(int64(cfg.User)*40503 + 7)),
 	}
+	defer c.closeCtrl()
 	c.reasm.Instrument(c.obs.duplicates, c.obs.incomplete)
 	c.setupStart = setupStart
 	// Fallback setup latency against servers that never send Welcome (the
@@ -173,11 +204,17 @@ func Run(cfg Config) (*Result, error) {
 type runner struct {
 	cfg   Config
 	obs   clientMetrics
-	ctrl  *transport.Conn
 	udp   net.PacketConn
 	reasm *transport.Reassembler
 	ram   *tiles.ClientRAM
 	acc   *metrics.UserQoE
+	rng   *rand.Rand // redial jitter; touched only by the control reader
+
+	// ctrlMu guards the control connection pointer, which the reader
+	// goroutine swaps on reconnect while the display loop keeps sending.
+	ctrlMu sync.Mutex
+	ctrl   *transport.Conn
+	closed bool // shutdown in progress: the reader must not redial
 
 	mu      sync.Mutex
 	byslot  map[uint32][]tiles.VideoID // complete tiles per server slot
@@ -188,6 +225,7 @@ type runner struct {
 	bytesTotal int
 	releases   int
 	nacks      int
+	reconnects int
 
 	setupStart time.Time
 	setupMu    sync.Mutex
@@ -195,6 +233,70 @@ type runner struct {
 
 	ctrlEnd sync.Once
 	endCh   chan struct{}
+}
+
+// send delivers one control message over the current connection. During a
+// reconnect window sends fail silently and the message is lost — the same
+// contract as a dropped datagram; the server's NACK/ACK machinery absorbs it.
+func (c *runner) send(msg any) error {
+	c.ctrlMu.Lock()
+	ctrl := c.ctrl
+	c.ctrlMu.Unlock()
+	return ctrl.Send(msg)
+}
+
+// closeCtrl marks the run as shutting down (so the control reader stops
+// redialing) and closes the live connection.
+func (c *runner) closeCtrl() {
+	c.ctrlMu.Lock()
+	c.closed = true
+	ctrl := c.ctrl
+	c.ctrlMu.Unlock()
+	ctrl.Close()
+}
+
+// redial attempts to re-establish the control session after a drop: dial,
+// Hello with the SAME UDP address, and a synchronous Welcome check that the
+// server resumed this user's session. Backoff is full-jitter exponential.
+// Returns the new connection, or nil when the attempt budget is exhausted or
+// shutdown began.
+func (c *runner) redial() *transport.Conn {
+	for attempt := 0; attempt < c.cfg.ReconnectAttempts; attempt++ {
+		d := c.cfg.ReconnectBase << uint(attempt)
+		if d > c.cfg.ReconnectCap || d <= 0 {
+			d = c.cfg.ReconnectCap
+		}
+		time.Sleep(time.Duration(c.rng.Int63n(int64(d) + 1)))
+		c.ctrlMu.Lock()
+		done := c.closed
+		c.ctrlMu.Unlock()
+		if done {
+			return nil
+		}
+		raw, err := net.Dial("tcp", c.cfg.ServerAddr)
+		if err != nil {
+			continue
+		}
+		ctrl := transport.NewConn(raw)
+		err = ctrl.Send(transport.Hello{
+			User:         c.cfg.User,
+			UDPAddr:      c.udp.LocalAddr().String(),
+			RAMThreshold: c.cfg.RAMThreshold,
+		})
+		if err == nil {
+			// Session-resume validation: the server must answer with a
+			// Welcome for this user before the connection is trusted.
+			ctrl.SetDeadline(time.Now().Add(2 * time.Second))
+			msg, rerr := ctrl.Recv()
+			w, ok := msg.(transport.Welcome)
+			if rerr == nil && ok && w.User == c.cfg.User {
+				ctrl.SetDeadline(time.Time{})
+				return ctrl
+			}
+		}
+		ctrl.Close()
+	}
+	return nil
 }
 
 func (c *runner) run() (*Result, error) {
@@ -206,13 +308,41 @@ func (c *runner) run() (*Result, error) {
 
 	// Control-channel reader: consumes the Welcome handshake ack (the
 	// precise setup-latency mark) and detects connection shutdown
-	// immediately.
+	// immediately. With Config.Reconnect it owns the redial loop: on a Recv
+	// error it re-establishes the session and swaps the connection in under
+	// ctrlMu, ending the run only when the redial budget is exhausted.
 	go func() {
 		for {
-			msg, err := c.ctrl.Recv()
+			c.ctrlMu.Lock()
+			ctrl := c.ctrl
+			c.ctrlMu.Unlock()
+			msg, err := ctrl.Recv()
 			if err != nil {
-				c.ctrlEnd.Do(func() { close(c.endCh) })
-				return
+				c.ctrlMu.Lock()
+				done := c.closed
+				c.ctrlMu.Unlock()
+				if done || !c.cfg.Reconnect {
+					c.ctrlEnd.Do(func() { close(c.endCh) })
+					return
+				}
+				next := c.redial()
+				if next == nil {
+					c.ctrlEnd.Do(func() { close(c.endCh) })
+					return
+				}
+				c.ctrlMu.Lock()
+				if c.closed {
+					c.ctrlMu.Unlock()
+					next.Close()
+					c.ctrlEnd.Do(func() { close(c.endCh) })
+					return
+				}
+				c.ctrl.Close()
+				c.ctrl = next
+				c.reconnects++
+				c.ctrlMu.Unlock()
+				c.obs.reconnects.Inc()
+				continue
 			}
 			if _, ok := msg.(transport.Welcome); ok {
 				c.setupMu.Lock()
@@ -237,13 +367,15 @@ func (c *runner) run() (*Result, error) {
 			running = false
 		}
 
-		// Upload the current pose (trace replay).
+		// Upload the current pose (trace replay). With reconnect enabled a
+		// failed send is a transient outage — the control reader is already
+		// redialing, and it closes endCh if that fails for good.
 		pose := c.cfg.Trace[localSlot%len(c.cfg.Trace)]
-		if err := c.ctrl.Send(transport.PoseUpdate{
+		if err := c.send(transport.PoseUpdate{
 			User: c.cfg.User,
 			Slot: uint32(localSlot),
 			Pose: pose,
-		}); err != nil {
+		}); err != nil && !c.cfg.Reconnect {
 			running = false
 		}
 		localSlot++
@@ -304,15 +436,19 @@ func (c *runner) run() (*Result, error) {
 	setupMs := c.setupMs
 	c.setupMu.Unlock()
 	c.obs.setupMs.Observe(setupMs)
+	c.ctrlMu.Lock()
+	reconnects := c.reconnects
+	c.ctrlMu.Unlock()
 	return &Result{
-		User:     c.cfg.User,
-		Report:   metrics.Aggregate([]*metrics.UserQoE{c.acc}),
-		Slots:    c.acc.Slots(),
-		Tiles:    c.tilesTotal,
-		Bytes:    c.bytesTotal,
-		Releases: c.releases,
-		Nacks:    c.nacks,
-		SetupMs:  setupMs,
+		User:       c.cfg.User,
+		Report:     metrics.Aggregate([]*metrics.UserQoE{c.acc}),
+		Slots:      c.acc.Slots(),
+		Tiles:      c.tilesTotal,
+		Bytes:      c.bytesTotal,
+		Releases:   c.releases,
+		Nacks:      c.nacks,
+		Reconnects: reconnects,
+		SetupMs:    setupMs,
 	}, nil
 }
 
@@ -326,7 +462,13 @@ func (c *runner) receiveLoop(done chan<- struct{}) {
 			return
 		}
 		p, err := transport.Decode(buf[:n])
-		if err != nil || p.User != c.cfg.User {
+		if err != nil {
+			// Malformed (truncated, corrupted, bad checksum) datagrams are
+			// counted and dropped — never allowed to crash the pump.
+			c.obs.malformed.Inc()
+			continue
+		}
+		if p.User != c.cfg.User {
 			continue
 		}
 		now := time.Now()
@@ -347,7 +489,7 @@ func (c *runner) displaySlot(slot uint32) {
 		if lost := c.reasm.Incomplete(slot); len(lost) > 0 {
 			c.nacks += len(lost)
 			c.obs.nacks.Add(uint64(len(lost)))
-			_ = c.ctrl.Send(transport.Nack{User: c.cfg.User, Slot: slot, Tiles: lost})
+			_ = c.send(transport.Nack{User: c.cfg.User, Slot: slot, Tiles: lost})
 		}
 	}
 	stats, _ := c.reasm.FlushSlot(slot)
@@ -375,7 +517,7 @@ func (c *runner) displaySlot(slot uint32) {
 	if len(released) > 0 {
 		c.releases += len(released)
 		c.obs.releases.Add(uint64(len(released)))
-		_ = c.ctrl.Send(transport.Release{User: c.cfg.User, Tiles: released})
+		_ = c.send(transport.Release{User: c.cfg.User, Tiles: released})
 	}
 
 	// Decode stage: the parallel decoders handle up to Decoders new tiles
@@ -417,7 +559,7 @@ func (c *runner) displaySlot(slot uint32) {
 	}
 	c.obs.delayMs.Observe(delayMs)
 
-	_ = c.ctrl.Send(transport.TileACK{
+	_ = c.send(transport.TileACK{
 		User:      c.cfg.User,
 		Slot:      slot,
 		Tiles:     ids,

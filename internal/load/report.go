@@ -44,8 +44,35 @@ type RunReport struct {
 	// histogram when a live run shares a metrics registry (0 otherwise).
 	SlotDecisionP50Ms float64
 	SlotDecisionP99Ms float64
+	// SlotQuality is the per-slot mean displayed quality across active
+	// sessions (0 for missed frames and empty slots), recorded by the sim
+	// engine. It is what chaos-recovery analysis plots: the QoE dip during
+	// a fault window and the climb back after it.
+	SlotQuality []float64
+	// DegradedSlots counts session-slots whose allocation the circuit
+	// breaker capped below the allocator's choice (sim engine).
+	DegradedSlots int
 	// Outcomes holds every completed session, sorted by ID.
 	Outcomes []SessionOutcome
+}
+
+// MeanSlotQuality averages SlotQuality over [from, to) (slot indexes are
+// clamped to the recorded range; returns 0 when the window is empty).
+func (r *RunReport) MeanSlotQuality(from, to int) float64 {
+	if from < 0 {
+		from = 0
+	}
+	if to > len(r.SlotQuality) {
+		to = len(r.SlotQuality)
+	}
+	if from >= to {
+		return 0
+	}
+	sum := 0.0
+	for _, q := range r.SlotQuality[from:to] {
+		sum += q
+	}
+	return sum / float64(to-from)
 }
 
 // AggregateMissRate returns the slot-weighted deadline-miss fraction across
@@ -106,6 +133,9 @@ func (r *RunReport) Format() string {
 		fmt.Fprintf(&b, " (%.1f s wall)", r.WallSec)
 	}
 	fmt.Fprintf(&b, "\naggregate deadline-miss rate: %.4f\n", r.AggregateMissRate())
+	if r.DegradedSlots > 0 {
+		fmt.Fprintf(&b, "breaker-degraded session-slots: %d\n", r.DegradedSlots)
+	}
 	if r.SlotDecisionP99Ms > 0 {
 		fmt.Fprintf(&b, "server slot decision latency: p50 %.3f ms, p99 %.3f ms\n",
 			r.SlotDecisionP50Ms, r.SlotDecisionP99Ms)

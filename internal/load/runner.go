@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/metrics"
@@ -85,6 +86,21 @@ type LiveConfig struct {
 	// SLO, when non-nil, tracks per-session deadline-miss and stall burn
 	// rates from client ACKs.
 	SLO *obs.SLOMonitor
+	// Chaos, when non-nil, injects the profile's faults: per-session packet
+	// faults and capacity cliffs ride the shaped transmit path (so Unshaped
+	// disables them), server stall/slow-ACK faults hit the slot pipeline.
+	Chaos *chaos.Profile
+	// Breaker, when non-nil, is handed to the server for SLO-driven quality
+	// capping; requires SLO.
+	Breaker *obs.Breaker
+	// RetryPolicy forwards to server.Config.RetryPolicy (NACK backoff and
+	// abandonment); zero keeps immediate retransmission.
+	RetryPolicy transport.RetryPolicy
+	// Reconnect enables the clients' control-channel redial path.
+	Reconnect bool
+	// DrainTimeout, when positive, gracefully drains the server (flush
+	// in-flight slots) before closing it at the end of the run.
+	DrainTimeout time.Duration
 	// Logf receives diagnostics; nil silences them.
 	Logf func(format string, args ...any)
 }
@@ -115,10 +131,13 @@ func (c LiveConfig) withDefaults(sps float64) LiveConfig {
 }
 
 // sessionNet is the per-session transmit path: the session's token bucket
-// (rate driven by its network trace) plus optional loss.
+// (rate driven by its network trace), optional i.i.d. loss, and optional
+// chaos faults. It implements transport.Shaper, and transport.FaultInjector
+// by delegation — the Sender detects the latter and consults it per packet.
 type sessionNet struct {
 	bucket *netem.TokenBucket
 	loss   *netem.LossModel
+	inj    *chaos.Injector // nil without a chaos profile
 	caps   []float64
 }
 
@@ -129,6 +148,7 @@ func (n *sessionNet) Drop() bool {
 	}
 	return n.loss.Drop()
 }
+func (n *sessionNet) PacketFault() transport.PacketFault { return n.inj.PacketFault() }
 
 // RunLive executes the workload against a live server over loopback
 // sockets. Sessions are launched on a real-time slot clock at their arrival
@@ -161,6 +181,7 @@ func RunLive(w *Workload, cfg LiveConfig) (*RunReport, error) {
 			if cfg.LossProb > 0 {
 				n.loss = netem.NewLossModel(cfg.LossProb, w.Cfg.Seed+int64(spec.ID)*131)
 			}
+			n.inj = chaos.NewInjector(cfg.Chaos, spec.ID)
 			nets[spec.ID] = n
 		}
 	}
@@ -176,6 +197,9 @@ func RunLive(w *Workload, cfg LiveConfig) (*RunReport, error) {
 	srvCfg.Tracer = cfg.Tracer
 	srvCfg.TraceEpoch = cfg.TraceEpoch
 	srvCfg.SLO = cfg.SLO
+	srvCfg.Breaker = cfg.Breaker
+	srvCfg.RetryPolicy = cfg.RetryPolicy
+	srvCfg.Chaos = chaos.NewServerInjector(cfg.Chaos)
 	srvCfg.Logf = cfg.Logf
 	if !cfg.Unshaped {
 		srvCfg.ShaperFor = func(user uint32) transport.Shaper {
@@ -253,6 +277,7 @@ func RunLive(w *Workload, cfg LiveConfig) (*RunReport, error) {
 			ccfg.Slots = spec.Slots()
 			ccfg.Metrics = cfg.Metrics
 			ccfg.Tracer = cfg.Tracer
+			ccfg.Reconnect = cfg.Reconnect
 			res, err := client.Run(ccfg)
 			if err != nil {
 				cfg.Logf("loadgen: session %d: %v", spec.ID, err)
@@ -286,7 +311,12 @@ func RunLive(w *Workload, cfg LiveConfig) (*RunReport, error) {
 						if local < 0 || local >= len(n.caps) {
 							continue
 						}
-						if rate := n.caps[local]; rate != n.bucket.Rate() {
+						n.inj.Advance(slot)
+						// Cliffs scale the shaped rate; blackouts drop on the
+						// packet path instead (a zero-rate bucket would stall
+						// Admit for an hour, not a fault window).
+						rate := n.caps[local] * n.inj.CapFactor()
+						if rate != n.bucket.Rate() {
 							n.bucket.SetRate(rate, now)
 						}
 					}
@@ -298,6 +328,11 @@ func RunLive(w *Workload, cfg LiveConfig) (*RunReport, error) {
 
 	<-srv.Done()
 	<-schedDone
+	if cfg.DrainTimeout > 0 {
+		if !srv.Drain(cfg.DrainTimeout) {
+			cfg.Logf("loadgen: drain timed out with unflushed sessions")
+		}
+	}
 	if err := srv.Close(); err != nil {
 		cfg.Logf("loadgen: server close: %v", err)
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/motion"
@@ -47,6 +48,14 @@ type SimConfig struct {
 	TraceEpoch uint64
 	// SLO, when non-nil, is fed each session's per-slot display outcome.
 	SLO *obs.SLOMonitor
+	// Chaos, when non-nil, injects the profile's faults into the virtual
+	// network (per-session capacity cliffs, blackouts, slot drops) and the
+	// virtual server (stall, slow ACK, both charged as delay).
+	Chaos *chaos.Profile
+	// Breaker, when non-nil, caps each session's allocated quality while
+	// its SLO burns (graceful degradation: quality drops before users do).
+	// Requires SLO, whose state feeds the breaker every slot.
+	Breaker *obs.Breaker
 }
 
 func (c SimConfig) withDefaults() SimConfig {
@@ -86,6 +95,7 @@ type simSession struct {
 	caps  []float64
 	pred  *motion.Predictor
 	acc   *metrics.UserQoE
+	inj   *chaos.Injector // nil without a chaos profile
 
 	t          int
 	sumViewedQ float64
@@ -141,15 +151,17 @@ func Simulate(w *Workload, cfg SimConfig) (*RunReport, error) {
 	var active []*simSession
 	users := make([]core.UserInput, 0, 64)
 	type plan struct {
-		sess  *simSession
-		rates []float64
-		cov   bool
-		cap_  float64
+		sess    *simSession
+		rates   []float64
+		cov     bool
+		cap_    float64
+		dropped bool // chaos lost this slot's content on the wire
 	}
 	plans := make([]plan, 0, 64)
 
 	finish := func(s *simSession) {
 		cfg.SLO.Retire(s.spec.ID)
+		cfg.Breaker.Retire(s.spec.ID)
 		out := SessionOutcome{
 			ID:       s.spec.ID,
 			Slots:    s.acc.Slots(),
@@ -167,6 +179,9 @@ func Simulate(w *Workload, cfg SimConfig) (*RunReport, error) {
 		lm.observeOutcome(out)
 	}
 
+	serverInj := chaos.NewServerInjector(cfg.Chaos)
+	report.SlotQuality = make([]float64, 0, horizon)
+
 	for slot := 0; slot < horizon; slot++ {
 		// Arrivals.
 		for _, spec := range byArrive[slot] {
@@ -176,6 +191,7 @@ func Simulate(w *Workload, cfg SimConfig) (*RunReport, error) {
 				caps:  w.CapSlots(spec),
 				pred:  motion.NewPredictor(cfg.PredictorWindow),
 				acc:   metrics.NewUserQoE(qoeParams),
+				inj:   chaos.NewInjector(cfg.Chaos, spec.ID),
 			})
 		}
 		// Departures.
@@ -189,8 +205,14 @@ func Simulate(w *Workload, cfg SimConfig) (*RunReport, error) {
 		}
 		active = next
 		if len(active) == 0 {
+			report.SlotQuality = append(report.SlotQuality, 0)
 			continue
 		}
+
+		// Server-side faults: a stalled pipeline or slowed ACK path charges
+		// extra delay to every session this slot.
+		serverInj.Advance(slot)
+		stallMs := float64(serverInj.StallFor()+serverInj.AckDelay()) / float64(time.Millisecond)
 
 		// Build the slot problem over the active set.
 		users = users[:0]
@@ -206,6 +228,11 @@ func Simulate(w *Workload, cfg SimConfig) (*RunReport, error) {
 			sel := tiles.ForView(predicted, cfg.Coverage.FoV, cfg.Coverage.MarginDeg)
 			rates := sizeModel.RateTable(cell, sel)
 			cap_ := s.caps[local]
+			s.inj.Advance(slot)
+			// Chaos capacity faults: cliffs scale the link, a blackout zeroes
+			// it (MM1Delay then saturates and the frame misses); a per-slot
+			// drop loses the slot's content outright.
+			cap_ *= s.inj.SimCapFactor()
 			users = append(users, core.UserInput{
 				Rate:  rates,
 				Delay: netem.DelayTableMs(rates, cap_, slotMs),
@@ -216,7 +243,7 @@ func Simulate(w *Workload, cfg SimConfig) (*RunReport, error) {
 			plans = append(plans, plan{
 				sess: s, rates: rates,
 				cov:  cfg.Coverage.Covered(predicted, actual),
-				cap_: cap_,
+				cap_: cap_, dropped: s.inj.Drop(),
 			})
 			s.pred.Observe(actual)
 		}
@@ -242,12 +269,20 @@ func Simulate(w *Workload, cfg SimConfig) (*RunReport, error) {
 			overloadMs = (allocation.Rate/cfg.BudgetMbps - 1) * slotMs
 		}
 
+		qualitySum := 0.0
 		for i, p := range plans {
 			q := allocation.Levels[i]
+			// Graceful degradation: while the session's SLO burns, the
+			// breaker caps its quality — shedding load (bytes) before
+			// shedding the user.
+			if bcap := cfg.Breaker.Cap(p.sess.spec.ID); bcap > 0 && q > bcap {
+				q = bcap
+				report.DegradedSlots++
+			}
 			rate := p.rates[q-1]
-			delay := netem.DelayMs(rate, p.cap_, slotMs) + overloadMs
+			delay := netem.DelayMs(rate, p.cap_, slotMs) + overloadMs + stallMs
 			covered := p.cov
-			missed := delay > deadlineMs
+			missed := p.dropped || delay > deadlineMs
 			if missed {
 				// The frame is dropped, not displayed late: clamp the
 				// charged delay at the pipeline bound (as the client does)
@@ -272,7 +307,9 @@ func Simulate(w *Workload, cfg SimConfig) (*RunReport, error) {
 			if missed {
 				quality = 0
 			}
+			qualitySum += quality
 			cfg.SLO.ObserveSlot(s.spec.ID, !missed, quality)
+			cfg.Breaker.Observe(s.spec.ID, cfg.SLO.State(s.spec.ID))
 
 			if tr := cfg.Tracer; tr.Enabled() {
 				user, vslot := s.spec.ID, uint32(slot)
@@ -306,6 +343,7 @@ func Simulate(w *Workload, cfg SimConfig) (*RunReport, error) {
 				disp.EndAt(slotNs + delayNs)
 			}
 		}
+		report.SlotQuality = append(report.SlotQuality, qualitySum/float64(len(plans)))
 	}
 	// Sessions alive at the horizon end complete there.
 	for _, s := range active {

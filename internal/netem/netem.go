@@ -191,25 +191,46 @@ func (b *TokenBucket) refill(now time.Time) {
 	}
 }
 
-// LossModel drops packets i.i.d. with probability P, the packet-loss source
-// the paper's RTP transport must tolerate.
+// LossModel drops packets i.i.d. with a configurable probability, the
+// packet-loss source the paper's RTP transport must tolerate. It is safe for
+// concurrent use: senders call Drop per packet while a scheduler may retune
+// the probability mid-run via SetProb.
 type LossModel struct {
-	P   float64
-	rng *rand.Rand
-	mu  sync.Mutex
+	mu   sync.Mutex
+	prob float64
+	rng  *rand.Rand
 }
 
 // NewLossModel returns a loss model with the given drop probability.
 func NewLossModel(p float64, seed int64) *LossModel {
-	return &LossModel{P: p, rng: rand.New(rand.NewSource(seed))}
+	return &LossModel{prob: p, rng: rand.New(rand.NewSource(seed))}
+}
+
+// SetProb changes the drop probability (values are clamped to [0, 1]).
+func (l *LossModel) SetProb(p float64) {
+	if p < 0 {
+		p = 0
+	} else if p > 1 {
+		p = 1
+	}
+	l.mu.Lock()
+	l.prob = p
+	l.mu.Unlock()
+}
+
+// Prob returns the current drop probability.
+func (l *LossModel) Prob() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.prob
 }
 
 // Drop reports whether the next packet should be dropped.
 func (l *LossModel) Drop() bool {
-	if l.P <= 0 {
-		return false
-	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.rng.Float64() < l.P
+	if l.prob <= 0 {
+		return false
+	}
+	return l.rng.Float64() < l.prob
 }

@@ -55,3 +55,47 @@ func TestTokenBucketConcurrentHammer(t *testing.T) {
 		t.Errorf("refilled bucket should admit immediately, got %v", d)
 	}
 }
+
+// TestLossModelConcurrentHammer mirrors the token-bucket hammer for the loss
+// model: per-session senders call Drop per packet while the chaos scheduler
+// retunes the probability each slot. Run under -race this is the model's
+// thread-safety proof.
+func TestLossModelConcurrentHammer(t *testing.T) {
+	l := NewLossModel(0.3, 7)
+
+	const goroutines = 16
+	const opsPer = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < opsPer; i++ {
+				switch i % 8 {
+				case 3:
+					// Includes out-of-range inputs: SetProb clamps, so
+					// Prob stays a valid probability throughout.
+					l.SetProb(float64((g+i)%14)/10 - 0.2)
+				case 5:
+					if p := l.Prob(); p < 0 || p > 1 {
+						t.Errorf("goroutine %d: probability %v outside [0, 1]", g, p)
+						return
+					}
+				default:
+					l.Drop()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// The model must still honor the probability extremes after the stampede.
+	l.SetProb(0)
+	if l.Drop() {
+		t.Error("p=0 model dropped a packet")
+	}
+	l.SetProb(1)
+	if !l.Drop() {
+		t.Error("p=1 model delivered a packet")
+	}
+}

@@ -1,0 +1,120 @@
+package obs
+
+import "testing"
+
+func TestBreakerLifecycle(t *testing.T) {
+	reg := NewRegistry()
+	b := NewBreaker(BreakerConfig{Levels: 5, RecoverySlots: 10, HalfOpenSlots: 4}, reg)
+	const sess = 7
+
+	if b.Cap(sess) != 0 || b.State(sess) != "" {
+		t.Fatal("unknown session should be uncapped")
+	}
+	b.Observe(sess, SLOStateOK)
+	if got := b.State(sess); got != BreakerClosed {
+		t.Fatalf("state = %q, want closed", got)
+	}
+
+	// warn -> degraded, capped at Levels-1.
+	b.Observe(sess, SLOStateWarn)
+	if b.State(sess) != BreakerDegraded || b.Cap(sess) != 4 {
+		t.Fatalf("after warn: state=%q cap=%d, want degraded/4", b.State(sess), b.Cap(sess))
+	}
+
+	// page -> open, capped at 1.
+	b.Observe(sess, SLOStatePage)
+	if b.State(sess) != BreakerOpen || b.Cap(sess) != 1 {
+		t.Fatalf("after page: state=%q cap=%d, want open/1", b.State(sess), b.Cap(sess))
+	}
+
+	// Recovery keys on non-page slots: warn slots count toward it, and an
+	// intervening page resets the streak.
+	for i := 0; i < 9; i++ {
+		b.Observe(sess, SLOStateWarn)
+	}
+	b.Observe(sess, SLOStatePage)
+	for i := 0; i < 9; i++ {
+		b.Observe(sess, SLOStateOK)
+	}
+	if b.State(sess) != BreakerOpen {
+		t.Fatalf("recovered too early after streak reset: %q", b.State(sess))
+	}
+	b.Observe(sess, SLOStateOK)
+	if b.State(sess) != BreakerHalfOpen || b.Cap(sess) != 4 {
+		t.Fatalf("after recovery streak: state=%q cap=%d, want half-open/4", b.State(sess), b.Cap(sess))
+	}
+
+	// A page during the probe re-opens.
+	b.Observe(sess, SLOStatePage)
+	if b.State(sess) != BreakerOpen {
+		t.Fatalf("half-open page should re-open, got %q", b.State(sess))
+	}
+	for i := 0; i < 10; i++ {
+		b.Observe(sess, SLOStateOK)
+	}
+	for i := 0; i < 4; i++ {
+		b.Observe(sess, SLOStateOK)
+	}
+	if b.State(sess) != BreakerClosed || b.Cap(sess) != 0 {
+		t.Fatalf("after probe survival: state=%q cap=%d, want closed/0", b.State(sess), b.Cap(sess))
+	}
+
+	if got := reg.Counter("collabvr_breaker_open_transitions_total").Value(); got != 2 {
+		t.Errorf("open transitions = %d, want 2", got)
+	}
+
+	b.Retire(sess)
+	if b.State(sess) != "" {
+		t.Fatal("retired session still tracked")
+	}
+}
+
+func TestBreakerDegradedRecoversOnOKStreak(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Levels: 5, RecoverySlots: 5}, nil)
+	b.Observe(1, SLOStateWarn)
+	// A warn mid-streak resets the ok count.
+	b.Observe(1, SLOStateOK)
+	b.Observe(1, SLOStateOK)
+	b.Observe(1, SLOStateWarn)
+	for i := 0; i < 4; i++ {
+		b.Observe(1, SLOStateOK)
+	}
+	if b.State(1) != BreakerDegraded {
+		t.Fatalf("closed before the ok streak completed: %q", b.State(1))
+	}
+	b.Observe(1, SLOStateOK)
+	if b.State(1) != BreakerClosed {
+		t.Fatalf("state = %q, want closed after 5 consecutive ok slots", b.State(1))
+	}
+	closed, degraded, open, half := b.Counts()
+	if closed != 1 || degraded != 0 || open != 0 || half != 0 {
+		t.Fatalf("Counts = %d/%d/%d/%d, want 1/0/0/0", closed, degraded, open, half)
+	}
+}
+
+func TestBreakerConfigFillAndNil(t *testing.T) {
+	var cfg BreakerConfig
+	cfg.fill()
+	if cfg.Levels != 5 || cfg.WarnCap != 4 || cfg.PageCap != 1 ||
+		cfg.HalfOpenCap != 4 || cfg.RecoverySlots != 300 || cfg.HalfOpenSlots != 150 {
+		t.Fatalf("defaults wrong: %+v", cfg)
+	}
+	single := BreakerConfig{Levels: 1}
+	single.fill()
+	if single.WarnCap != 1 || single.PageCap != 1 {
+		t.Fatalf("single-level ladder caps wrong: %+v", single)
+	}
+
+	var b *Breaker
+	b.Observe(1, SLOStatePage)
+	if b.Cap(1) != 0 || b.State(1) != "" {
+		t.Fatal("nil breaker capped a session")
+	}
+	b.Retire(1)
+	if c, d, o, h := b.Counts(); c+d+o+h != 0 {
+		t.Fatal("nil breaker counted sessions")
+	}
+	if b.Config() != (BreakerConfig{}) {
+		t.Fatal("nil breaker returned a config")
+	}
+}

@@ -1,0 +1,40 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// TB is the subset of *testing.T the leak checker needs; a local interface
+// keeps the testing package out of the non-test build.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+}
+
+// LeakSnapshot captures the current goroutine count. Take it before starting
+// the system under test and hand it to AssertNoLeaks after shutdown.
+func LeakSnapshot() int { return runtime.NumGoroutine() }
+
+// AssertNoLeaks fails the test if the goroutine count has not returned to
+// the baseline. Goroutines wind down asynchronously after a Close/Drain
+// returns, so the check polls with a grace period before declaring a leak;
+// on failure it dumps all stacks so the leaked goroutine is identifiable.
+func AssertNoLeaks(tb TB, baseline int) {
+	tb.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	var n int
+	for {
+		n = runtime.NumGoroutine()
+		if n <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	buf = buf[:runtime.Stack(buf, true)]
+	tb.Errorf("goroutine leak: %d live, baseline %d; stacks:\n%s", n, baseline, buf)
+}

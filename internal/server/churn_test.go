@@ -31,6 +31,7 @@ func waitFor(t *testing.T, what string, cond func() bool) {
 // control connection drops must leave the slot loop's session map, so a
 // long-lived server under arrival/departure churn does not leak sessions.
 func TestServerRetiresDepartedSessions(t *testing.T) {
+	base := obs.LeakSnapshot()
 	cfg := DefaultConfig(core.DVGreedy{})
 	cfg.SlotDuration = 5 * time.Millisecond
 	cfg.Metrics = obs.NewRegistry()
@@ -53,11 +54,15 @@ func TestServerRetiresDepartedSessions(t *testing.T) {
 	if got := cfg.Metrics.Gauge("collabvr_server_sessions_active").Value(); got != 1 {
 		t.Errorf("sessions_active = %v, want 1", got)
 	}
+	f2.close()
+	srv.Close()
+	obs.AssertNoLeaks(t, base)
 }
 
 // TestServerReconnectSupersedes: a second Hello with the same user ID takes
 // over the session; the stale connection is closed rather than leaking.
 func TestServerReconnectSupersedes(t *testing.T) {
+	base := obs.LeakSnapshot()
 	cfg := DefaultConfig(core.DVGreedy{})
 	cfg.SlotDuration = 5 * time.Millisecond
 	srv, err := New(cfg)
@@ -82,6 +87,11 @@ func TestServerReconnectSupersedes(t *testing.T) {
 	if n := sessionCount(srv); n != 1 {
 		t.Errorf("session count after reconnect = %d, want 1", n)
 	}
+	// The superseded session's goroutines must be gone once the server
+	// shuts down — supersede-then-close is the classic leak shape.
+	f2.close()
+	srv.Close()
+	obs.AssertNoLeaks(t, base)
 }
 
 // TestServerMaxSessionsBackpressure: beyond MaxSessions the accept path

@@ -18,14 +18,17 @@ type serverMetrics struct {
 	sessionsRejected *obs.Counter
 	sessionsActive   *obs.Gauge
 
-	slots        *obs.Counter
-	deadlineMiss *obs.Counter
-	acks         *obs.Counter
-	nacks        *obs.Counter
-	nackTiles    *obs.Counter
-	retransmits  *obs.Counter
-	tilesSent    *obs.Counter
-	tilesSkipped *obs.Counter
+	slots          *obs.Counter
+	deadlineMiss   *obs.Counter
+	acks           *obs.Counter
+	nacks          *obs.Counter
+	nackTiles      *obs.Counter
+	retransmits    *obs.Counter
+	retryAbandoned *obs.Counter
+	tilesSent      *obs.Counter
+	tilesSkipped   *obs.Counter
+	breakerCapped  *obs.Counter
+	panics         *obs.Counter
 
 	txPackets *obs.Counter
 	txBytes   *obs.Counter
@@ -56,8 +59,11 @@ func newServerMetrics(r *obs.Registry) serverMetrics {
 		nacks:            r.Counter("collabvr_server_nacks_total"),
 		nackTiles:        r.Counter("collabvr_server_nack_tiles_total"),
 		retransmits:      r.Counter("collabvr_server_retransmit_tiles_total"),
+		retryAbandoned:   r.Counter("collabvr_server_retry_abandoned_tiles_total"),
 		tilesSent:        r.Counter("collabvr_server_tiles_sent_total"),
 		tilesSkipped:     r.Counter("collabvr_server_tiles_skipped_total"),
+		breakerCapped:    r.Counter("collabvr_server_breaker_capped_slots_total"),
+		panics:           r.Counter("collabvr_server_panics_recovered_total"),
 		txPackets:        r.Counter("collabvr_server_tx_packets_total"),
 		txBytes:          r.Counter("collabvr_server_tx_bytes_total"),
 		txDropped:        r.Counter("collabvr_server_tx_dropped_total"),

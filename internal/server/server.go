@@ -11,10 +11,13 @@ package server
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
+	"runtime"
 	"sync"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/estimate"
 	"repro/internal/motion"
@@ -93,6 +96,20 @@ type Config struct {
 	// SLO receives per-session display outcomes for burn-rate alerting;
 	// nil disables SLO monitoring.
 	SLO *obs.SLOMonitor
+	// Breaker is the per-session quality circuit breaker: fed the SLO alert
+	// state per ACKed slot, it caps a struggling session's quality level so
+	// the system degrades fidelity before it ever drops a user. Nil
+	// disables. Requires SLO.
+	Breaker *obs.Breaker
+	// RetryPolicy bounds NACK-driven retransmissions with full-jitter
+	// exponential backoff, an attempt cap and a per-tile wall-clock budget;
+	// exhausted tiles are abandoned (surfaced as a tx.abandon span). The
+	// zero policy keeps the pre-resilience behavior: every NACK is answered
+	// immediately and retries never abandon.
+	RetryPolicy transport.RetryPolicy
+	// Chaos injects server-pipeline faults (slot stalls, slow ACK
+	// processing) from a chaos profile; nil disables.
+	Chaos *chaos.ServerInjector
 }
 
 // DefaultConfig returns a server configuration with the paper's real-system
@@ -140,9 +157,11 @@ type Server struct {
 	slot     uint32
 
 	stop       chan struct{}
+	stopOnce   sync.Once
 	loopDone   chan struct{}
 	acceptWG   sync.WaitGroup
 	closed     bool
+	draining   bool
 	prefetchCh chan prefetchReq
 	prefetchWG sync.WaitGroup
 }
@@ -187,8 +206,13 @@ type session struct {
 
 	// retries counts NACK-driven retransmissions per tile, so each resend
 	// carries its attempt number in the packet header; ACKed tiles are
-	// forgotten.
-	retries map[tiles.VideoID]uint8
+	// forgotten. retryFirst records when each tile was first NACKed, which
+	// is what the retry policy's wall-clock budget is measured against.
+	retries    map[tiles.VideoID]uint8
+	retryFirst map[tiles.VideoID]time.Time
+	// rng jitters retransmission backoff (seeded per user so campaigns are
+	// reproducible); guarded by mu.
+	rng *rand.Rand
 
 	// delaySamples feed the polynomial delay predictor.
 	delayRates []float64
@@ -201,7 +225,9 @@ type session struct {
 	slotsServed  int
 
 	sendCh     chan []tileJob
+	sendDone   chan struct{}
 	sendClosed bool
+	retired    bool
 }
 
 // enqueue hands a batch to the send loop without blocking: when the queue
@@ -257,6 +283,9 @@ type tileJob struct {
 	trace    uint64
 	origSlot uint32
 	retry    uint8
+	// notBefore holds a retransmission batch until its backoff expires
+	// (zero = send immediately).
+	notBefore time.Time
 }
 
 // maxDelaySamples bounds the regression window.
@@ -339,6 +368,9 @@ func (s *Server) ControlAddr() string { return s.tcpLn.Addr().String() }
 // Done is closed when the slot loop finishes (after TotalSlots, if set).
 func (s *Server) Done() <-chan struct{} { return s.loopDone }
 
+// signalStop stops the slot loop exactly once (Close and Drain share it).
+func (s *Server) signalStop() { s.stopOnce.Do(func() { close(s.stop) }) }
+
 // Close shuts the server down and waits for its goroutines.
 func (s *Server) Close() error {
 	s.mu.Lock()
@@ -347,12 +379,12 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
-	close(s.stop)
 	sessions := make([]*session, 0, len(s.sessions))
 	for _, sess := range s.sessions {
 		sessions = append(sessions, sess)
 	}
 	s.mu.Unlock()
+	s.signalStop()
 
 	s.tcpLn.Close()
 	<-s.loopDone
@@ -366,6 +398,75 @@ func (s *Server) Close() error {
 	}
 	s.acceptWG.Wait()
 	return s.udp.Close()
+}
+
+// Drain shuts the server down gracefully: stop admitting sessions, stop the
+// slot clock after the in-flight slot, let every session's send queue flush
+// (bounded by timeout; <= 0 means 5 s), then notify clients by closing their
+// control connections. It reports whether every queue flushed in time.
+// Follow with Close to release the sockets; Drain-then-Close is the SIGTERM
+// path of a crash-safe deployment, where pulling the plug mid-slot would
+// strand clients on half-delivered frames.
+func (s *Server) Drain(timeout time.Duration) bool {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	s.mu.Lock()
+	if s.closed || s.draining {
+		s.mu.Unlock()
+		return true
+	}
+	s.draining = true
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+
+	s.tcpLn.Close() // stop admitting new sessions
+	s.signalStop()  // no new slots after the in-flight one
+	<-s.loopDone
+
+	// Closing the send queues lets each sendLoop drain what is already
+	// enqueued and exit; the deadline bounds how long a pathologically
+	// shaped session can hold the drain hostage.
+	for _, sess := range sessions {
+		sess.closeSend()
+	}
+	deadline := time.Now().Add(timeout)
+	flushed := true
+	for _, sess := range sessions {
+		remain := time.Until(deadline)
+		if remain < 0 {
+			remain = 0
+		}
+		select {
+		case <-sess.sendDone:
+		case <-time.After(remain):
+			flushed = false
+			s.cfg.Logf("server: drain: user %d send queue not flushed within %v", sess.user, timeout)
+		}
+	}
+	for _, sess := range sessions {
+		sess.ctrl.Close()
+	}
+	s.cfg.Logf("server: drained %d sessions (flushed=%v)", len(sessions), flushed)
+	return flushed
+}
+
+// recovered handles a panic value captured in one of the server's
+// goroutines: it logs the stack, bumps the panic counter and dumps the
+// flight recorder's most recent decisions so the post-mortem has the
+// allocation context that led up to the crash.
+func (s *Server) recovered(where string, r any) {
+	buf := make([]byte, 64<<10)
+	buf = buf[:runtime.Stack(buf, false)]
+	s.metrics.panics.Inc()
+	s.cfg.Logf("server: panic in %s: %v\n%s", where, r, buf)
+	for _, rec := range s.cfg.Recorder.Recent(3) {
+		s.cfg.Logf("server: flight record slot=%d algo=%s levels=%v value=%.3f util=%.3f",
+			rec.Slot, rec.Algorithm, rec.Levels, rec.Value, rec.Utilization)
+	}
 }
 
 // Stats snapshots per-user server-side statistics.
@@ -450,10 +551,13 @@ func (s *Server) handleConn(ctrl *transport.Conn) {
 		tracer:    s.cfg.Tracer,
 		predictor: motion.NewPredictor(s.cfg.PredictorWindow),
 		ledger:    tiles.NewDeliveryLedger(),
-		ema:       estimate.NewEMA(s.cfg.EMAAlpha),
-		allocated: make(map[uint32]allocRecord),
-		retries:   make(map[tiles.VideoID]uint8),
-		sendCh:    make(chan []tileJob, 32),
+		ema:        estimate.NewEMA(s.cfg.EMAAlpha),
+		allocated:  make(map[uint32]allocRecord),
+		retries:    make(map[tiles.VideoID]uint8),
+		retryFirst: make(map[tiles.VideoID]time.Time),
+		rng:        rand.New(rand.NewSource(int64(hello.User)*2654435761 + 1)),
+		sendCh:     make(chan []tileJob, 32),
+		sendDone:   make(chan struct{}),
 	}
 	s.metrics.instrumentSender(sess.sender)
 
@@ -489,8 +593,27 @@ func (s *Server) handleConn(ctrl *transport.Conn) {
 		return
 	}
 
-	go sess.sendLoop()
-	s.controlLoop(sess)
+	go func() {
+		defer close(sess.sendDone)
+		defer func() {
+			if r := recover(); r != nil {
+				s.recovered(fmt.Sprintf("send loop (user %d)", sess.user), r)
+				s.retireSession(sess)
+			}
+		}()
+		sess.sendLoop()
+	}()
+	func() {
+		// A panic while handling one session's control traffic (a malformed
+		// message, a bad estimator sample) must cost that session, not the
+		// server: recover, retire, keep serving everyone else.
+		defer func() {
+			if r := recover(); r != nil {
+				s.recovered(fmt.Sprintf("control loop (user %d)", sess.user), r)
+			}
+		}()
+		s.controlLoop(sess)
+	}()
 	s.retireSession(sess)
 }
 
@@ -499,6 +622,19 @@ func (s *Server) handleConn(ctrl *transport.Conn) {
 // keeps server state bounded. The final mean viewed quality feeds the
 // per-session QoE histogram.
 func (s *Server) retireSession(sess *session) {
+	// Idempotent: the panic-recovery paths and the normal control-loop exit
+	// can both reach here for the same session, and the active-session gauge
+	// must only move once.
+	sess.mu.Lock()
+	if sess.retired {
+		sess.mu.Unlock()
+		return
+	}
+	sess.retired = true
+	served := sess.slotsServed
+	meanQ := sess.meanQLocked()
+	sess.mu.Unlock()
+
 	s.mu.Lock()
 	current := false
 	if cur, ok := s.sessions[sess.user]; ok && cur == sess {
@@ -507,18 +643,16 @@ func (s *Server) retireSession(sess *session) {
 	}
 	s.mu.Unlock()
 	if current {
-		// Only the current session retires the SLO window: a superseding
-		// reconnect with the same ID keeps accumulating into it.
+		// Only the current session retires the SLO window and breaker: a
+		// superseding reconnect with the same ID keeps accumulating into
+		// them (session-resume keeps the QoE history).
 		s.cfg.SLO.Retire(sess.user)
+		s.cfg.Breaker.Retire(sess.user)
 	}
 	sess.ctrl.Close()
 	sess.closeSend()
 	s.metrics.sessionsActive.Add(-1)
 	s.metrics.sessionsLeft.Inc()
-	sess.mu.Lock()
-	served := sess.slotsServed
-	meanQ := sess.meanQLocked()
-	sess.mu.Unlock()
 	if served > 0 {
 		s.metrics.sessionMeanQ.Observe(meanQ)
 	}
@@ -530,6 +664,16 @@ func (sess *session) sendLoop() {
 	for batch := range sess.sendCh {
 		if len(batch) == 0 {
 			continue
+		}
+		// A retransmission batch carries its backoff deadline; fresh slot
+		// batches have a zero notBefore and pass straight through. The sleep
+		// is bounded by the retry policy's Cap (about two slots), so a
+		// backoff can delay at most a couple of fresh frames — which the
+		// lossy queue in enqueue already treats as droppable.
+		if nb := batch[0].notBefore; !nb.IsZero() {
+			if d := time.Until(nb); d > 0 {
+				time.Sleep(d)
+			}
 		}
 		stage := trace.StageSend
 		maxRetry := 0
@@ -573,10 +717,19 @@ func (s *Server) controlLoop(sess *session) {
 			sess.predictor.Observe(m.Pose)
 			sess.mu.Unlock()
 		case transport.TileACK:
+			// Chaos slow-ack: stale feedback is one of the failure modes the
+			// estimators must tolerate, so the injection point is right
+			// before the estimator fold-in.
+			if d := s.cfg.Chaos.AckDelay(); d > 0 {
+				time.Sleep(d)
+			}
 			s.handleACK(sess, m)
 		case transport.Release:
 			sess.ledger.MarkReleased(m.Tiles...)
 		case transport.Nack:
+			if d := s.cfg.Chaos.AckDelay(); d > 0 {
+				time.Sleep(d)
+			}
 			s.handleNack(sess, m)
 		default:
 			s.cfg.Logf("server: unexpected control message %T", msg)
@@ -604,6 +757,7 @@ func (s *Server) handleACK(sess *session, ack transport.TileACK) {
 	defer sess.mu.Unlock()
 	for _, id := range ack.Tiles {
 		delete(sess.retries, id)
+		delete(sess.retryFirst, id)
 	}
 
 	// Throughput estimate: goodput across the slot's arrival window
@@ -644,6 +798,9 @@ func (s *Server) handleACK(sess *session, ack transport.TileACK) {
 			quality = float64(rec.level)
 		}
 		s.cfg.SLO.ObserveSlot(sess.user, ack.Displayed, quality)
+		// The breaker rides the SLO's alert state, one observation per
+		// ACKed display slot.
+		s.cfg.Breaker.Observe(sess.user, s.cfg.SLO.State(sess.user))
 		// Delay regression sample.
 		if ack.DelayMs > 0 {
 			sess.delayRates = append(sess.delayRates, rec.rate)
@@ -680,14 +837,37 @@ func (s *Server) handleNack(sess *session, nack transport.Nack) {
 	// slot derives the ID, so the retry span lands in the same trace as the
 	// first transmission and the client's eventual receive.
 	traceID := trace.TileTraceID(s.cfg.TraceEpoch, sess.user, nack.Slot)
+	policy := s.cfg.RetryPolicy
+	now := time.Now()
 	batch := make([]tileJob, 0, len(nack.Tiles))
+	abandoned := 0
 	sess.mu.Lock()
 	if sess.retries == nil {
 		sess.retries = make(map[tiles.VideoID]uint8)
 	}
+	if sess.retryFirst == nil {
+		sess.retryFirst = make(map[tiles.VideoID]time.Time)
+	}
+	maxAttempt := 0
 	for _, id := range nack.Tiles {
 		if sess.ledger.Has(id) {
 			continue // already confirmed via a later ACK
+		}
+		first, seen := sess.retryFirst[id]
+		if !seen {
+			first = now
+			sess.retryFirst[id] = first
+		}
+		if policy.Abandon(int(sess.retries[id]), now.Sub(first)) {
+			// Budget exhausted: give the tile up. The client's slot shows
+			// partial content; the ledger/RAM path supplies the cell later.
+			abandoned++
+			delete(sess.retries, id)
+			delete(sess.retryFirst, id)
+			continue
+		}
+		if int(sess.retries[id]) > maxAttempt {
+			maxAttempt = int(sess.retries[id])
 		}
 		if sess.retries[id] < 0xFF {
 			sess.retries[id]++
@@ -697,12 +877,30 @@ func (s *Server) handleNack(sess *session, nack transport.Nack) {
 			trace: traceID, origSlot: nack.Slot, retry: sess.retries[id],
 		})
 	}
+	var notBefore time.Time
+	if len(batch) > 0 && policy.Enabled() {
+		// One backoff per batch, sized by the most-retried tile: a batch is
+		// one wire transmission, and per-tile staggering would just shred it
+		// into per-fragment sends.
+		notBefore = now.Add(policy.Backoff(maxAttempt, sess.rng))
+		for i := range batch {
+			batch[i].notBefore = notBefore
+		}
+	}
+	if len(batch) > 0 {
+		sess.retransmits += len(batch)
+	}
+	sess.mu.Unlock()
+	if abandoned > 0 {
+		s.metrics.retryAbandoned.Add(uint64(abandoned))
+		sp := s.cfg.Tracer.Start(traceID, trace.StageAbandon, trace.SideServer, sess.user, nack.Slot)
+		sp.SetTiles(abandoned)
+		sp.SetOutcome(trace.OutcomeMissed)
+		sp.End()
+	}
 	if len(batch) == 0 {
-		sess.mu.Unlock()
 		return
 	}
-	sess.retransmits += len(batch)
-	sess.mu.Unlock()
 	s.metrics.retransmits.Add(uint64(len(batch)))
 	sess.enqueue(batch)
 }
@@ -761,13 +959,31 @@ func (s *Server) slotLoop() {
 		}
 		s.mu.Unlock()
 
+		// Chaos server faults ride the slot clock: advance the injector's
+		// window and absorb any scheduled pipeline stall before deciding.
+		s.cfg.Chaos.Advance(int(slot))
+		if d := s.cfg.Chaos.StallFor(); d > 0 {
+			time.Sleep(d)
+		}
 		if len(sessions) > 0 {
-			s.runSlot(slot, sessions)
+			s.safeRunSlot(slot, sessions)
 		}
 		if s.cfg.TotalSlots > 0 && int(s.slot) >= s.cfg.TotalSlots {
 			return
 		}
 	}
+}
+
+// safeRunSlot runs one slot with panic isolation: a crash in the pipeline
+// (an allocator bug on a pathological input, say) costs that slot — the
+// clients miss one frame — instead of the whole server.
+func (s *Server) safeRunSlot(slot uint32, sessions []*session) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.recovered(fmt.Sprintf("slot pipeline (slot %d)", slot), r)
+		}
+	}()
+	s.runSlot(slot, sessions)
 }
 
 // runSlot predicts, allocates and dispatches one slot.
@@ -828,8 +1044,20 @@ func (s *Server) runSlot(slot uint32, sessions []*session) {
 
 	for i, p := range plans {
 		level := allocation.Levels[i]
-		s.metrics.allocLevel.Observe(float64(level))
 		traceID := trace.TileTraceID(s.cfg.TraceEpoch, p.sess.user, slot)
+		// Graceful degradation: a tripped breaker caps the session's quality
+		// level below what the allocator granted — fidelity is sacrificed
+		// before anyone considers dropping the user. The clamp happens after
+		// the solve so one struggling session cannot distort the shared
+		// budget arithmetic mid-decision.
+		if cap_ := s.cfg.Breaker.Cap(p.sess.user); cap_ > 0 && level > cap_ {
+			bsp := s.cfg.Tracer.Start(traceID, trace.StageBreaker, trace.SideServer, p.sess.user, slot)
+			bsp.SetLevel(cap_)
+			bsp.End()
+			s.metrics.breakerCapped.Inc()
+			level = cap_
+		}
+		s.metrics.allocLevel.Observe(float64(level))
 
 		// The solve ran once for the whole slot; each planned user's trace
 		// records it as its decision stage.

@@ -79,10 +79,15 @@ type Analysis struct {
 	Traces int `json:"traces"`
 	// Stitched counts traces holding spans from both the server and the
 	// client side — requests whose halves joined across the wire.
-	Stitched  int              `json:"stitched"`
-	Displayed int              `json:"displayed"`
-	Missed    int              `json:"missed"`
-	Retried   int              `json:"retried"`
+	Stitched  int `json:"stitched"`
+	Displayed int `json:"displayed"`
+	Missed    int `json:"missed"`
+	Retried   int `json:"retried"`
+	// Abandoned counts traces whose retry budget ran out (a tx.abandon
+	// span); Degraded counts traces whose slot quality was capped by the
+	// session circuit breaker (a session.breaker span).
+	Abandoned int              `json:"abandoned"`
+	Degraded  int              `json:"degraded"`
 	Stages    []StageStat      `json:"stages"`
 	Slowest   []TraceBreakdown `json:"slowest"`
 }
@@ -91,14 +96,16 @@ type Analysis struct {
 // unknown stages sort after them alphabetically.
 var stageOrder = map[string]int{
 	StageDecide:  0,
-	StageAdmit:   1,
-	StageFetch:   2,
-	StageSend:    3,
-	StageRetry:   4,
-	StageAck:     5,
-	StageRecv:    6,
-	StageDecode:  7,
-	StageDisplay: 8,
+	StageBreaker: 1,
+	StageAdmit:   2,
+	StageFetch:   3,
+	StageSend:    4,
+	StageRetry:   5,
+	StageAbandon: 6,
+	StageAck:     7,
+	StageRecv:    8,
+	StageDecode:  9,
+	StageDisplay: 10,
 }
 
 func stageLess(a, b string) bool {
@@ -205,6 +212,12 @@ func Analyze(spans []SpanRecord, topN int) *Analysis {
 		if tr.retries > 0 {
 			a.Retried++
 		}
+		if _, ok := tr.stageMs[StageAbandon]; ok {
+			a.Abandoned++
+		}
+		if _, ok := tr.stageMs[StageBreaker]; ok {
+			a.Degraded++
+		}
 		critStage, critMs := "", -1.0
 		bd := TraceBreakdown{
 			Trace: id, User: tr.user, Slot: tr.slot,
@@ -264,6 +277,10 @@ func (a *Analysis) Format() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "# span analysis: %d spans, %d traces (%d stitched server+client, %d retried)\n",
 		a.Spans, a.Traces, a.Stitched, a.Retried)
+	if a.Abandoned+a.Degraded > 0 {
+		fmt.Fprintf(&b, "# resilience: %d traces abandoned after retry budget, %d breaker-degraded slots\n",
+			a.Abandoned, a.Degraded)
+	}
 	if a.Displayed+a.Missed > 0 {
 		fmt.Fprintf(&b, "# outcomes: %d displayed, %d missed (%.2f%% deadline miss)\n",
 			a.Displayed, a.Missed, 100*float64(a.Missed)/float64(a.Displayed+a.Missed))

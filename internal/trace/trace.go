@@ -30,7 +30,9 @@ const (
 	StageFetch   = "tile.fetch"   // tile payload fetch/encode from the store
 	StageSend    = "tx.send"      // transport pacing + UDP writes of the batch
 	StageRetry   = "tx.retry"     // NACK-driven retransmission of lost tiles
+	StageAbandon = "tx.abandon"   // retry budget exhausted: tile given up on
 	StageAck     = "tx.ack"       // ACK ingest: estimators + QoE fold-in
+	StageBreaker = "session.breaker" // circuit breaker capped the slot's quality
 	StageRecv    = "rx.recv"      // first-to-last fragment arrival window
 	StageDecode  = "rx.decode"    // decoder-pool admission
 	StageDisplay = "rx.display"   // display-deadline outcome

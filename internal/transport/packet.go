@@ -19,7 +19,9 @@ const Magic uint16 = 0x5652 // "VR"
 
 // HeaderSize is the fixed data-packet header length in bytes. The last
 // eight bytes carry the trace ID so the client can stitch its half of a
-// request onto the server's; a zero trace ID means "untraced".
+// request onto the server's; a zero trace ID means "untraced". Bytes 30-31
+// carry an additive checksum of the whole datagram, so corrupted packets are
+// counted and dropped at Decode rather than poisoning reassembly.
 const HeaderSize = 40
 
 // DefaultMTU bounds a whole datagram (header + payload).
@@ -52,7 +54,24 @@ var (
 	ErrShortPacket = errors.New("transport: packet shorter than header")
 	ErrBadMagic    = errors.New("transport: bad magic")
 	ErrBadLength   = errors.New("transport: payload length mismatch")
+	ErrBadChecksum = errors.New("transport: checksum mismatch")
 )
+
+// checksum is the 16-bit additive checksum carried in header bytes 30-31:
+// the sum of every datagram byte with the checksum field taken as zero. It is
+// not cryptographic; it exists so in-path corruption (emulated by the chaos
+// injectors, or real on a radio link) is counted and dropped at Decode
+// instead of feeding garbage tiles into reassembly.
+func checksum(data []byte) uint16 {
+	var sum uint16
+	for i, b := range data {
+		if i == 30 || i == 31 {
+			continue
+		}
+		sum += uint16(b)
+	}
+	return sum
+}
 
 // Encode serializes the packet into buf (allocating if nil or too small)
 // and returns the encoded bytes.
@@ -72,9 +91,9 @@ func (p *Packet) Encode(buf []byte) []byte {
 	binary.BigEndian.PutUint16(buf[22:24], p.FragCount)
 	binary.BigEndian.PutUint16(buf[24:26], uint16(len(p.Payload)))
 	binary.BigEndian.PutUint32(buf[26:30], p.Seq)
-	buf[30], buf[31] = 0, 0
 	binary.BigEndian.PutUint64(buf[32:40], p.Trace)
 	copy(buf[HeaderSize:], p.Payload)
+	binary.BigEndian.PutUint16(buf[30:32], checksum(buf))
 	return buf
 }
 
@@ -90,6 +109,10 @@ func Decode(data []byte) (*Packet, error) {
 	if len(data) != HeaderSize+payloadLen {
 		return nil, fmt.Errorf("%w: header says %d, datagram has %d",
 			ErrBadLength, payloadLen, len(data)-HeaderSize)
+	}
+	if got, want := binary.BigEndian.Uint16(data[30:32]), checksum(data); got != want {
+		return nil, fmt.Errorf("%w: header says %#04x, datagram sums to %#04x",
+			ErrBadChecksum, got, want)
 	}
 	return &Packet{
 		Type:      PacketType(data[2]),

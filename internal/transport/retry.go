@@ -1,0 +1,94 @@
+package transport
+
+import (
+	"math/rand"
+	"time"
+)
+
+// PacketFault is the disposition the fault injector assigns to one outgoing
+// datagram. The zero value is "deliver normally".
+type PacketFault struct {
+	// Drop loses the datagram (burst loss, blackout partition).
+	Drop bool
+	// Duplicate transmits a second copy immediately after the first.
+	Duplicate bool
+	// Hold delays the datagram behind the following one in the same batch,
+	// producing genuine on-the-wire reordering.
+	Hold bool
+	// CorruptXOR, when nonzero, is XORed into the byte at CorruptPos
+	// (modulo the datagram length) before transmission.
+	CorruptXOR byte
+	CorruptPos int
+}
+
+// FaultInjector supplies per-packet fault dispositions on the transmit path.
+// A Shaper that also implements FaultInjector (the chaos layer's injectors
+// do) is consulted for every datagram the Sender emits.
+type FaultInjector interface {
+	PacketFault() PacketFault
+}
+
+// RetryPolicy schedules NACK-driven retransmissions: exponential backoff
+// with full jitter, a bounded attempt count, and a per-tile wall-clock
+// budget derived from the slot clock. When either bound is exhausted the
+// tile is abandoned — the client's slot displays partial content instead of
+// the pipeline stalling on a tile the deadline has already passed.
+type RetryPolicy struct {
+	// Base is the backoff ceiling of the first retransmission; attempt k
+	// draws uniformly from [0, min(Cap, Base<<k)) ("full jitter", which
+	// decorrelates retry storms across sessions).
+	Base time.Duration
+	// Cap bounds a single backoff regardless of attempt count.
+	Cap time.Duration
+	// MaxAttempts bounds retransmissions per tile (0 = policy disabled:
+	// every NACK is answered immediately, the pre-resilience behavior).
+	MaxAttempts int
+	// Budget bounds the wall-clock time from the first NACK of a tile to
+	// the last retransmission attempt.
+	Budget time.Duration
+}
+
+// DefaultRetryPolicy derives the policy from the slot clock: backoff starts
+// at a quarter slot, is capped at two slots, and each tile gets four
+// attempts inside an eight-slot budget — past that the content is stale
+// enough that the ledger/RAM path should win instead.
+func DefaultRetryPolicy(slot time.Duration) RetryPolicy {
+	if slot <= 0 {
+		slot = time.Second / 60
+	}
+	return RetryPolicy{
+		Base:        slot / 4,
+		Cap:         2 * slot,
+		MaxAttempts: 4,
+		Budget:      8 * slot,
+	}
+}
+
+// Enabled reports whether the policy bounds retries at all.
+func (p RetryPolicy) Enabled() bool { return p.MaxAttempts > 0 }
+
+// Backoff returns the full-jitter backoff before retransmission attempt
+// `attempt` (0-based). rng must be non-nil; a per-session seeded source
+// keeps campaigns deterministic.
+func (p RetryPolicy) Backoff(attempt int, rng *rand.Rand) time.Duration {
+	ceil := p.Base
+	for i := 0; i < attempt && ceil < p.Cap; i++ {
+		ceil *= 2
+	}
+	if ceil > p.Cap {
+		ceil = p.Cap
+	}
+	if ceil <= 0 {
+		return 0
+	}
+	return time.Duration(rng.Int63n(int64(ceil)))
+}
+
+// Abandon reports whether a tile that has already been retransmitted
+// `attempts` times, first NACKed `elapsed` ago, should be given up on.
+func (p RetryPolicy) Abandon(attempts int, elapsed time.Duration) bool {
+	if !p.Enabled() {
+		return false
+	}
+	return attempts >= p.MaxAttempts || elapsed > p.Budget
+}

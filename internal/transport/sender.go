@@ -60,6 +60,7 @@ type Sender struct {
 	conn   net.PacketConn
 	dst    net.Addr
 	shaper Shaper
+	faults FaultInjector // nil = no fault injection
 	mtu    int
 
 	mu        sync.Mutex
@@ -82,7 +83,23 @@ func NewSender(conn net.PacketConn, dst net.Addr, shaper Shaper, mtu int) *Sende
 	if mtu <= HeaderSize {
 		mtu = DefaultMTU
 	}
-	return &Sender{conn: conn, dst: dst, shaper: shaper, mtu: mtu}
+	s := &Sender{conn: conn, dst: dst, shaper: shaper, mtu: mtu}
+	// A shaper that also injects packet faults (the chaos layer's
+	// per-session injectors) is picked up automatically, so the server's
+	// ShaperFor plumbing carries chaos without a second hook.
+	if fi, ok := shaper.(FaultInjector); ok {
+		s.faults = fi
+	}
+	return s
+}
+
+// SetFaultInjector attaches (or clears) a packet-fault source explicitly,
+// overriding the one inferred from the shaper. Call before the first
+// SendTile.
+func (s *Sender) SetFaultInjector(fi FaultInjector) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.faults = fi
 }
 
 // Instrument attaches shared observability counters for transmitted packets,
@@ -110,6 +127,7 @@ func (s *Sender) SendTileTraced(user, slot uint32, id tiles.VideoID, payload []b
 	packets := Fragment(user, slot, id, payload, s.mtu, seq)
 	s.seq += uint32(len(packets))
 	cPackets, cBytes, cDropped := s.cPackets, s.cBytes, s.cDropped
+	faults := s.faults
 	s.mu.Unlock()
 	for _, p := range packets {
 		p.Trace = traceID
@@ -123,15 +141,7 @@ func (s *Sender) SendTileTraced(user, slot uint32, id tiles.VideoID, payload []b
 	const sleepQuantum = time.Millisecond
 
 	buf := make([]byte, s.mtu)
-	for _, p := range packets {
-		wire := p.Encode(buf)
-		if s.shaper.Drop() {
-			s.mu.Lock()
-			s.dropped++
-			s.mu.Unlock()
-			cDropped.Inc()
-			continue
-		}
+	emit := func(wire []byte) error {
 		if d := s.shaper.Admit(len(wire), time.Now()); d >= sleepQuantum {
 			time.Sleep(d)
 		}
@@ -144,6 +154,54 @@ func (s *Sender) SendTileTraced(user, slot uint32, id tiles.VideoID, payload []b
 		s.mu.Unlock()
 		cPackets.Inc()
 		cBytes.Add(uint64(len(wire)))
+		return nil
+	}
+	// held carries at most one datagram the injector ordered behind its
+	// successor — real on-the-wire reordering, not just added latency.
+	var held []byte
+	for _, p := range packets {
+		wire := p.Encode(buf)
+		var f PacketFault
+		if faults != nil {
+			f = faults.PacketFault()
+		}
+		if f.Drop || s.shaper.Drop() {
+			s.mu.Lock()
+			s.dropped++
+			s.mu.Unlock()
+			cDropped.Inc()
+			continue
+		}
+		if f.CorruptXOR != 0 && len(wire) > 0 {
+			pos := f.CorruptPos % len(wire)
+			if pos < 0 {
+				pos += len(wire)
+			}
+			wire[pos] ^= f.CorruptXOR
+		}
+		if f.Hold && held == nil {
+			held = append(held, wire...)
+			continue
+		}
+		if err := emit(wire); err != nil {
+			return err
+		}
+		if f.Duplicate {
+			if err := emit(wire); err != nil {
+				return err
+			}
+		}
+		if held != nil {
+			if err := emit(held); err != nil {
+				return err
+			}
+			held = nil
+		}
+	}
+	if held != nil {
+		if err := emit(held); err != nil {
+			return err
+		}
 	}
 	return nil
 }
