@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race lint bench bench-smoke fuzz-smoke ci figures figures-full loadtest-smoke trace-smoke chaos-smoke clean
+.PHONY: all build vet test race lint bench bench-smoke fuzz-smoke ci figures figures-full loadtest-smoke trace-smoke chaos-smoke regret-smoke clean
 
 all: build vet test
 
@@ -28,7 +28,7 @@ race:
 	$(GO) test -race ./internal/... ./cmd/...
 
 # What CI runs (see .github/workflows/ci.yml).
-ci: build lint test race bench-smoke fuzz-smoke loadtest-smoke trace-smoke chaos-smoke
+ci: build lint test race bench-smoke fuzz-smoke loadtest-smoke trace-smoke chaos-smoke regret-smoke
 
 # Full benchmark pass: the allocator microbenchmark JSON report, then every
 # Go benchmark in the tree.
@@ -94,7 +94,27 @@ trace-smoke:
 	grep -q 'dropped 0' results/smoke_spans.txt
 	$(GO) run ./cmd/collabvr-spans results/smoke_spans.jsonl
 
+# Regret/tournament smoke (< 30 s): record a seeded sim run's decisions
+# with counterfactuals and the DP regret reference, attribute them with
+# collabvr-regret, then run the deterministic policy tournament twice and
+# assert the two ranked tables are byte-identical.
+regret-smoke:
+	@mkdir -p results
+	$(GO) run ./cmd/collabvr-loadgen -arrivals steady -sessions 6 -slots 240 \
+		-budget 60 -seed 7 -decisions-out results/smoke_decisions.jsonl \
+		-counterfactual-k 3 -regret-ref | tee results/regret_smoke.txt
+	grep -q 'decisions: recorded' results/regret_smoke.txt
+	$(GO) run ./cmd/collabvr-regret results/smoke_decisions.jsonl
+	$(GO) run ./cmd/collabvr-regret -tournament -sessions 4 -slots 120 \
+		-budget 60 -seed 7 -regret-resolution 2 > results/tournament_a.txt
+	$(GO) run ./cmd/collabvr-regret -tournament -sessions 4 -slots 120 \
+		-budget 60 -seed 7 -regret-resolution 2 > results/tournament_b.txt
+	cmp results/tournament_a.txt results/tournament_b.txt
+	grep -q 'dvgreedy' results/tournament_a.txt
+
 clean:
 	rm -f results/results_bench.txt results/results_bench_full.txt \
 		results/smoke_spans.jsonl results/smoke_spans.txt \
-		results/chaos_smoke.txt test_output.txt bench_output.txt
+		results/chaos_smoke.txt results/regret_smoke.txt \
+		results/smoke_decisions.jsonl results/tournament_a.txt \
+		results/tournament_b.txt test_output.txt bench_output.txt

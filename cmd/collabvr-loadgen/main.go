@@ -79,6 +79,11 @@ func run(args []string, out io.Writer) error {
 		spanSample = fs.Uint64("span-sample", 1, "keep 1 in N traces (deterministic by trace ID; 0 or 1 = all)")
 		sloOn      = fs.Bool("slo", false, "track per-session QoE SLO burn rates (served on /debug/slo with -http)")
 		verbose    = fs.Bool("v", false, "verbose logging")
+
+		decisionsOut = fs.String("decisions-out", "", "sim mode: write one decision record per allocated slot to this JSONL file (analyze with collabvr-regret)")
+		slotsRing    = fs.Int("slots-ring", 1024, "decision flight-recorder ring capacity (served with capacity and drop count on /debug/slots with -http)")
+		counterK     = fs.Int("counterfactual-k", 0, "sim mode: record the top-K unchosen upgrades per decision (0 = off)")
+		regretRef    = fs.Bool("regret-ref", false, "sim mode: score every recorded decision against the per-slot DP optimum (fills the regret fields; slower)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -137,6 +142,29 @@ func run(args []string, out io.Writer) error {
 		bcfg.Levels = params.Levels
 		brk = obs.NewBreaker(bcfg, reg)
 	}
+	recordDecisions := *decisionsOut != "" || *counterK > 0 || *regretRef
+	if recordDecisions && *mode != "sim" {
+		return fmt.Errorf("-decisions-out/-counterfactual-k/-regret-ref need -mode sim (the live server records via its own -http endpoint)")
+	}
+	var (
+		rec       *obs.Recorder
+		attr      *obs.RegretAttributor
+		decisions *os.File
+	)
+	if *mode == "sim" && (recordDecisions || *httpAddr != "") {
+		attr = obs.NewRegretAttributor(obs.RegretAttributorOptions{Registry: reg})
+		ropts := obs.RecorderOptions{RingSize: *slotsRing, Attributor: attr}
+		if *decisionsOut != "" {
+			var err error
+			decisions, err = os.Create(*decisionsOut)
+			if err != nil {
+				return fmt.Errorf("decision export: %w", err)
+			}
+			defer decisions.Close()
+			ropts.Writer = decisions
+		}
+		rec = obs.NewRecorder(ropts)
+	}
 	var (
 		tracer  *trace.Tracer
 		spanExp *trace.Exporter
@@ -159,7 +187,7 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("observability listen: %w", err)
 		}
 		defer ln.Close()
-		go http.Serve(ln, obs.NewMuxOpts(reg, nil, obs.MuxOptions{SLO: slo, Debug: *debug}))
+		go http.Serve(ln, obs.NewMuxOpts(reg, rec, obs.MuxOptions{SLO: slo, Regret: attr, Debug: *debug}))
 		fmt.Fprintf(out, "observability on http://%s/metrics\n", ln.Addr())
 	}
 	logf := func(string, ...any) {}
@@ -203,7 +231,7 @@ func run(args []string, out io.Writer) error {
 			}
 			return load.RunLive(w, lcfg)
 		}
-		return load.Simulate(w, load.SimConfig{
+		scfg := load.SimConfig{
 			Params:       params,
 			NewAllocator: newAlloc,
 			AllocName:    *algo,
@@ -214,7 +242,15 @@ func run(args []string, out io.Writer) error {
 			SLO:          slo,
 			Chaos:        chaosProf,
 			Breaker:      brk,
-		})
+		}
+		// Decision recording applies to the measured run only, not to
+		// capacity-search probes (which pass a nil registry).
+		if r != nil {
+			scfg.Recorder = rec
+			scfg.CounterfactualK = *counterK
+			scfg.RegretRef = *regretRef
+		}
+		return load.Simulate(w, scfg)
 	}
 
 	if *findCap {
@@ -297,6 +333,18 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "spans: exported %d dropped %d to %s\n",
 			spanExp.Exported(), spanExp.Dropped(), *spanOut)
+	}
+	if rec != nil && rec.Records() > 0 {
+		fmt.Fprintf(out, "decisions: recorded %d slots (ring %d, dropped %d)\n",
+			rec.Records(), rec.RingCapacity(), rec.Dropped())
+		if *decisionsOut != "" {
+			fmt.Fprintf(out, "decisions: exported to %s\n", *decisionsOut)
+		}
+		if *regretRef {
+			regRep := attr.Report()
+			fmt.Fprintf(out, "regret: total %.5f, attributed %.1f%% across %d rows (full report: collabvr-regret %s)\n",
+				regRep.TotalRegret, 100*regRep.AttributedFraction, regRep.Rows, *decisionsOut)
+		}
 	}
 	if slo != nil {
 		fmt.Fprintf(out, "slo: warn transitions %d, page transitions %d\n",

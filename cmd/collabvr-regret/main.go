@@ -1,0 +1,149 @@
+// Command collabvr-regret turns decision JSONL exports (collabvr-loadgen
+// -decisions-out, collabvr-sim -trace-out) into a regret-attribution report:
+// which sessions, in which slots, lost how much objective value, and why
+// (budget rejection, per-user cap, unprofitable counterfactual, channel
+// estimate error, or the structural residue of the greedy heuristic).
+//
+// With -tournament it instead runs the deterministic policy tournament:
+// every candidate allocator replays the identical seeded workload through
+// the virtual-time engine and the ranked fitness table is printed. The
+// ranking is bit-stable for a fixed seed.
+//
+// Usage:
+//
+//	collabvr-regret decisions.jsonl
+//	collabvr-regret -json decisions.jsonl other.jsonl
+//	collabvr-loadgen -decisions-out /dev/stdout ... | collabvr-regret -
+//	collabvr-regret -tournament -sessions 8 -slots 600 -budget 80 -seed 7
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/load"
+	"repro/internal/obs"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "collabvr-regret:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("collabvr-regret", flag.ContinueOnError)
+	var (
+		asJSON = fs.Bool("json", false, "emit the report as JSON instead of text")
+		topN   = fs.Int("top", 10, "worst decisions and top sessions to print")
+		capErr = fs.Float64("cap-err-threshold", 0.25, "|relative capacity estimate error| above which regret is attributed to the channel estimator")
+
+		tournament = fs.Bool("tournament", false, "run the deterministic policy tournament instead of reading decision files")
+		arrivals   = fs.String("arrivals", "steady", "tournament: arrival shape (steady, poisson, mmpp, flash, diurnal)")
+		sessions   = fs.Int("sessions", 8, "tournament: session count")
+		rate       = fs.Float64("rate", 10, "tournament: mean arrival rate per second (stochastic shapes)")
+		meanHold   = fs.Float64("mean-hold", 0, "tournament: mean session duration in seconds (0 = whole horizon)")
+		slots      = fs.Int("slots", 600, "tournament: workload horizon in slots")
+		seed       = fs.Int64("seed", 1, "tournament: workload seed (same seed, same ranking, bit for bit)")
+		budget     = fs.Float64("budget", 400, "tournament: server throughput budget in Mbps")
+		counterK   = fs.Int("counterfactual-k", 3, "tournament: top-K alternatives recorded per decision")
+		skipRegret = fs.Bool("skip-regret", false, "tournament: skip the per-slot DP reference (faster; regret scores as zero)")
+		regretRes  = fs.Float64("regret-resolution", 0, "tournament: DP budget grid step in Mbps (0 = budget/2048)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *tournament {
+		if fs.NArg() > 0 {
+			return fmt.Errorf("-tournament takes no input files (it generates its own workload)")
+		}
+		w, err := load.Generate(load.Config{
+			Shape:        load.Shape(*arrivals),
+			Seed:         *seed,
+			HorizonSlots: *slots,
+			Sessions:     *sessions,
+			RatePerSec:   *rate,
+			MeanHoldSec:  *meanHold,
+		})
+		if err != nil {
+			return err
+		}
+		result, err := load.RunTournament(w, load.TournamentConfig{
+			Sim: load.SimConfig{
+				BudgetMbps:       *budget,
+				CounterfactualK:  *counterK,
+				RegretResolution: *regretRes,
+			},
+			SkipRegret: *skipRegret,
+		})
+		if err != nil {
+			return err
+		}
+		if *asJSON {
+			return writeJSON(out, result)
+		}
+		fmt.Fprint(out, result.Format())
+		return nil
+	}
+
+	paths := fs.Args()
+	if len(paths) == 0 {
+		paths = []string{"-"}
+	}
+	attr := obs.NewRegretAttributor(obs.RegretAttributorOptions{
+		CapErrThreshold: *capErr,
+		TopRows:         *topN,
+	})
+	records, skipped := 0, 0
+	for _, path := range paths {
+		recs, sk, err := readFile(path)
+		if err != nil {
+			return err
+		}
+		for i := range recs {
+			attr.Observe(&recs[i])
+		}
+		records += len(recs)
+		skipped += sk
+	}
+	if records == 0 {
+		return fmt.Errorf("no decision records in input")
+	}
+	if skipped > 0 && !*asJSON {
+		fmt.Fprintf(out, "# skipped %d partial trailing line(s) (live writer)\n", skipped)
+	}
+	rep := attr.Report()
+	if *asJSON {
+		return writeJSON(out, rep)
+	}
+	fmt.Fprint(out, rep.Format())
+	return nil
+}
+
+func readFile(path string) ([]obs.SlotRecord, int, error) {
+	r := io.Reader(os.Stdin)
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, 0, err
+		}
+		defer f.Close()
+		r = f
+	}
+	recs, skipped, err := obs.ReadSlotRecords(r)
+	if err != nil {
+		return nil, 0, fmt.Errorf("%s: %w", path, err)
+	}
+	return recs, skipped, nil
+}
+
+func writeJSON(out io.Writer, v any) error {
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

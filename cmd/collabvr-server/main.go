@@ -46,7 +46,9 @@ func run(args []string) error {
 		alpha      = fs.Float64("alpha", 0.1, "QoE delay weight")
 		beta       = fs.Float64("beta", 0.5, "QoE variance weight")
 		httpAddr   = fs.String("http", "", "observability HTTP listen address serving /metrics and /debug/slots (empty = disabled)")
-		ringSize   = fs.Int("trace-ring", 1024, "flight-recorder ring size (records kept for /debug/slots)")
+		ringSize   = fs.Int("slots-ring", 1024, "flight-recorder ring capacity (records kept for /debug/slots, which also reports capacity and drop count)")
+		ringOld    = fs.Int("trace-ring", 0, "deprecated alias for -slots-ring")
+		counterK   = fs.Int("counterfactual-k", 0, "record the top-K unchosen upgrades per slot (0 = off; served on /debug/slots and /debug/regret)")
 		debug      = fs.Bool("debug", false, "expose pprof, /debug/runtime and runtime gauges on the -http mux")
 		spanOut    = fs.String("span-out", "", "write server-side request spans to this JSONL file (analyze with collabvr-spans)")
 		spanSample = fs.Uint64("span-sample", 1, "keep 1 in N traces (deterministic by trace ID; 0 or 1 = all)")
@@ -123,15 +125,22 @@ func run(args []string) error {
 		if cfg.Metrics == nil {
 			cfg.Metrics = obs.NewRegistry()
 		}
-		rec = obs.NewRecorder(obs.RecorderOptions{RingSize: *ringSize})
+		ring := *ringSize
+		if *ringOld > 0 {
+			ring = *ringOld
+		}
+		attr := obs.NewRegretAttributor(obs.RegretAttributorOptions{Registry: cfg.Metrics})
+		rec = obs.NewRecorder(obs.RecorderOptions{RingSize: ring, Attributor: attr})
 		cfg.Recorder = rec
+		cfg.CounterfactualK = *counterK
 		ln, err := net.Listen("tcp", *httpAddr)
 		if err != nil {
 			return fmt.Errorf("observability listen: %w", err)
 		}
 		defer ln.Close()
-		go http.Serve(ln, obs.NewMuxOpts(cfg.Metrics, rec, obs.MuxOptions{SLO: cfg.SLO, Debug: *debug}))
-		fmt.Printf("collabvr-server: observability on http://%s/metrics and /debug/slots\n",
+		go http.Serve(ln, obs.NewMuxOpts(cfg.Metrics, rec,
+			obs.MuxOptions{SLO: cfg.SLO, Regret: attr, Debug: *debug}))
+		fmt.Printf("collabvr-server: observability on http://%s/metrics, /debug/slots and /debug/regret\n",
 			ln.Addr())
 	}
 

@@ -43,6 +43,7 @@ func run(args []string) error {
 		points   = fs.Int("points", 11, "CDF points to print per series")
 		csvDir   = fs.String("csv", "", "directory to dump raw per-user samples as CSV (empty = no dump)")
 		traceOut = fs.String("trace-out", "", "write the per-slot decision trace as JSONL to this file (empty = disabled)")
+		counterK = fs.Int("counterfactual-k", 0, "record the top-K unchosen upgrades per decision in the trace (0 = off; needs -trace-out)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -58,6 +59,9 @@ func run(args []string) error {
 		cfg.IncludeOptimal = true
 	}
 
+	if *counterK > 0 && *traceOut == "" {
+		return fmt.Errorf("-counterfactual-k needs -trace-out (alternatives are recorded into the decision trace)")
+	}
 	var rec *obs.Recorder
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
@@ -67,6 +71,7 @@ func run(args []string) error {
 		defer f.Close()
 		rec = obs.NewRecorder(obs.RecorderOptions{RingSize: 256, Writer: f})
 		cfg.Recorder = rec
+		cfg.CounterfactualK = *counterK
 	}
 
 	figure := "Fig 2"

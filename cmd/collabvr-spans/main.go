@@ -43,15 +43,20 @@ func run(args []string, out io.Writer) error {
 	}
 
 	var spans []trace.SpanRecord
+	skipped := 0
 	for _, path := range paths {
-		s, err := readFile(path)
+		s, sk, err := readFile(path)
 		if err != nil {
 			return err
 		}
 		spans = append(spans, s...)
+		skipped += sk
 	}
 	if len(spans) == 0 {
 		return fmt.Errorf("no spans in input")
+	}
+	if skipped > 0 && !*asJSON {
+		fmt.Fprintf(out, "# skipped %d partial trailing line(s) (live writer)\n", skipped)
 	}
 
 	a := trace.Analyze(spans, *topN)
@@ -64,19 +69,19 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
-func readFile(path string) ([]trace.SpanRecord, error) {
+func readFile(path string) ([]trace.SpanRecord, int, error) {
 	r := io.Reader(os.Stdin)
 	if path != "-" {
 		f, err := os.Open(path)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		defer f.Close()
 		r = f
 	}
-	spans, err := trace.ReadSpans(r)
+	spans, skipped, err := trace.ReadSpansTolerant(r)
 	if err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		return nil, 0, fmt.Errorf("%s: %w", path, err)
 	}
-	return spans, nil
+	return spans, skipped, nil
 }

@@ -79,6 +79,31 @@ func TestRunMergesMultipleFiles(t *testing.T) {
 	}
 }
 
+// TestRunToleratesLiveTail reads a span file whose last line is torn (a
+// live writer mid-append): the analysis must succeed on the complete spans
+// and report the skipped line.
+func TestRunToleratesLiveTail(t *testing.T) {
+	path := writeSpanFile(t)
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := filepath.Join(t.TempDir(), "live.jsonl")
+	if err := os.WriteFile(torn, full[:len(full)-20], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{torn}, &out); err != nil {
+		t.Fatalf("torn tail failed the run: %v", err)
+	}
+	if !strings.Contains(out.String(), "skipped 1 partial trailing line") {
+		t.Errorf("output missing skipped-line note:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "span analysis") {
+		t.Errorf("analysis missing:\n%s", out.String())
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	garbage := filepath.Join(t.TempDir(), "bad.jsonl")
 	if err := os.WriteFile(garbage, []byte("{not json\n"), 0o644); err != nil {

@@ -150,6 +150,13 @@ type SlotTrace struct {
 	Upgrades int
 	// Rejections lists the reverted upgrades of the returned pass.
 	Rejections []obs.Rejection
+	// TopK, when positive, opts in to counterfactual capture: the returned
+	// pass's top-K unchosen upgrades land in Alternatives. Zero (the
+	// default) records nothing and costs nothing.
+	TopK int
+	// Alternatives are the counterfactual decisions of the returned pass,
+	// ranked by marginal score (heap-solver allocators only).
+	Alternatives []obs.Alternative
 }
 
 // TracingAllocator is an Allocator that can explain its decisions. The
@@ -172,6 +179,18 @@ func fillTrace(tr *SlotTrace, branch string, pass knapsack.PassTrace) {
 				User:       rej.Item,
 				Level:      rej.Level,
 				Constraint: rej.Reason.String(),
+			}
+		}
+	}
+	if len(pass.Alternatives) > 0 {
+		tr.Alternatives = make([]obs.Alternative, len(pass.Alternatives))
+		for i, alt := range pass.Alternatives {
+			tr.Alternatives[i] = obs.Alternative{
+				User:   alt.Item,
+				Level:  alt.Level,
+				Score:  alt.Score,
+				Gain:   alt.Gain,
+				Reason: alt.Reason.String(),
 			}
 		}
 	}
@@ -217,6 +236,7 @@ func (DVGreedy) AllocateTraced(params Params, p *SlotProblem, tr *SlotTrace) All
 		return DVGreedy{}.Allocate(params, p)
 	}
 	var kt knapsack.CombinedTrace
+	kt.Density.TopK, kt.Value.TopK = tr.TopK, tr.TopK
 	sol := toKnapsack(params, p).CombinedTraced(&kt)
 	pass := kt.Density
 	if kt.Picked == knapsack.BranchValue {
@@ -244,6 +264,7 @@ func (DensityOnly) AllocateTraced(params Params, p *SlotProblem, tr *SlotTrace) 
 		return DensityOnly{}.Allocate(params, p)
 	}
 	var pass knapsack.PassTrace
+	pass.TopK = tr.TopK
 	sol := toKnapsack(params, p).DensityGreedyTraced(&pass)
 	fillTrace(tr, knapsack.BranchDensity.String(), pass)
 	return fromKnapsack(sol)
@@ -266,6 +287,7 @@ func (ValueOnly) AllocateTraced(params Params, p *SlotProblem, tr *SlotTrace) Al
 		return ValueOnly{}.Allocate(params, p)
 	}
 	var pass knapsack.PassTrace
+	pass.TopK = tr.TopK
 	sol := toKnapsack(params, p).ValueGreedyTraced(&pass)
 	fillTrace(tr, knapsack.BranchValue.String(), pass)
 	return fromKnapsack(sol)

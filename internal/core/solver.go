@@ -67,6 +67,7 @@ func (a *SolverAllocator) AllocateTraced(params Params, p *SlotProblem, tr *Slot
 		return a.Allocate(params, p)
 	}
 	var kt knapsack.CombinedTrace
+	kt.Density.TopK, kt.Value.TopK = tr.TopK, tr.TopK
 	sol := a.solver.CombinedTraced(a.lower(params, p), &kt)
 	pass := kt.Density
 	if kt.Picked == knapsack.BranchValue {

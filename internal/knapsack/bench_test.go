@@ -49,6 +49,33 @@ func BenchmarkSolveHeap(b *testing.B) {
 	}
 }
 
+// BenchmarkSolveHeapCounterfactual measures the traced heap solver with
+// top-K alternative capture on and off at each size. The acceptance gate is
+// K=3 at N=1000: capture must stay within 10% of the capture-off traced
+// solve, and both must report 0 allocs/op.
+func BenchmarkSolveHeapCounterfactual(b *testing.B) {
+	for _, n := range []int{30, 1000} {
+		for _, k := range []int{0, 3} {
+			b.Run(fmt.Sprintf("N=%d/K=%d", n, k), func(b *testing.B) {
+				p := benchLadderProblem(rand.New(rand.NewSource(int64(n))), n)
+				var s Solver
+				var tr CombinedTrace
+				tr.Density.TopK, tr.Value.TopK = k, k
+				s.CombinedTraced(p, &tr) // warm scratch
+				b.ReportAllocs()
+				b.ResetTimer()
+				var value float64
+				for i := 0; i < b.N; i++ {
+					tr.Density.Rejections = tr.Density.Rejections[:0]
+					tr.Value.Rejections = tr.Value.Rejections[:0]
+					value = s.CombinedTraced(p, &tr).Value
+				}
+				b.ReportMetric(value, "objective")
+			})
+		}
+	}
+}
+
 // BenchmarkSolveReference measures the original rescan engine on the same
 // instances — the baseline the heap rewrite is judged against.
 func BenchmarkSolveReference(b *testing.B) {

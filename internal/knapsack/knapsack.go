@@ -156,6 +156,11 @@ const (
 	RejectItemCap RejectReason = iota + 1
 	// RejectBudget is the shared-budget check sum f^R > B(t).
 	RejectBudget
+	// RejectUnprofitable marks a counterfactual upgrade that was never
+	// attempted because its marginal score was negative when the greedy loop
+	// terminated ("if eta < 0 then I = {}"). It never appears in Rejections
+	// — only in the counterfactual Alternatives of a pass.
+	RejectUnprofitable
 )
 
 // String names the violated constraint.
@@ -165,6 +170,8 @@ func (r RejectReason) String() string {
 		return "user-cap"
 	case RejectBudget:
 		return "budget"
+	case RejectUnprofitable:
+		return "unprofitable"
 	default:
 		return "unknown"
 	}
@@ -178,11 +185,69 @@ type Rejection struct {
 	Reason RejectReason
 }
 
+// Alternative is one unchosen upgrade surfaced by a greedy pass: raising
+// Item to Level (1-based) would have added Gain objective value, but the
+// pass did not take it for Reason. Score is the pass's marginal ranking
+// score (dV/dW for the density pass, dV for the value pass) — the same
+// number the heap ordered candidates by, so alternatives are directly
+// comparable with the upgrades that did win.
+type Alternative struct {
+	Item   int
+	Level  int // the forgone (not taken) level, 1-based
+	Score  float64
+	Gain   float64 // dV of the forgone upgrade
+	Reason RejectReason
+}
+
+// altBefore orders alternatives the way the heap ordered candidates:
+// higher score first, ties to the lower item index, then the lower level.
+func altBefore(a, b Alternative) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	if a.Item != b.Item {
+		return a.Item < b.Item
+	}
+	return a.Level < b.Level
+}
+
+// insertTopK inserts a into alts (kept sorted by altBefore), bounding the
+// result to k entries. It shifts in place and appends at most once, so a
+// caller reusing alts across solves reaches zero allocations once the
+// slice's capacity has grown to k.
+func insertTopK(alts []Alternative, k int, a Alternative) []Alternative {
+	if k <= 0 {
+		return alts
+	}
+	switch {
+	case len(alts) < k:
+		alts = append(alts, a)
+	case altBefore(a, alts[len(alts)-1]):
+		alts[len(alts)-1] = a
+	default:
+		return alts
+	}
+	for i := len(alts) - 1; i > 0 && altBefore(alts[i], alts[i-1]); i-- {
+		alts[i], alts[i-1] = alts[i-1], alts[i]
+	}
+	return alts
+}
+
 // PassTrace records one greedy pass's decision sequence: how many upgrades
 // were accepted and which were reverted by quality_verification.
+//
+// TopK, when positive, additionally asks the heap Solver to record up to
+// TopK unchosen upgrades — the counterfactual decisions of the pass: every
+// quality_verification rejection plus the profitable-looking upgrades left
+// pending when the loop hit a negative marginal score — ranked by Score.
+// Only the heap engine fills Alternatives (the reference scan ignores
+// TopK); solutions, Upgrades and Rejections remain bit-identical between
+// engines either way.
 type PassTrace struct {
-	Upgrades   int
-	Rejections []Rejection
+	Upgrades     int
+	Rejections   []Rejection
+	TopK         int
+	Alternatives []Alternative
 }
 
 // Branch identifies which greedy pass Combined returned.

@@ -94,6 +94,10 @@ type Solver struct {
 // see the file comment for the equivalence argument.
 func (s *Solver) run(p *Problem, kind greedyKind, buf *[]int, tr *PassTrace) Solution {
 	n := len(p.Items)
+	capture := tr != nil && tr.TopK > 0
+	if capture {
+		tr.Alternatives = tr.Alternatives[:0]
+	}
 	levels := (*buf)[:0]
 	var value, weight float64
 	for i := 0; i < n; i++ {
@@ -115,7 +119,32 @@ func (s *Solver) run(p *Problem, kind greedyKind, buf *[]int, tr *PassTrace) Sol
 		e, h = heapPop(h)
 		if e.score < 0 {
 			// "if eta < 0 then I = {}": the best remaining upgrade is
-			// unprofitable, so every remaining one is too.
+			// unprofitable, so every remaining one is too. For the
+			// counterfactual record, the popped entry and everything still
+			// pending are the upgrades the pass walked away from.
+			if capture {
+				old := levels[int(e.item)]
+				it := &p.Items[int(e.item)]
+				tr.Alternatives = insertTopK(tr.Alternatives, tr.TopK, Alternative{
+					Item:   int(e.item),
+					Level:  old + 1,
+					Score:  e.score,
+					Gain:   it.Values[old] - it.Values[old-1],
+					Reason: RejectUnprofitable,
+				})
+				for _, f := range h {
+					i := int(f.item)
+					old := levels[i]
+					it := &p.Items[i]
+					tr.Alternatives = insertTopK(tr.Alternatives, tr.TopK, Alternative{
+						Item:   i,
+						Level:  old + 1,
+						Score:  f.score,
+						Gain:   it.Values[old] - it.Values[old-1],
+						Reason: RejectUnprofitable,
+					})
+				}
+			}
 			break
 		}
 		i := int(e.item)
@@ -139,6 +168,15 @@ func (s *Solver) run(p *Problem, kind greedyKind, buf *[]int, tr *PassTrace) Sol
 				}
 				tr.Rejections = append(tr.Rejections,
 					Rejection{Item: i, Level: old + 1, Reason: reason})
+				if capture {
+					tr.Alternatives = insertTopK(tr.Alternatives, tr.TopK, Alternative{
+						Item:   i,
+						Level:  old + 1,
+						Score:  e.score,
+						Gain:   dv,
+						Reason: reason,
+					})
+				}
 			}
 			levels[i] = old
 			value -= dv

@@ -56,6 +56,20 @@ type SimConfig struct {
 	// its SLO burns (graceful degradation: quality drops before users do).
 	// Requires SLO, whose state feeds the breaker every slot.
 	Breaker *obs.Breaker
+	// Recorder, when non-nil, receives one decision SlotRecord per allocated
+	// slot, with stable SessionIDs (indices shift under churn, IDs do not)
+	// and the per-user objective decomposition.
+	Recorder *obs.Recorder
+	// CounterfactualK opts recorded decisions into top-K counterfactual
+	// capture on heap-solver allocators (see core.SlotTrace.TopK). Zero
+	// records no alternatives.
+	CounterfactualK int
+	// RegretRef, when set with Recorder, re-solves every recorded slot with
+	// the pseudo-polynomial DP optimum and fills the record's regret fields
+	// (OptimalValue, Regret, UserRegret) against it.
+	RegretRef bool
+	// RegretResolution is the DP budget grid step (<= 0: budget/2048).
+	RegretResolution float64
 }
 
 func (c SimConfig) withDefaults() SimConfig {
@@ -182,6 +196,11 @@ func Simulate(w *Workload, cfg SimConfig) (*RunReport, error) {
 	serverInj := chaos.NewServerInjector(cfg.Chaos)
 	report.SlotQuality = make([]float64, 0, horizon)
 
+	var regretRef core.Allocator
+	if cfg.Recorder.Enabled() && cfg.RegretRef {
+		regretRef = core.DPOptimal{Resolution: cfg.RegretResolution}
+	}
+
 	for slot := 0; slot < horizon; slot++ {
 		// Arrivals.
 		for _, spec := range byArrive[slot] {
@@ -252,11 +271,28 @@ func Simulate(w *Workload, cfg SimConfig) (*RunReport, error) {
 		if cfg.Tracer.Enabled() {
 			solveStart = time.Now()
 		}
-		allocation := alloc.Allocate(cfg.Params, problem)
+		var allocation core.Allocation
+		var slotTr *core.SlotTrace
+		if cfg.Recorder.Enabled() {
+			if ta, ok := alloc.(core.TracingAllocator); ok {
+				slotTr = &core.SlotTrace{TopK: cfg.CounterfactualK}
+				allocation = ta.AllocateTraced(cfg.Params, problem, slotTr)
+			}
+		}
+		if slotTr == nil {
+			allocation = alloc.Allocate(cfg.Params, problem)
+		}
 		var slotNs, solveNs int64
 		if cfg.Tracer.Enabled() {
 			solveNs = time.Since(solveStart).Nanoseconds()
 			slotNs = int64(float64(slot) * slotMs * 1e6)
+		}
+		if cfg.Recorder.Enabled() {
+			ids := make([]uint32, len(plans))
+			for i := range plans {
+				ids[i] = plans[i].sess.spec.ID
+			}
+			recordSimSlot(&cfg, slot, problem, allocation, slotTr, ids, regretRef)
 		}
 
 		// Shared-egress overload: the allocator respects the budget when it
@@ -351,4 +387,55 @@ func Simulate(w *Workload, cfg SimConfig) (*RunReport, error) {
 	}
 	sortOutcomes(report.Outcomes)
 	return report, nil
+}
+
+// recordSimSlot builds and records the decision flight-recorder entry for
+// one simulated slot: the chosen allocation with its per-user objective
+// decomposition, the trace's rejections and counterfactual alternatives,
+// and (when a regret reference is configured) the DP optimum's view of the
+// same problem. Every slice is freshly allocated because the recorder ring
+// and the attributor alias them.
+func recordSimSlot(cfg *SimConfig, slot int, p *core.SlotProblem, a core.Allocation,
+	tr *core.SlotTrace, ids []uint32, ref core.Allocator) {
+	rec := obs.SlotRecord{
+		Algorithm:  cfg.AllocName,
+		Slot:       slot,
+		Levels:     a.Levels,
+		Value:      a.Value,
+		RateMbps:   a.Rate,
+		BudgetMbps: p.Budget,
+		SessionIDs: ids,
+		UserValues: make([]float64, len(p.Users)),
+	}
+	if p.Budget > 0 {
+		rec.Utilization = a.Rate / p.Budget
+	}
+	if tr != nil {
+		rec.Branch = tr.Branch
+		rec.Upgrades = tr.Upgrades
+		rec.Rejections = tr.Rejections
+		rec.Alternatives = tr.Alternatives
+	}
+	for i := range p.Users {
+		terms := core.ObjectiveTerms(cfg.Params, p.T, p.Users[i], a.Levels[i])
+		rec.UserValues[i] = terms.Quality - terms.Delay - terms.Variance
+		rec.QualityTerm += terms.Quality
+		rec.DelayTerm += terms.Delay
+		rec.VarianceTerm += terms.Variance
+	}
+	if ref != nil {
+		opt := ref.Allocate(cfg.Params, p)
+		rec.HasRegret = true
+		rec.OptimalValue = opt.Value
+		// Sub-1e-9 differences are summation-order noise between the DP and
+		// greedy engines evaluating the same allocation; call them a tie.
+		if r := opt.Value - a.Value; r > 1e-9 {
+			rec.Regret = r
+		}
+		rec.UserRegret = make([]float64, len(p.Users))
+		for i := range p.Users {
+			rec.UserRegret[i] = core.Objective(cfg.Params, p.T, p.Users[i], opt.Levels[i]) - rec.UserValues[i]
+		}
+	}
+	cfg.Recorder.Record(&rec)
 }

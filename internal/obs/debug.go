@@ -111,6 +111,17 @@ func AttachDebug(mux *http.ServeMux, r *Registry) {
 	mux.Handle("/debug/runtime", runtimeHandler(r))
 }
 
+// RegretHandler serves the attributor's report as the /debug/regret JSON
+// page (a nil attributor serves an empty report).
+func RegretHandler(a *RegretAttributor) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(a.Report())
+	})
+}
+
 // SLOHandler serves the SLO monitor's snapshot as the /debug/slo JSON page
 // (a nil monitor serves an empty snapshot).
 func SLOHandler(m *SLOMonitor) http.Handler {

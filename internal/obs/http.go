@@ -17,8 +17,12 @@ func MetricsHandler(r *Registry) http.Handler {
 
 // slotsResponse is the /debug/slots JSON document.
 type slotsResponse struct {
-	Summary Summary      `json:"summary"`
-	Recent  []SlotRecord `json:"recent"`
+	Summary Summary `json:"summary"`
+	// RingCapacity is the configured flight-recorder ring size and
+	// RingDropped how many records have already fallen out of it.
+	RingCapacity int          `json:"ring_capacity"`
+	RingDropped  uint64       `json:"ring_dropped"`
+	Recent       []SlotRecord `json:"recent"`
 }
 
 // SlotsHandler serves the recorder's summary and its most recent records as
@@ -35,7 +39,12 @@ func SlotsHandler(rec *Recorder) http.Handler {
 			n = v
 		}
 		w.Header().Set("Content-Type", "application/json")
-		resp := slotsResponse{Summary: rec.Summary(), Recent: rec.Recent(n)}
+		resp := slotsResponse{
+			Summary:      rec.Summary(),
+			RingCapacity: rec.RingCapacity(),
+			RingDropped:  rec.Dropped(),
+			Recent:       rec.Recent(n),
+		}
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(resp)
@@ -53,6 +62,8 @@ type MuxOptions struct {
 	// SLO, when non-nil, adds /debug/slo and refreshes the SLO gauges on
 	// every /metrics scrape.
 	SLO *SLOMonitor
+	// Regret, when non-nil, adds /debug/regret.
+	Regret *RegretAttributor
 	// Debug adds the pprof endpoints and /debug/runtime, and samples the
 	// runtime into collabvr_runtime_* gauges on every /metrics scrape.
 	Debug bool
@@ -72,6 +83,9 @@ func NewMuxOpts(r *Registry, rec *Recorder, opts MuxOptions) *http.ServeMux {
 	mux.Handle("/debug/slots", SlotsHandler(rec))
 	if opts.SLO != nil {
 		mux.Handle("/debug/slo", SLOHandler(opts.SLO))
+	}
+	if opts.Regret != nil {
+		mux.Handle("/debug/regret", RegretHandler(opts.Regret))
 	}
 	if opts.Debug {
 		AttachDebug(mux, r)

@@ -17,6 +17,23 @@ const (
 	ConstraintBudget  = "budget"
 )
 
+// ConstraintUnprofitable marks a counterfactual upgrade the greedy loop
+// never attempted because its marginal score had gone negative ("if eta < 0
+// then I = {}"). It appears only in Alternatives, never in Rejections.
+const ConstraintUnprofitable = "unprofitable"
+
+// Alternative is one unchosen upgrade the allocator considered and walked
+// away from: raising User to Level would have added Gain objective value.
+// Score is the greedy pass's marginal ranking score, so alternatives are
+// directly comparable with the upgrades that won.
+type Alternative struct {
+	User   int     `json:"user"`
+	Level  int     `json:"level"`
+	Score  float64 `json:"score"`
+	Gain   float64 `json:"gain"`
+	Reason string  `json:"reason"`
+}
+
 // Rejection is one quality_verification failure: the upgrade of one user to
 // one level was reverted because it violated a constraint.
 type Rejection struct {
@@ -54,6 +71,26 @@ type SlotRecord struct {
 	OptimalValue float64 `json:"optimal_value,omitempty"`
 	Regret       float64 `json:"regret"`
 	HasRegret    bool    `json:"has_regret"`
+	// SessionIDs maps slot-local user indices to stable session IDs, so
+	// per-user fields survive churn (a session's index changes as others
+	// join and leave). Empty when the producer has no session identity; the
+	// attributor then falls back to the index.
+	SessionIDs []uint32 `json:"session_ids,omitempty"`
+	// Alternatives are the top-K unchosen upgrades of the winning greedy
+	// pass — the slot's counterfactual decisions. Present only when capture
+	// was enabled (opt-in; see knapsack.PassTrace.TopK).
+	Alternatives []Alternative `json:"alternatives,omitempty"`
+	// UserValues is each user's objective contribution h_n at the chosen
+	// levels (eq. (9) per user; sums to Value).
+	UserValues []float64 `json:"user_values,omitempty"`
+	// UserRegret is each user's objective shortfall versus the reference
+	// optimum's allocation of the same slot (positive: the optimum served
+	// this user better). Set only alongside HasRegret.
+	UserRegret []float64 `json:"user_regret,omitempty"`
+	// CapErr is each user's signed relative channel-capacity estimate error
+	// (est-true)/true, when the producer estimates capacity; regret on a
+	// badly-estimated user is attributed to the estimator, not the policy.
+	CapErr []float64 `json:"cap_err,omitempty"`
 }
 
 // RecorderOptions configures a Recorder.
@@ -63,6 +100,9 @@ type RecorderOptions struct {
 	RingSize int
 	// Writer, when non-nil, receives every record as one JSON line.
 	Writer io.Writer
+	// Attributor, when non-nil, receives every record for regret
+	// attribution (served by /debug/regret).
+	Attributor *RegretAttributor
 }
 
 // regretBuckets spans the objective scale of the paper's instances (per-slot
@@ -95,6 +135,7 @@ type Recorder struct {
 	full     bool
 	enc      *json.Encoder
 	writeErr error
+	attr     *RegretAttributor
 	aggs     map[string]*algAgg
 	order    []string // algorithm names in first-seen order
 	records  uint64
@@ -108,6 +149,7 @@ func NewRecorder(opts RecorderOptions) *Recorder {
 	r := &Recorder{
 		ring: make([]SlotRecord, opts.RingSize),
 		aggs: make(map[string]*algAgg),
+		attr: opts.Attributor,
 	}
 	if opts.Writer != nil {
 		r.enc = json.NewEncoder(opts.Writer)
@@ -119,11 +161,13 @@ func NewRecorder(opts RecorderOptions) *Recorder {
 // SlotRecord on the disabled path.
 func (r *Recorder) Enabled() bool { return r != nil }
 
-// Record ingests one slot record (copied; the caller may reuse rec).
+// Record ingests one slot record (copied; the caller may reuse rec, but
+// not the slices it points to — the ring and the attributor alias them).
 func (r *Recorder) Record(rec *SlotRecord) {
 	if r == nil || rec == nil {
 		return
 	}
+	r.attr.Observe(rec)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.records++
@@ -184,6 +228,30 @@ func (r *Recorder) Records() uint64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.records
+}
+
+// RingCapacity returns the configured ring size (0 when disabled).
+func (r *Recorder) RingCapacity() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.ring)
+}
+
+// Dropped returns how many records have fallen out of the ring: ingested
+// records beyond the ring's capacity. A JSONL writer still saw them; the
+// /debug/slots ring did not.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	held := uint64(r.next)
+	if r.full {
+		held = uint64(len(r.ring))
+	}
+	return r.records - held
 }
 
 // Recent returns up to n of the most recent records, oldest first.

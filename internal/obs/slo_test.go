@@ -144,6 +144,109 @@ func TestSLORetire(t *testing.T) {
 	}
 }
 
+// TestSLOEmptyWindow: a monitor that has observed nothing must report an
+// empty snapshot and zeroed gauges, not divide by an empty window.
+func TestSLOEmptyWindow(t *testing.T) {
+	m := sloForTest()
+	snap := m.Snapshot()
+	if len(snap.Sessions) != 0 || snap.OK != 0 || snap.Warn != 0 || snap.Page != 0 {
+		t.Fatalf("empty snapshot = %+v", snap)
+	}
+	if snap.WorstMissBurn != 0 {
+		t.Fatalf("worst burn = %v on no data", snap.WorstMissBurn)
+	}
+	if m.State(1) != "" {
+		t.Fatal("unobserved session has a state")
+	}
+	if v := m.reg.Gauge("collabvr_slo_sessions_ok").Value(); v != 0 {
+		t.Fatalf("ok gauge = %v", v)
+	}
+}
+
+// TestSLOSingleSampleWindow: with WindowSlots == ShortWindowSlots == 1 the
+// alert gate opens on the first observation, so a lone miss pages and a
+// lone hit recovers — the degenerate window must not under- or over-gate.
+func TestSLOSingleSampleWindow(t *testing.T) {
+	m := NewSLOMonitor(SLOConfig{
+		WindowSlots: 1, ShortWindowSlots: 1,
+		MissTarget: 0.5, StallTarget: 1, FastBurn: 2, SlowBurn: 2,
+	}, NewRegistry())
+	m.ObserveSlot(1, false, 0) // burn = 1/0.5 = 2 = FastBurn on both windows
+	if got := m.State(1); got != SLOStatePage {
+		t.Fatalf("single miss state = %q, want page", got)
+	}
+	m.ObserveSlot(1, true, 4)
+	if got := m.State(1); got != SLOStateOK {
+		t.Fatalf("single hit state = %q, want ok", got)
+	}
+	if v := m.reg.Counter("collabvr_slo_page_transitions_total").Value(); v != 1 {
+		t.Fatalf("page transitions = %d, want 1", v)
+	}
+	snap := m.Snapshot()
+	if s := snap.Sessions[0]; s.Slots != 1 || s.MissRate != 0 {
+		t.Fatalf("session = %+v", s)
+	}
+}
+
+// TestSLOBoundaryWarnPageRecover drives one session through the exact
+// threshold boundaries: a long-window burn of exactly SlowBurn must warn
+// (the comparison is inclusive), exactly FastBurn on both windows must
+// page, and an all-hit window must return to ok. A second session one miss
+// below the warn boundary must stay ok.
+func TestSLOBoundaryWarnPageRecover(t *testing.T) {
+	// Long and short windows coincide, so the state is first evaluated on
+	// the full 8-slot window and both burns are always equal. The window
+	// size and MissTarget are picked so every burn is float64-exact
+	// (k/8 divided by 0.25 is a power-of-two scaling): 6 misses = burn 3.0
+	// (= SlowBurn), 8 misses = burn 4.0 (= FastBurn). StallTarget 1
+	// neutralizes the stall rule for this test.
+	cfg := SLOConfig{
+		WindowSlots: 8, ShortWindowSlots: 8,
+		MissTarget: 0.25, StallTarget: 1, FastBurn: 4, SlowBurn: 3,
+	}
+	m := NewSLOMonitor(cfg, NewRegistry())
+
+	// One miss below the warn boundary: burn 2.5 < SlowBurn stays ok.
+	for i := 0; i < 8; i++ {
+		m.ObserveSlot(2, i >= 5, 3)
+	}
+	if got := m.State(2); got != SLOStateOK {
+		t.Fatalf("burn 2.5 state = %q, want ok (below boundary)", got)
+	}
+
+	// Exactly at the warn boundary: 6 misses, burn 3.0.
+	for i := 0; i < 8; i++ {
+		m.ObserveSlot(1, i >= 6, 3)
+	}
+	if got := m.State(1); got != SLOStateWarn {
+		t.Fatalf("burn 3.0 state = %q, want warn (inclusive boundary)", got)
+	}
+	if v := m.reg.Counter("collabvr_slo_warn_transitions_total").Value(); v != 1 {
+		t.Fatalf("warn transitions = %d, want 1", v)
+	}
+
+	// Slide to exactly the page boundary: 8 consecutive misses fill the
+	// window — burn 4.0 on both windows (passing only through warn on the
+	// way, never over the page threshold early).
+	for i := 0; i < 8; i++ {
+		m.ObserveSlot(1, false, 0)
+	}
+	if got := m.State(1); got != SLOStatePage {
+		t.Fatalf("burn 4.0 state = %q, want page (inclusive boundary)", got)
+	}
+	if v := m.reg.Counter("collabvr_slo_page_transitions_total").Value(); v != 1 {
+		t.Fatalf("page transitions = %d, want 1", v)
+	}
+
+	// Recover: an all-hit window drops every burn to 0.
+	for i := 0; i < 8; i++ {
+		m.ObserveSlot(1, true, 4)
+	}
+	if got := m.State(1); got != SLOStateOK {
+		t.Fatalf("recovered state = %q, want ok", got)
+	}
+}
+
 func TestSLONilSafety(t *testing.T) {
 	var m *SLOMonitor
 	if m.Enabled() {

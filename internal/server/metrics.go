@@ -91,10 +91,12 @@ func (m *serverMetrics) instrumentSender(s *transport.Sender) {
 }
 
 // recordSlot feeds one slot's decision into the flight recorder. The server
-// has no co-running optimal, so records carry no regret; the trace still
-// explains every greedy decision (branch, upgrades, rejections).
+// has no co-running optimal, so records carry no regret (the attributor
+// falls back to the forgone-gain proxy over the counterfactual
+// alternatives); the trace still explains every greedy decision (branch,
+// upgrades, rejections, top-K alternatives).
 func recordSlot(rec *obs.Recorder, name string, params core.Params, slot uint32,
-	problem *core.SlotProblem, alloc core.Allocation, tr *core.SlotTrace) {
+	problem *core.SlotProblem, alloc core.Allocation, tr *core.SlotTrace, ids []uint32) {
 	if !rec.Enabled() {
 		return
 	}
@@ -105,6 +107,8 @@ func recordSlot(rec *obs.Recorder, name string, params core.Params, slot uint32,
 		Value:      alloc.Value,
 		RateMbps:   alloc.Rate,
 		BudgetMbps: problem.Budget,
+		SessionIDs: ids,
+		UserValues: make([]float64, len(problem.Users)),
 	}
 	if problem.Budget > 0 {
 		r.Utilization = alloc.Rate / problem.Budget
@@ -113,9 +117,11 @@ func recordSlot(rec *obs.Recorder, name string, params core.Params, slot uint32,
 		r.Branch = tr.Branch
 		r.Upgrades = tr.Upgrades
 		r.Rejections = tr.Rejections
+		r.Alternatives = tr.Alternatives
 	}
 	for i, u := range problem.Users {
 		terms := core.ObjectiveTerms(params, problem.T, u, alloc.Levels[i])
+		r.UserValues[i] = terms.Quality - terms.Delay - terms.Variance
 		r.QualityTerm += terms.Quality
 		r.DelayTerm += terms.Delay
 		r.VarianceTerm += terms.Variance

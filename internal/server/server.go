@@ -85,6 +85,10 @@ type Config struct {
 	// Recorder receives one decision record per allocation slot; nil
 	// disables the flight recorder with near-zero overhead.
 	Recorder *obs.Recorder
+	// CounterfactualK opts recorded decisions into top-K counterfactual
+	// capture (the unchosen upgrades of each slot, with reasons); 0 records
+	// none. Only meaningful with Recorder.
+	CounterfactualK int
 	// Tracer receives request-scoped spans following each tile request
 	// through the slot pipeline; nil disables tracing with one pointer
 	// check per instrumentation point.
@@ -1031,14 +1035,20 @@ func (s *Server) runSlot(slot uint32, sessions []*session) {
 	var allocation core.Allocation
 	var slotTrace *core.SlotTrace
 	if tracer, ok := s.cfg.Allocator.(core.TracingAllocator); ok && s.cfg.Recorder.Enabled() {
-		slotTrace = &core.SlotTrace{}
+		slotTrace = &core.SlotTrace{TopK: s.cfg.CounterfactualK}
 		allocation = tracer.AllocateTraced(s.cfg.Params, problem, slotTrace)
 	} else {
 		allocation = s.cfg.Allocator.Allocate(s.cfg.Params, problem)
 	}
 	decideEnd := s.cfg.Tracer.Now()
-	recordSlot(s.cfg.Recorder, s.cfg.Allocator.Name(), s.cfg.Params, slot,
-		problem, allocation, slotTrace)
+	if s.cfg.Recorder.Enabled() {
+		ids := make([]uint32, len(plans))
+		for i := range plans {
+			ids[i] = plans[i].sess.user
+		}
+		recordSlot(s.cfg.Recorder, s.cfg.Allocator.Name(), s.cfg.Params, slot,
+			problem, allocation, slotTrace, ids)
+	}
 	s.metrics.observeDecision(time.Since(started), s.cfg.SlotDuration)
 	s.metrics.cacheHitRatio.Set(s.store.HitRatio())
 

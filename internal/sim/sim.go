@@ -58,9 +58,14 @@ type Config struct {
 	// Recorder, when non-nil, receives one obs.SlotRecord per (slot,
 	// algorithm): chosen levels, greedy branch, quality_verification
 	// rejections, budget utilization, objective terms, and — when the
-	// brute-force optimum runs in the same campaign — per-slot regret
-	// versus it. Nil disables tracing with near-zero overhead.
+	// brute-force optimum runs in the same campaign — per-slot and
+	// per-user regret versus it. Nil disables tracing with near-zero
+	// overhead.
 	Recorder *obs.Recorder
+	// CounterfactualK, when positive, additionally records each slot's
+	// top-K unchosen upgrades (the counterfactual alternatives of the
+	// greedy pass) in the flight-recorder records. Requires Recorder.
+	CounterfactualK int
 	// Tracer, when non-nil, emits virtual-time spans — the same schema as
 	// the live engine — for the campaign's first run only (the remaining
 	// runs are statistical repeats). The trace epoch is salted per
@@ -282,11 +287,19 @@ func emitRecords(cfg Config, algorithms []AlgorithmFactory, records [][]obs.Slot
 		for j := range records[i] {
 			rec := &records[i][j]
 			if optIdx >= 0 {
-				opt := records[optIdx][j].Value
-				rec.OptimalValue = opt
+				opt := &records[optIdx][j]
+				rec.OptimalValue = opt.Value
 				rec.HasRegret = true
-				if r := opt - rec.Value; r > 0 {
+				if r := opt.Value - rec.Value; r > 0 {
 					rec.Regret = r
+				}
+				// Per-user shortfall versus the optimum's allocation of the
+				// identical inputs — the rows regret attribution runs on.
+				if len(opt.UserValues) == len(rec.UserValues) {
+					rec.UserRegret = make([]float64, len(rec.UserValues))
+					for u := range rec.UserValues {
+						rec.UserRegret[u] = opt.UserValues[u] - rec.UserValues[u]
+					}
 				}
 			}
 			cfg.Recorder.Record(rec)
@@ -338,6 +351,10 @@ func replayAlgorithm(cfg Config, slots int, budget float64, inputs [][]slotInput
 	slotMs := 1000 / cfg.SlotsPerSecond
 	users := make([]core.UserInput, cfg.Users)
 	for s := 0; s < slots; s++ {
+		var capErr []float64
+		if recording && estimators != nil {
+			capErr = make([]float64, cfg.Users) // fresh: the record retains it
+		}
 		for u := 0; u < cfg.Users; u++ {
 			in := inputs[u][s]
 			seenCap := in.cap_
@@ -353,6 +370,9 @@ func replayAlgorithm(cfg Config, slots int, budget float64, inputs [][]slotInput
 					seenCap = estimators[u].Value()
 				}
 			}
+			if capErr != nil && in.cap_ > 0 {
+				capErr[u] = (seenCap - in.cap_) / in.cap_
+			}
 			users[u] = tracker.UserInput(u, in.rates,
 				netem.DelayTableMs(in.rates, seenCap, slotMs), seenCap)
 		}
@@ -364,7 +384,7 @@ func replayAlgorithm(cfg Config, slots int, budget float64, inputs [][]slotInput
 			solveStart = time.Now()
 		}
 		if recording && canTrace {
-			slotTrace = &core.SlotTrace{}
+			slotTrace = &core.SlotTrace{TopK: cfg.CounterfactualK}
 			allocation = tracer.AllocateTraced(cfg.Params, problem, slotTrace)
 		} else {
 			allocation = alloc.Allocate(cfg.Params, problem)
@@ -375,7 +395,7 @@ func replayAlgorithm(cfg Config, slots int, budget float64, inputs [][]slotInput
 			slotNs = int64(float64(s) * slotMs * 1e6)
 		}
 		if recording {
-			records = append(records, slotRecord(cfg, factory.Name, run, s, budget, problem, allocation, slotTrace))
+			records = append(records, slotRecord(cfg, factory.Name, run, s, budget, problem, allocation, slotTrace, capErr))
 		}
 		for u := 0; u < cfg.Users; u++ {
 			in := inputs[u][s]
@@ -455,8 +475,9 @@ func emitSimSpans(tr *trace.Tracer, epoch uint64, algo string, user, slot uint32
 	disp.EndAt(slotNs + delayNs)
 }
 
-// slotRecord builds one flight-recorder entry for a decided slot.
-func slotRecord(cfg Config, name string, run, s int, budget float64, problem *core.SlotProblem, allocation core.Allocation, tr *core.SlotTrace) obs.SlotRecord {
+// slotRecord builds one flight-recorder entry for a decided slot. capErr
+// (when non-nil) is the signed relative channel-estimate error per user.
+func slotRecord(cfg Config, name string, run, s int, budget float64, problem *core.SlotProblem, allocation core.Allocation, tr *core.SlotTrace, capErr []float64) obs.SlotRecord {
 	rec := obs.SlotRecord{
 		Algorithm:  name,
 		Run:        run,
@@ -465,6 +486,7 @@ func slotRecord(cfg Config, name string, run, s int, budget float64, problem *co
 		Value:      allocation.Value,
 		RateMbps:   allocation.Rate,
 		BudgetMbps: budget,
+		CapErr:     capErr,
 	}
 	if budget > 0 {
 		rec.Utilization = allocation.Rate / budget
@@ -473,12 +495,15 @@ func slotRecord(cfg Config, name string, run, s int, budget float64, problem *co
 		rec.Branch = tr.Branch
 		rec.Upgrades = tr.Upgrades
 		rec.Rejections = tr.Rejections
+		rec.Alternatives = tr.Alternatives
 	}
+	rec.UserValues = make([]float64, len(allocation.Levels))
 	for u, q := range allocation.Levels {
 		terms := core.ObjectiveTerms(cfg.Params, problem.T, problem.Users[u], q)
 		rec.QualityTerm += terms.Quality
 		rec.DelayTerm += terms.Delay
 		rec.VarianceTerm += terms.Variance
+		rec.UserValues[u] = terms.Quality - terms.Delay - terms.Variance
 	}
 	return rec
 }

@@ -1,40 +1,45 @@
 package trace
 
 import (
-	"bufio"
-	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
+
+	"repro/internal/jsonl"
 )
 
 // ReadSpans parses a JSONL span export (the format Exporter writes). Blank
-// lines are skipped; a malformed line is an error that names its number.
+// lines are skipped; any malformed line — including a partial tail — is an
+// error. Prefer ReadSpansTolerant when the file may still be written to.
 func ReadSpans(r io.Reader) ([]SpanRecord, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
-	var out []SpanRecord
-	line := 0
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" {
-			continue
-		}
-		var rec SpanRecord
-		if err := json.Unmarshal([]byte(text), &rec); err != nil {
-			return nil, fmt.Errorf("trace: line %d: %w", line, err)
-		}
+	spans, skipped, err := ReadSpansTolerant(r)
+	if err != nil {
+		return nil, err
+	}
+	if skipped > 0 {
+		return nil, fmt.Errorf("trace: %d malformed trailing line(s)", skipped)
+	}
+	return spans, nil
+}
+
+// ReadSpansTolerant parses a JSONL span export from a file a live exporter
+// may still be appending to: a trailing run of partial or malformed lines
+// is skipped and counted instead of failing the read. A malformed line in
+// the interior of the stream (followed by well-formed spans) is still a
+// hard error.
+func ReadSpansTolerant(r io.Reader) ([]SpanRecord, int, error) {
+	spans, skipped, err := jsonl.Decode(r, func(rec *SpanRecord) error {
 		if rec.Trace == 0 || rec.Stage == "" {
-			return nil, fmt.Errorf("trace: line %d: span without trace/stage", line)
+			return errors.New("span without trace/stage")
 		}
-		out = append(out, rec)
+		return nil
+	})
+	if err != nil {
+		return nil, 0, fmt.Errorf("trace: %w", err)
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("trace: read spans: %w", err)
-	}
-	return out, nil
+	return spans, skipped, nil
 }
 
 // StageStat aggregates one pipeline stage across every trace.

@@ -108,6 +108,28 @@ func TestReadSpansRejectsGarbage(t *testing.T) {
 	}
 }
 
+// TestReadSpansTolerantTrailingPartial is the live-file regression test: a
+// reader racing the exporter sees a torn final line, which must be skipped
+// and counted rather than failing the whole read — but interior corruption
+// must still be fatal in both readers.
+func TestReadSpansTolerantTrailingPartial(t *testing.T) {
+	in := "{\"trace\":1,\"stage\":\"tx.send\"}\n{\"trace\":2,\"stage\":\"disp"
+	spans, skipped, err := ReadSpansTolerant(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("torn tail errored: %v", err)
+	}
+	if len(spans) != 1 || skipped != 1 {
+		t.Fatalf("spans=%d skipped=%d, want 1/1", len(spans), skipped)
+	}
+	if _, err := ReadSpans(strings.NewReader(in)); err == nil {
+		t.Fatal("strict ReadSpans accepted a torn tail")
+	}
+	if _, _, err := ReadSpansTolerant(strings.NewReader(
+		"garbage\n{\"trace\":1,\"stage\":\"tx.send\"}\n")); err == nil {
+		t.Fatal("interior corruption accepted")
+	}
+}
+
 func TestQuantileNearestRank(t *testing.T) {
 	ds := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
 	if q := quantile(ds, 0.5); q != 5 {
