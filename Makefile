@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race lint bench bench-smoke fuzz-smoke ci figures figures-full loadtest-smoke trace-smoke chaos-smoke regret-smoke clean
+.PHONY: all build vet test race lint bench bench-smoke fuzz-smoke ci figures figures-full loadtest-smoke trace-smoke chaos-smoke regret-smoke fleet-smoke clean
 
 all: build vet test
 
@@ -28,7 +28,7 @@ race:
 	$(GO) test -race ./internal/... ./cmd/...
 
 # What CI runs (see .github/workflows/ci.yml).
-ci: build lint test race bench-smoke fuzz-smoke loadtest-smoke trace-smoke chaos-smoke regret-smoke
+ci: build lint test race bench-smoke fuzz-smoke loadtest-smoke trace-smoke chaos-smoke regret-smoke fleet-smoke
 
 # Full benchmark pass: the allocator microbenchmark JSON report, then every
 # Go benchmark in the tree.
@@ -112,9 +112,27 @@ regret-smoke:
 	cmp results/tournament_a.txt results/tournament_b.txt
 	grep -q 'dvgreedy' results/tournament_a.txt
 
+# Fleet smoke (< 60 s): validate the shard-fault profile, then run the
+# seeded 3-shard campaign that kills one shard mid-run and assert the
+# resilience contract — every session migrates instead of dropping, the run
+# reproduces bit for bit, and tail quality recovers to within 10% of the
+# fault-free baseline. A short live loopback fleet run exercises the real
+# Welcome-resume migration path end to end.
+fleet-smoke:
+	@mkdir -p results
+	$(GO) run ./cmd/collabvr-fleet -chaos examples/chaos/fleet.json -chaos-check
+	$(GO) run ./cmd/collabvr-fleet -shards 3 -sessions 9 -slots 1200 -seed 42 \
+		-chaos examples/chaos/fleet.json -verify-recovery | tee results/fleet_smoke.txt
+	grep -q 'degrades-not-drops: OK' results/fleet_smoke.txt
+	grep -q 'determinism: OK' results/fleet_smoke.txt
+	grep -q 'recovery: OK' results/fleet_smoke.txt
+	$(GO) run ./cmd/collabvr-fleet -mode live -shards 2 -sessions 4 \
+		-slots 240 -slotms 10 -budget 300
+
 clean:
 	rm -f results/results_bench.txt results/results_bench_full.txt \
 		results/smoke_spans.jsonl results/smoke_spans.txt \
 		results/chaos_smoke.txt results/regret_smoke.txt \
 		results/smoke_decisions.jsonl results/tournament_a.txt \
-		results/tournament_b.txt test_output.txt bench_output.txt
+		results/tournament_b.txt results/fleet_smoke.txt \
+		test_output.txt bench_output.txt

@@ -27,6 +27,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/chaos"
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/load"
 	"repro/internal/obs"
 	"repro/internal/trace"
@@ -53,7 +54,10 @@ func run(args []string, out io.Writer) error {
 		seed     = fs.Int64("seed", 1, "workload seed (same seed, same workload, byte for byte)")
 
 		algo   = fs.String("algo", "dvgreedy", "allocator: dvgreedy, dvgreedy-scan, density, value, optimal, firefly, pavq")
-		budget = fs.Float64("budget", 400, "server throughput budget B(t) in Mbps")
+		budget = fs.Float64("budget", 400, "server throughput budget B(t) in Mbps (fleet-wide when -shards > 1)")
+
+		shards = fs.Int("shards", 1, "run against a sharded fleet of this many servers (1 = single server)")
+		scorer = fs.String("scorer", "least-loaded", "fleet placement scorer: least-loaded, locality, slo-burn")
 		alpha  = fs.Float64("alpha", 0.1, "QoE delay weight")
 		beta   = fs.Float64("beta", 0.5, "QoE variance weight")
 
@@ -94,6 +98,14 @@ func run(args []string, out io.Writer) error {
 	if *mode != "sim" && *mode != "live" {
 		return fmt.Errorf("unknown mode %q (want sim or live)", *mode)
 	}
+	if *shards < 1 {
+		return fmt.Errorf("-shards must be at least 1")
+	}
+	if *shards > 1 {
+		if _, err := fleet.ScorerByName(*scorer); err != nil {
+			return err
+		}
+	}
 	newAlloc := func() core.Allocator {
 		a, _ := allocatorByName(*algo)
 		return a
@@ -108,6 +120,9 @@ func run(args []string, out io.Writer) error {
 		chaosProf, err = chaos.LoadProfile(*chaosPath)
 		if err != nil {
 			return err
+		}
+		if chaosProf.HasShardFaults() && *shards == 1 {
+			return fmt.Errorf("chaos profile %q has shard faults; run with -shards > 1 (or use collabvr-fleet)", chaosProf.Name)
 		}
 	}
 	if *chaosCheck {
@@ -201,6 +216,9 @@ func run(args []string, out io.Writer) error {
 	if *slotMs > 0 {
 		slotDur = time.Duration(*slotMs * float64(time.Millisecond))
 	}
+	// Fleet dispatch: -shards > 1 routes the run through the sharded
+	// engines; the last fleet report is kept for the fleet addendum.
+	var fleetRep *load.FleetReport
 	execute := func(w *load.Workload, r *obs.Registry) (*load.RunReport, error) {
 		if *mode == "live" {
 			lcfg := load.LiveConfig{
@@ -229,6 +247,18 @@ func run(args []string, out io.Writer) error {
 				}
 				lcfg.RetryPolicy = transport.DefaultRetryPolicy(retrySlot)
 			}
+			if *shards > 1 {
+				frep, err := load.RunLiveFleet(w, load.FleetLiveConfig{
+					Live:   lcfg,
+					Shards: *shards,
+					Scorer: *scorer,
+				})
+				if err != nil {
+					return nil, err
+				}
+				fleetRep = frep
+				return &frep.RunReport, nil
+			}
 			return load.RunLive(w, lcfg)
 		}
 		scfg := load.SimConfig{
@@ -250,16 +280,62 @@ func run(args []string, out io.Writer) error {
 			scfg.CounterfactualK = *counterK
 			scfg.RegretRef = *regretRef
 		}
+		if *shards > 1 {
+			frep, err := load.SimulateFleet(w, load.FleetSimConfig{
+				Sim:    scfg,
+				Shards: *shards,
+				Scorer: *scorer,
+			})
+			if err != nil {
+				return nil, err
+			}
+			fleetRep = frep
+			return &frep.RunReport, nil
+		}
 		return load.Simulate(w, scfg)
 	}
 
 	if *findCap {
-		probe := func(n int) (float64, error) {
+		probeWorkload := func(n int) (*load.Workload, error) {
 			pcfg := base
 			pcfg.Shape = load.Steady
 			pcfg.Sessions = n
 			pcfg.MeanHoldSec = 0 // capacity probes hold all n sessions concurrently
-			pw, err := load.Generate(pcfg)
+			return load.Generate(pcfg)
+		}
+		if *shards > 1 {
+			// Fleet capacity is a two-knee search (fleet total + per-shard);
+			// probes run the deterministic fleet engine regardless of -mode.
+			probe := func(n, nShards int, globalBudget float64) (float64, error) {
+				pw, err := probeWorkload(n)
+				if err != nil {
+					return 0, err
+				}
+				fcfg := load.FleetSimConfig{Shards: nShards, Scorer: *scorer}
+				fcfg.Sim = load.SimConfig{
+					Params:       params,
+					NewAllocator: newAlloc,
+					AllocName:    *algo,
+					BudgetMbps:   globalBudget,
+				}
+				rep, err := load.SimulateFleet(pw, fcfg)
+				if err != nil {
+					return 0, err
+				}
+				miss := rep.AggregateMissRate()
+				fmt.Fprintf(out, "probe %5d sessions x %d shard(s) @ %.0f Mbps: deadline-miss %.4f\n",
+					n, nShards, globalBudget, miss)
+				return miss, nil
+			}
+			res, err := load.FindFleetCapacity(*capLo, *capHi, *missTarget, *shards, *budget, probe)
+			if err != nil {
+				return err
+			}
+			fmt.Fprint(out, res.Format())
+			return nil
+		}
+		probe := func(n int) (float64, error) {
+			pw, err := probeWorkload(n)
 			if err != nil {
 				return 0, err
 			}
@@ -326,7 +402,11 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprint(out, rep.Format())
+	if fleetRep != nil {
+		fmt.Fprint(out, fleetRep.FormatFleet())
+	} else {
+		fmt.Fprint(out, rep.Format())
+	}
 	if spanExp != nil {
 		if err := spanExp.Close(); err != nil {
 			return fmt.Errorf("span export: %w", err)
@@ -389,6 +469,8 @@ func chaosSummary(p *chaos.Profile) string {
 			fmt.Fprintf(&b, ", factor %g", f.Factor)
 		case chaos.FaultStall, chaos.FaultSlowACK:
 			fmt.Fprintf(&b, ", delay %g ms", f.DelayMs)
+		case chaos.FaultShardKill, chaos.FaultShardDrain:
+			fmt.Fprintf(&b, ", shard %d", f.Shard)
 		}
 		b.WriteByte('\n')
 	}

@@ -69,10 +69,42 @@ func TestRunFindCapacity(t *testing.T) {
 	}
 }
 
+func TestRunFleetShards(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-shards", "3", "-sessions", "6", "-slots", "240",
+		"-budget", "300", "-seed", "5"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fleet-sim", "fleet: scorer least-loaded", "placements 6"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("fleet report missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunFleetFindCapacity(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-find-capacity", "-shards", "2", "-budget", "240",
+		"-slots", "120", "-miss-target", "0.05", "-cap-lo", "1", "-cap-hi", "16",
+		"-seed", "5"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"# fleet capacity search", "fleet total", "per-shard knee"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("fleet capacity output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	for name, args := range map[string][]string{
-		"bad algo": {"-algo", "nope"},
-		"bad mode": {"-mode", "warp"},
+		"bad algo":             {"-algo", "nope"},
+		"bad mode":             {"-mode", "warp"},
+		"bad shards":           {"-shards", "0"},
+		"bad scorer":           {"-shards", "2", "-scorer", "nope"},
+		"shard faults 1 shard": {"-chaos", filepath.Join("..", "..", "examples", "chaos", "fleet.json")},
 	} {
 		if err := run(args, &bytes.Buffer{}); err == nil {
 			t.Errorf("%s: want error", name)

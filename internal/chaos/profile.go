@@ -48,6 +48,17 @@ const (
 	// FaultSlowACK delays the server's control-plane ACK processing by
 	// DelayMs per message during the window (estimator staleness).
 	FaultSlowACK FaultKind = "slow-ack"
+	// FaultShardKill abruptly kills a whole fleet shard at StartSlot: its
+	// slot pipeline stops and every session it hosts must be re-placed on
+	// the surviving shards (DurationSlots is ignored — dead stays dead).
+	// Only fleet engines honor it; single-server runs reject the profile
+	// at wiring time, not parse time, so profiles stay portable.
+	FaultShardKill FaultKind = "shard_kill"
+	// FaultShardDrain puts a fleet shard into draining at StartSlot: it
+	// stops accepting placements and hands its sessions off to the rest of
+	// the fleet, spread across DurationSlots (0 = all at once), after which
+	// the shard is out of rotation.
+	FaultShardDrain FaultKind = "shard_drain"
 )
 
 // Fault is one scheduled fault window on the slot clock.
@@ -71,6 +82,8 @@ type Fault struct {
 	Factor float64 `json:"factor,omitempty"`
 	// DelayMs parametrizes server-stall and slow-ack injection.
 	DelayMs float64 `json:"delay_ms,omitempty"`
+	// Shard is the fleet shard index targeted by shard_kill/shard_drain.
+	Shard int `json:"shard,omitempty"`
 }
 
 // active reports whether the fault window covers the slot.
@@ -143,6 +156,16 @@ func (f *Fault) validate(i int) error {
 		if f.DelayMs <= 0 || f.DelayMs > 5000 {
 			return fail(fmt.Errorf("delay_ms %g outside (0, 5000]", f.DelayMs))
 		}
+	case FaultShardKill, FaultShardDrain:
+		if f.Shard < 0 {
+			return fail(fmt.Errorf("shard %d < 0", f.Shard))
+		}
+		if len(f.Sessions) > 0 {
+			return fail(fmt.Errorf("sessions list is not applicable (the fault targets a whole shard)"))
+		}
+		if f.Kind == FaultShardKill && f.DurationSlots != 0 {
+			return fail(fmt.Errorf("duration_slots %d invalid (a killed shard never comes back)", f.DurationSlots))
+		}
 	default:
 		return fail(fmt.Errorf("unknown kind"))
 	}
@@ -205,19 +228,53 @@ func LoadProfile(path string) (*Profile, error) {
 }
 
 // HasSessionFaults reports whether any fault targets the delivery path
-// (everything except server-stall/slow-ack).
+// (everything except server-stall/slow-ack and the shard-scoped kinds).
 func (p *Profile) HasSessionFaults() bool {
 	if p == nil {
 		return false
 	}
 	for i := range p.Faults {
 		switch p.Faults[i].Kind {
-		case FaultStall, FaultSlowACK:
+		case FaultStall, FaultSlowACK, FaultShardKill, FaultShardDrain:
 		default:
 			return true
 		}
 	}
 	return false
+}
+
+// HasShardFaults reports whether any fault targets a whole fleet shard.
+func (p *Profile) HasShardFaults() bool {
+	return p != nil && len(p.ShardFaults()) > 0
+}
+
+// ShardFaults returns the shard-scoped faults (shard_kill, shard_drain) in
+// profile order. Fleet engines schedule these directly; session and server
+// injectors ignore them.
+func (p *Profile) ShardFaults() []Fault {
+	if p == nil {
+		return nil
+	}
+	var out []Fault
+	for i := range p.Faults {
+		switch p.Faults[i].Kind {
+		case FaultShardKill, FaultShardDrain:
+			out = append(out, p.Faults[i])
+		}
+	}
+	return out
+}
+
+// MaxShard returns the highest shard index any shard fault targets (-1 when
+// the profile has none); fleet engines validate it against the shard count.
+func (p *Profile) MaxShard() int {
+	maxShard := -1
+	for _, f := range p.ShardFaults() {
+		if f.Shard > maxShard {
+			maxShard = f.Shard
+		}
+	}
+	return maxShard
 }
 
 // HasServerFaults reports whether any fault targets the server pipeline.

@@ -58,6 +58,12 @@ type Config struct {
 	// sleeps uniform [0, min(Cap, Base<<k)) (defaults 50 ms / 1 s).
 	ReconnectBase time.Duration
 	ReconnectCap  time.Duration
+	// Redirect, when non-nil, supplies the control address to dial on each
+	// reconnect attempt (the initial dial always uses ServerAddr). A fleet
+	// coordinator points it at whichever shard currently owns the session,
+	// so a migration's forced disconnect redials straight to the adopting
+	// shard. Must be safe for concurrent use.
+	Redirect func() string
 	// Metrics receives the client's counters/histograms (names prefixed
 	// collabvr_client_); nil disables metrics with near-zero overhead.
 	Metrics *obs.Registry
@@ -127,6 +133,11 @@ type Result struct {
 	// Reconnects counts successful control-channel redials (only with
 	// Config.Reconnect).
 	Reconnects int
+	// Resumes counts Welcomes that resumed handed-off session state
+	// (fleet live migration), and LastShard is the shard that sent the
+	// most recent Welcome.
+	Resumes   int
+	LastShard int
 	// SetupMs is the session setup latency: dial to the server's Welcome
 	// (or to the Hello send, against a server that never acknowledges).
 	SetupMs float64
@@ -226,6 +237,8 @@ type runner struct {
 	releases   int
 	nacks      int
 	reconnects int
+	resumes    int // guarded by ctrlMu, like reconnects
+	lastShard  int
 
 	setupStart time.Time
 	setupMu    sync.Mutex
@@ -273,7 +286,13 @@ func (c *runner) redial() *transport.Conn {
 		if done {
 			return nil
 		}
-		raw, err := net.Dial("tcp", c.cfg.ServerAddr)
+		addr := c.cfg.ServerAddr
+		if c.cfg.Redirect != nil {
+			// A fleet migration moved the session: redial the shard that
+			// adopted it, not the one that closed on us.
+			addr = c.cfg.Redirect()
+		}
+		raw, err := net.Dial("tcp", addr)
 		if err != nil {
 			continue
 		}
@@ -291,6 +310,12 @@ func (c *runner) redial() *transport.Conn {
 			w, ok := msg.(transport.Welcome)
 			if rerr == nil && ok && w.User == c.cfg.User {
 				ctrl.SetDeadline(time.Time{})
+				c.ctrlMu.Lock()
+				if w.Resumed {
+					c.resumes++
+				}
+				c.lastShard = w.Shard
+				c.ctrlMu.Unlock()
 				return ctrl
 			}
 		}
@@ -344,10 +369,16 @@ func (c *runner) run() (*Result, error) {
 				c.obs.reconnects.Inc()
 				continue
 			}
-			if _, ok := msg.(transport.Welcome); ok {
+			if w, ok := msg.(transport.Welcome); ok {
 				c.setupMu.Lock()
 				c.setupMs = float64(time.Since(c.setupStart)) / float64(time.Millisecond)
 				c.setupMu.Unlock()
+				c.ctrlMu.Lock()
+				if w.Resumed {
+					c.resumes++
+				}
+				c.lastShard = w.Shard
+				c.ctrlMu.Unlock()
 			}
 		}
 	}()
@@ -438,6 +469,8 @@ func (c *runner) run() (*Result, error) {
 	c.obs.setupMs.Observe(setupMs)
 	c.ctrlMu.Lock()
 	reconnects := c.reconnects
+	resumes := c.resumes
+	lastShard := c.lastShard
 	c.ctrlMu.Unlock()
 	return &Result{
 		User:       c.cfg.User,
@@ -448,6 +481,8 @@ func (c *runner) run() (*Result, error) {
 		Releases:   c.releases,
 		Nacks:      c.nacks,
 		Reconnects: reconnects,
+		Resumes:    resumes,
+		LastShard:  lastShard,
 		SetupMs:    setupMs,
 	}, nil
 }

@@ -1,0 +1,415 @@
+package fleet
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+// LiveConfig parametrizes the in-process live fleet coordinator.
+type LiveConfig struct {
+	// Shards is the number of in-process server shards (default 2).
+	Shards int
+	// Base is the server config template. Each shard gets a copy with its
+	// own ShardID, loopback ephemeral addresses and an equal initial slice
+	// of GlobalBudgetMbps. Shared observability (Metrics, SLO, Breaker,
+	// Tracer, Recorder) stays shared across shards — that is what lets SLO
+	// windows and traces survive a migration.
+	Base server.Config
+	// GlobalBudgetMbps is the fleet's total B(t) (default
+	// Base.BudgetMbps, i.e. one server's budget spread over the fleet).
+	GlobalBudgetMbps float64
+	// NewAllocator, when non-nil, builds a fresh allocator per shard.
+	// Stateful allocators (the default solver keeps solve scratch) must
+	// not be shared across concurrently-running shard slot loops.
+	NewAllocator func() core.Allocator
+	// Zones is the locality zone count; shard i sits in zone i%Zones
+	// (default Shards — every shard its own zone).
+	Zones int
+	// Scorer ranks shards at placement (default LeastLoaded).
+	Scorer Scorer
+	// Recorder captures placement decisions; nil disables.
+	Recorder *obs.PlacementRecorder
+	// Rebalance tunes the periodic budget re-split driven by Tick.
+	Rebalance RebalanceConfig
+}
+
+// liveShard is the coordinator's bookkeeping for one shard.
+type liveShard struct {
+	zone        int
+	dead        bool
+	draining    bool
+	placed      int
+	migratedIn  int
+	migratedOut int
+}
+
+// Live runs N in-process server shards behind the fleet decision core:
+// scored placement for arriving sessions, periodic budget rebalancing from
+// observed demand, and live migration over the reconnect/Welcome-resume
+// machinery. All methods are safe for concurrent use.
+type Live struct {
+	cfg     LiveConfig
+	servers []*server.Server
+	router  *Router
+	rb      *Rebalancer
+
+	mu         sync.Mutex
+	shards     []liveShard
+	owner      map[uint32]int
+	slot       int
+	migrations int
+}
+
+// NewLive builds and starts the fleet.
+func NewLive(cfg LiveConfig) (*Live, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 2
+	}
+	if cfg.GlobalBudgetMbps <= 0 {
+		cfg.GlobalBudgetMbps = cfg.Base.BudgetMbps
+	}
+	if cfg.Zones <= 0 {
+		cfg.Zones = cfg.Shards
+	}
+	l := &Live{
+		cfg:    cfg,
+		router: NewRouter(cfg.Scorer, cfg.Recorder),
+		rb:     NewRebalancer(cfg.Rebalance, cfg.Shards),
+		owner:  make(map[uint32]int),
+		shards: make([]liveShard, cfg.Shards),
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		scfg := cfg.Base
+		scfg.ShardID = i
+		scfg.TCPAddr = ""
+		scfg.UDPAddr = ""
+		scfg.BudgetMbps = cfg.GlobalBudgetMbps / float64(cfg.Shards)
+		if cfg.NewAllocator != nil {
+			scfg.Allocator = cfg.NewAllocator()
+		}
+		srv, err := server.New(scfg)
+		if err != nil {
+			for _, prev := range l.servers {
+				prev.Close()
+			}
+			return nil, fmt.Errorf("fleet: shard %d: %w", i, err)
+		}
+		l.servers = append(l.servers, srv)
+		l.shards[i].zone = i % cfg.Zones
+	}
+	return l, nil
+}
+
+// Shard returns shard i's server (for stats and drain orchestration).
+func (l *Live) Shard(i int) *server.Server { return l.servers[i] }
+
+// Shards returns the shard count.
+func (l *Live) Shards() int { return len(l.servers) }
+
+// ShardAddr returns shard i's control address.
+func (l *Live) ShardAddr(i int) string { return l.servers[i].ControlAddr() }
+
+// Addr returns the control address of the shard that currently owns the
+// session — the client's Redirect hook. An unplaced user gets shard 0.
+func (l *Live) Addr(user uint32) string {
+	l.mu.Lock()
+	shard, ok := l.owner[user]
+	l.mu.Unlock()
+	if !ok {
+		shard = 0
+	}
+	return l.servers[shard].ControlAddr()
+}
+
+// Owner returns the shard that owns the session (-1 if unplaced).
+func (l *Live) Owner(user uint32) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if shard, ok := l.owner[user]; ok {
+		return shard
+	}
+	return -1
+}
+
+// statesLocked snapshots the ShardState slice for the router (caller holds
+// l.mu). The live demand proxy is sessions x InitialUserMbps: the
+// coordinator has no per-session rate ladder, but scorers only compare
+// demand/budget ratios, so any per-session constant works.
+func (l *Live) statesLocked() []ShardState {
+	perSession := l.cfg.Base.InitialUserMbps
+	if perSession <= 0 {
+		perSession = 30
+	}
+	slo := l.cfg.Base.SLO
+	counts := make([]int, len(l.servers))
+	paging := make([]int, len(l.servers))
+	for user, shard := range l.owner {
+		counts[shard]++
+		if slo != nil && slo.State(user) == obs.SLOStatePage {
+			paging[shard]++
+		}
+	}
+	out := make([]ShardState, len(l.servers))
+	for i := range l.servers {
+		st := ShardState{
+			ID:         i,
+			Zone:       l.shards[i].zone,
+			Alive:      !l.shards[i].dead,
+			Draining:   l.shards[i].draining,
+			Sessions:   counts[i],
+			BudgetMbps: l.servers[i].Budget(),
+			DemandMbps: float64(counts[i]) * perSession,
+		}
+		if counts[i] > 0 {
+			st.PageFrac = float64(paging[i]) / float64(counts[i])
+		}
+		out[i] = st
+	}
+	return out
+}
+
+// Place admits a new session: scores the shards, records the decision and
+// returns the winning shard index. The caller dials the returned shard's
+// ControlAddr (see ShardAddr) and should set the client's Redirect to
+// Addr(user) so later migrations find it.
+func (l *Live) Place(sess SessionInfo) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	shard := l.router.Place(l.slot, sess, l.statesLocked(), obs.PlaceArrival, -1)
+	if shard < 0 {
+		return -1, fmt.Errorf("fleet: no shard can accept session %d", sess.ID)
+	}
+	l.owner[sess.ID] = shard
+	l.shards[shard].placed++
+	return shard, nil
+}
+
+// Forget drops a departed session from the ownership table.
+func (l *Live) Forget(user uint32) {
+	l.mu.Lock()
+	delete(l.owner, user)
+	l.mu.Unlock()
+}
+
+// Migrate moves one session to the best-scoring other shard: export on the
+// source (closing its control connection, which triggers the client's
+// redial), adopt on the target, and flip ownership so the client's Redirect
+// hook resolves to the adopting shard. reason is one of the obs.Place*
+// constants. Returns the target shard.
+func (l *Live) Migrate(user uint32, reason string) (int, error) {
+	l.mu.Lock()
+	from, ok := l.owner[user]
+	if !ok {
+		l.mu.Unlock()
+		return -1, fmt.Errorf("fleet: migrate: unknown session %d", user)
+	}
+	sess := SessionInfo{ID: user, Zone: l.shards[from].zone, DemandMbps: l.cfg.Base.InitialUserMbps}
+	to := l.router.Place(l.slot, sess, l.statesLocked(), reason, from)
+	if to < 0 {
+		l.mu.Unlock()
+		return -1, fmt.Errorf("fleet: migrate: no shard can adopt session %d", user)
+	}
+	l.mu.Unlock()
+
+	// Ordering is the whole protocol: snapshot the state, register it on
+	// the adopting shard, flip ownership (so the client's Redirect hook
+	// resolves to the target), and only then close the source's control
+	// connection to trigger the redial. Any other order lets the client's
+	// fresh Hello race the adoption or redial back into the source.
+	st, err := l.servers[from].ExportSession(user)
+	if err != nil {
+		return -1, fmt.Errorf("fleet: migrate session %d: %w", user, err)
+	}
+	if err := l.servers[to].AdoptSession(st); err != nil {
+		return -1, fmt.Errorf("fleet: migrate session %d: %w", user, err)
+	}
+
+	l.mu.Lock()
+	l.owner[user] = to
+	l.shards[from].migratedOut++
+	l.shards[to].migratedIn++
+	l.migrations++
+	l.mu.Unlock()
+
+	if err := l.servers[from].ReleaseSession(user); err != nil {
+		return -1, fmt.Errorf("fleet: migrate session %d: %w", user, err)
+	}
+	return to, nil
+}
+
+// DrainShard marks a shard draining (no new placements) and migrates every
+// session it owns to the rest of the fleet, in ascending session order.
+// Returns how many sessions moved; the first migration error aborts.
+func (l *Live) DrainShard(i int) (int, error) {
+	l.mu.Lock()
+	l.shards[i].draining = true
+	users := make([]uint32, 0)
+	for user, shard := range l.owner {
+		if shard == i {
+			users = append(users, user)
+		}
+	}
+	l.mu.Unlock()
+	// Ascending order: the map walk above is unordered, the migrations
+	// must not be.
+	for a := 1; a < len(users); a++ {
+		for b := a; b > 0 && users[b] < users[b-1]; b-- {
+			users[b], users[b-1] = users[b-1], users[b]
+		}
+	}
+	moved := 0
+	for _, user := range users {
+		if _, err := l.Migrate(user, obs.PlaceShardDrain); err != nil {
+			return moved, err
+		}
+		moved++
+	}
+	return moved, nil
+}
+
+// KillShard abruptly kills a shard: its server closes (handoff state is
+// lost — a kill is a crash, not a drain) and its sessions are re-placed on
+// the survivors so the clients' Redirect hooks resolve elsewhere when their
+// reconnect fires. Returns how many sessions were re-placed.
+func (l *Live) KillShard(i int) int {
+	l.mu.Lock()
+	if l.shards[i].dead {
+		l.mu.Unlock()
+		return 0
+	}
+	l.shards[i].dead = true
+	users := make([]uint32, 0)
+	for user, shard := range l.owner {
+		if shard == i {
+			users = append(users, user)
+		}
+	}
+	for a := 1; a < len(users); a++ {
+		for b := a; b > 0 && users[b] < users[b-1]; b-- {
+			users[b], users[b-1] = users[b-1], users[b]
+		}
+	}
+	replaced := 0
+	for _, user := range users {
+		sess := SessionInfo{ID: user, Zone: l.shards[i].zone, DemandMbps: l.cfg.Base.InitialUserMbps}
+		to := l.router.Place(l.slot, sess, l.statesLocked(), obs.PlaceShardKill, i)
+		if to < 0 {
+			delete(l.owner, user)
+			continue
+		}
+		l.owner[user] = to
+		l.shards[i].migratedOut++
+		l.shards[to].migratedIn++
+		l.migrations++
+		replaced++
+	}
+	l.mu.Unlock()
+	l.servers[i].Close()
+	return replaced
+}
+
+// Tick advances the coordinator's slot clock: demand observation every
+// slot, and on the rebalance cadence a budget re-split applied to the
+// shards via SetBudget.
+func (l *Live) Tick(slot int) {
+	l.mu.Lock()
+	l.slot = slot
+	states := l.statesLocked()
+	alive := make([]bool, len(states))
+	for i, st := range states {
+		alive[i] = st.Alive
+		l.rb.Observe(i, st.DemandMbps)
+	}
+	due := l.rb.Due(slot)
+	var shares []float64
+	if due {
+		shares = l.rb.Shares(l.cfg.GlobalBudgetMbps, alive)
+	}
+	l.mu.Unlock()
+	if due {
+		for i, share := range shares {
+			if alive[i] {
+				l.servers[i].SetBudget(share)
+			}
+		}
+	}
+}
+
+// Snapshot builds the /debug/fleet document with up to n recent placement
+// records.
+func (l *Live) Snapshot(n int) obs.FleetSnapshot {
+	l.mu.Lock()
+	states := l.statesLocked()
+	snap := obs.FleetSnapshot{
+		Scorer:           l.router.ScorerName(),
+		GlobalBudgetMbps: l.cfg.GlobalBudgetMbps,
+		Slot:             l.slot,
+		Placements:       l.router.Placed(),
+		Migrations:       l.migrations,
+		Rebalances:       l.rb.Rebalances(),
+	}
+	for i, st := range states {
+		snap.Shards = append(snap.Shards, obs.FleetShardState{
+			Shard:       i,
+			Zone:        st.Zone,
+			Alive:       st.Alive,
+			Draining:    st.Draining,
+			Sessions:    st.Sessions,
+			BudgetMbps:  st.BudgetMbps,
+			DemandMbps:  st.DemandMbps,
+			PageFrac:    st.PageFrac,
+			Placed:      l.shards[i].placed,
+			MigratedIn:  l.shards[i].migratedIn,
+			MigratedOut: l.shards[i].migratedOut,
+		})
+	}
+	l.mu.Unlock()
+	snap.Recent = l.cfg.Recorder.Recent(n)
+	return snap
+}
+
+// Drain gracefully drains every live shard (concurrently), bounded by
+// timeout per shard. Reports whether every shard flushed.
+func (l *Live) Drain(timeout time.Duration) bool {
+	l.mu.Lock()
+	dead := make([]bool, len(l.servers))
+	for i := range l.shards {
+		dead[i] = l.shards[i].dead
+	}
+	l.mu.Unlock()
+	var wg sync.WaitGroup
+	flushed := make([]bool, len(l.servers))
+	for i := range l.servers {
+		if dead[i] {
+			flushed[i] = true
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			flushed[i] = l.servers[i].Drain(timeout)
+		}(i)
+	}
+	wg.Wait()
+	ok := true
+	for _, f := range flushed {
+		ok = ok && f
+	}
+	return ok
+}
+
+// Close shuts every shard down.
+func (l *Live) Close() error {
+	var first error
+	for _, srv := range l.servers {
+		if err := srv.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,544 @@
+package load
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/metrics"
+	"repro/internal/motion"
+	"repro/internal/netem"
+	"repro/internal/obs"
+	"repro/internal/tiles"
+)
+
+// FleetSimConfig parametrizes the deterministic fleet engine: N virtual
+// shards behind the fleet router, sharing the GLOBAL budget Sim.BudgetMbps.
+type FleetSimConfig struct {
+	// Sim carries the per-shard engine knobs. Sim.BudgetMbps is the
+	// fleet-wide budget B(t); the rebalancer splits it across shards.
+	// Sim.Chaos may carry shard_kill/shard_drain faults — they drive the
+	// fleet layer; its session-scoped faults apply per session as in
+	// Simulate.
+	Sim SimConfig
+	// Shards is the virtual shard count (default 3).
+	Shards int
+	// Zones is the locality-zone count; shard i sits in zone i%Zones and
+	// session n in zone n%Zones (default Shards).
+	Zones int
+	// Scorer names the placement policy (fleet.ScorerByName; default
+	// least-loaded).
+	Scorer string
+	// Rebalance tunes the periodic budget re-split.
+	Rebalance fleet.RebalanceConfig
+	// MigrationOutageSlots is the per-session blackout while a session
+	// hands off between shards: the client redials, so these slots are
+	// charged as forced deadline misses (default 2; negative = none). This
+	// is the "degrades" in degrades-not-drops.
+	MigrationOutageSlots int
+	// Recorder, when non-nil, captures every placement decision.
+	Recorder *obs.PlacementRecorder
+}
+
+func (c FleetSimConfig) withDefaults() FleetSimConfig {
+	c.Sim = c.Sim.withDefaults()
+	if c.Shards <= 0 {
+		c.Shards = 3
+	}
+	if c.Zones <= 0 {
+		c.Zones = c.Shards
+	}
+	if c.MigrationOutageSlots == 0 {
+		c.MigrationOutageSlots = 2
+	}
+	if c.MigrationOutageSlots < 0 {
+		c.MigrationOutageSlots = 0
+	}
+	return c
+}
+
+// ShardOutcome is one shard's end-of-run accounting.
+type ShardOutcome struct {
+	Shard int `json:"shard"`
+	Zone  int `json:"zone"`
+	// Placed counts arrival placements; MigratedIn/Out count sessions
+	// adopted from / handed to other shards.
+	Placed      int `json:"placed"`
+	MigratedIn  int `json:"migrated_in"`
+	MigratedOut int `json:"migrated_out"`
+	// KilledSlot/DrainSlot are the slots the shard died / began draining
+	// (-1 when it never did).
+	KilledSlot int `json:"killed_slot"`
+	DrainSlot  int `json:"drain_slot"`
+	// PeakSessions is the shard's maximum concurrent session count.
+	PeakSessions int `json:"peak_sessions"`
+	// FinalBudgetMbps is the shard's budget share at the horizon.
+	FinalBudgetMbps float64 `json:"final_budget_mbps"`
+}
+
+// FleetReport aggregates one fleet-sim run: the fleet-wide RunReport plus
+// the router/rebalancer accounting the single-server report has no place
+// for.
+type FleetReport struct {
+	RunReport
+	Scorer     string         `json:"scorer"`
+	Shards     []ShardOutcome `json:"shards"`
+	Placements int            `json:"placements"`
+	// PlacementsFailed counts arrivals no shard could accept (dropped).
+	PlacementsFailed int `json:"placements_failed"`
+	Migrations       int `json:"migrations"`
+	Rebalances       int `json:"rebalances"`
+	// OutageSlots counts session-slots charged as forced misses during
+	// migration blackouts.
+	OutageSlots int `json:"outage_slots"`
+}
+
+// FormatFleet renders the fleet addendum under the standard report.
+func (r *FleetReport) FormatFleet() string {
+	var b strings.Builder
+	b.WriteString(r.RunReport.Format())
+	fmt.Fprintf(&b, "fleet: scorer %s, placements %d (failed %d), migrations %d, rebalances %d, outage session-slots %d\n",
+		r.Scorer, r.Placements, r.PlacementsFailed, r.Migrations, r.Rebalances, r.OutageSlots)
+	fmt.Fprintf(&b, "%-6s %5s %6s %7s %7s %7s %6s %6s %10s\n",
+		"shard", "zone", "placed", "mig-in", "mig-out", "peak", "killed", "drain", "budget")
+	for _, s := range r.Shards {
+		fmt.Fprintf(&b, "%-6d %5d %6d %7d %7d %7d %6d %6d %10.1f\n",
+			s.Shard, s.Zone, s.Placed, s.MigratedIn, s.MigratedOut,
+			s.PeakSessions, s.KilledSlot, s.DrainSlot, s.FinalBudgetMbps)
+	}
+	return b.String()
+}
+
+// fleetSession wraps a simSession with its fleet coordinates.
+type fleetSession struct {
+	simSession
+	zone        int
+	shard       int
+	outageUntil int // slot before which the session is mid-handoff
+}
+
+// SimulateFleet replays the workload through N virtual shards behind the
+// fleet decision core, in virtual time: scored placement at arrival,
+// per-shard allocation against the rebalanced budget split, and — when the
+// chaos profile kills or drains a shard — live migration of its sessions
+// to the survivors, each paying a short forced-miss outage instead of being
+// dropped. Same workload + config is bit-identical, like Simulate.
+func SimulateFleet(w *Workload, cfg FleetSimConfig) (*FleetReport, error) {
+	cfg = cfg.withDefaults()
+	if len(w.Sessions) == 0 {
+		return nil, fmt.Errorf("load: empty workload")
+	}
+	sim := &cfg.Sim
+	if m := sim.Chaos.MaxShard(); m >= cfg.Shards {
+		return nil, fmt.Errorf("load: chaos profile targets shard %d but the fleet has %d shards", m, cfg.Shards)
+	}
+	horizon := w.Cfg.HorizonSlots
+	sps := w.Cfg.SlotsPerSecond
+	if sps <= 0 {
+		sps = 60
+	}
+	slotMs := 1000 / sps
+	deadlineMs := float64(sim.DeadlineSlots) * slotMs
+	sizeModel := tiles.NewSizeModel(sim.SizeModelSeed)
+	qoeParams := metrics.QoEParams{Alpha: sim.Params.Alpha, Beta: sim.Params.Beta}
+	lm := newLoadMetrics(sim.Metrics)
+
+	// One allocator instance per shard: some allocators keep state, and a
+	// real fleet runs one per server.
+	allocs := make([]core.Allocator, cfg.Shards)
+	for i := range allocs {
+		allocs[i] = sim.NewAllocator()
+	}
+	scorer, err := fleet.ScorerByName(cfg.Scorer)
+	if err != nil {
+		return nil, err
+	}
+	router := fleet.NewRouter(scorer, cfg.Recorder)
+	rb := fleet.NewRebalancer(cfg.Rebalance, cfg.Shards)
+
+	byArrive := make(map[int][]SessionSpec)
+	for _, s := range w.Sessions {
+		byArrive[s.ArriveSlot] = append(byArrive[s.ArriveSlot], s)
+	}
+
+	report := &FleetReport{
+		RunReport: RunReport{
+			Mode:           "fleet-sim",
+			Algorithm:      sim.AllocName,
+			HorizonSlots:   horizon,
+			Spawned:        len(w.Sessions),
+			PeakConcurrent: w.PeakConcurrent(),
+		},
+		Scorer: router.ScorerName(),
+		Shards: make([]ShardOutcome, cfg.Shards),
+	}
+	for i := range report.Shards {
+		report.Shards[i] = ShardOutcome{
+			Shard: i, Zone: i % cfg.Zones, KilledSlot: -1, DrainSlot: -1,
+			FinalBudgetMbps: sim.BudgetMbps / float64(cfg.Shards),
+		}
+	}
+
+	// Mutable shard state.
+	dead := make([]bool, cfg.Shards)
+	draining := make([]bool, cfg.Shards)
+	budget := make([]float64, cfg.Shards)
+	demand := make([]float64, cfg.Shards)
+	for i := range budget {
+		budget[i] = sim.BudgetMbps / float64(cfg.Shards)
+	}
+
+	var active []*fleetSession
+	serverInj := chaos.NewServerInjector(sim.Chaos)
+	shardFaults := sim.Chaos.ShardFaults()
+	report.SlotQuality = make([]float64, 0, horizon)
+
+	var regretRef core.Allocator
+	if sim.Recorder.Enabled() && sim.RegretRef {
+		regretRef = core.DPOptimal{Resolution: sim.RegretResolution}
+	}
+
+	finish := func(s *fleetSession) {
+		sim.SLO.Retire(s.spec.ID)
+		sim.Breaker.Retire(s.spec.ID)
+		out := SessionOutcome{
+			ID:       s.spec.ID,
+			Slots:    s.acc.Slots(),
+			QoE:      s.acc.QoE(),
+			Quality:  s.acc.AvgQuality(),
+			DelayMs:  s.acc.AvgDelay(),
+			Variance: s.acc.Variance(),
+			Coverage: s.acc.CoverageRate(),
+		}
+		if s.served > 0 {
+			out.MissFrac = float64(s.missed) / float64(s.served)
+		}
+		report.Outcomes = append(report.Outcomes, out)
+		report.Completed++
+		lm.observeOutcome(out)
+	}
+
+	// shardStates builds the router's view: budgets and demand from the
+	// fleet layer, sessions and page fractions from the active set, all in
+	// shard-index order.
+	shardStates := func() []fleet.ShardState {
+		counts := make([]int, cfg.Shards)
+		paging := make([]int, cfg.Shards)
+		for _, s := range active {
+			counts[s.shard]++
+			if sim.SLO.Enabled() && sim.SLO.State(s.spec.ID) == obs.SLOStatePage {
+				paging[s.shard]++
+			}
+		}
+		out := make([]fleet.ShardState, cfg.Shards)
+		for i := range out {
+			out[i] = fleet.ShardState{
+				ID: i, Zone: i % cfg.Zones,
+				Alive: !dead[i], Draining: draining[i],
+				Sessions: counts[i], BudgetMbps: budget[i], DemandMbps: demand[i],
+			}
+			if counts[i] > 0 {
+				out[i].PageFrac = float64(paging[i]) / float64(counts[i])
+			}
+		}
+		return out
+	}
+
+	// applyShares re-splits the global budget over accepting shards.
+	applyShares := func() {
+		accepting := make([]bool, cfg.Shards)
+		for i := range accepting {
+			accepting[i] = !dead[i] && !draining[i]
+		}
+		shares := rb.Shares(sim.BudgetMbps, accepting)
+		for i, share := range shares {
+			if accepting[i] {
+				budget[i] = share
+			} else {
+				budget[i] = 0
+			}
+		}
+	}
+
+	// migrateShard hands every session of a failing shard to the best
+	// survivor, in arrival order; each migrated session pays the outage.
+	migrateShard := func(slot, from int, reason string) {
+		for _, s := range active {
+			if s.shard != from {
+				continue
+			}
+			sess := fleet.SessionInfo{ID: s.spec.ID, Zone: s.zone}
+			to := router.Place(slot, sess, shardStates(), reason, from)
+			if to < 0 {
+				continue // nowhere to go: the session rides the dead shard (0 quality)
+			}
+			s.shard = to
+			s.outageUntil = slot + cfg.MigrationOutageSlots
+			report.Shards[from].MigratedOut++
+			report.Shards[to].MigratedIn++
+			report.Migrations++
+		}
+	}
+
+	users := make([]core.UserInput, 0, 64)
+	type plan struct {
+		sess    *fleetSession
+		rates   []float64
+		cov     bool
+		cap_    float64
+		dropped bool
+	}
+	plans := make([]plan, 0, 64)
+
+	for slot := 0; slot < horizon; slot++ {
+		// Shard faults: kill and drain windows open (and drains close) on
+		// slot boundaries, before arrivals see the shard states.
+		for _, f := range shardFaults {
+			if f.Shard >= cfg.Shards {
+				continue
+			}
+			switch f.Kind {
+			case chaos.FaultShardKill:
+				if f.StartSlot == slot && !dead[f.Shard] {
+					dead[f.Shard] = true
+					report.Shards[f.Shard].KilledSlot = slot
+					migrateShard(slot, f.Shard, obs.PlaceShardKill)
+					applyShares()
+				}
+			case chaos.FaultShardDrain:
+				if f.StartSlot == slot && !draining[f.Shard] && !dead[f.Shard] {
+					draining[f.Shard] = true
+					report.Shards[f.Shard].DrainSlot = slot
+					migrateShard(slot, f.Shard, obs.PlaceShardDrain)
+					applyShares()
+				}
+				if f.DurationSlots > 0 && f.StartSlot+f.DurationSlots == slot && draining[f.Shard] {
+					draining[f.Shard] = false // drained shard rejoins empty
+					applyShares()
+				}
+			}
+		}
+
+		// Arrivals route through the scorer.
+		for _, spec := range byArrive[slot] {
+			zone := int(spec.ID) % cfg.Zones
+			to := router.Place(slot, fleet.SessionInfo{ID: spec.ID, Zone: zone},
+				shardStates(), obs.PlaceArrival, -1)
+			if to < 0 {
+				report.Failed++
+				report.PlacementsFailed++
+				continue
+			}
+			report.Placements++
+			report.Shards[to].Placed++
+			active = append(active, &fleetSession{
+				simSession: simSession{
+					spec:  spec,
+					trace: w.MotionTrace(spec, 0),
+					caps:  w.CapSlots(spec),
+					pred:  motion.NewPredictor(sim.PredictorWindow),
+					acc:   metrics.NewUserQoE(qoeParams),
+					inj:   chaos.NewInjector(sim.Chaos, spec.ID),
+				},
+				zone:  zone,
+				shard: to,
+			})
+		}
+		// Departures.
+		next := active[:0]
+		for _, s := range active {
+			if slot >= s.spec.DepartSlot {
+				finish(s)
+				continue
+			}
+			next = append(next, s)
+		}
+		active = next
+		if len(active) == 0 {
+			report.SlotQuality = append(report.SlotQuality, 0)
+			continue
+		}
+
+		serverInj.Advance(slot)
+		stallMs := float64(serverInj.StallFor()+serverInj.AckDelay()) / float64(time.Millisecond)
+
+		// Advance every session's pose/chaos state once, then solve each
+		// shard's slot problem over its own sessions against its own
+		// budget share.
+		qualitySum := 0.0
+		counted := 0
+		for i := range report.Shards {
+			if c := shardSessionCount(active, i); c > report.Shards[i].PeakSessions {
+				report.Shards[i].PeakSessions = c
+			}
+		}
+		for shard := 0; shard < cfg.Shards; shard++ {
+			if dead[shard] {
+				demand[shard] = 0
+				rb.Observe(shard, 0)
+				continue // stranded sessions black out in the outage pass
+			}
+			users = users[:0]
+			plans = plans[:0]
+			shardDemand := 0.0
+			for _, s := range active {
+				if s.shard != shard || slot < s.outageUntil {
+					continue
+				}
+				local := slot - s.spec.ArriveSlot
+				actual := s.trace[local]
+				predicted := s.pred.Predict()
+				if local <= sim.PredictorWindow {
+					predicted = actual
+				}
+				cell := tiles.CellFor(predicted.Pos)
+				sel := tiles.ForView(predicted, sim.Coverage.FoV, sim.Coverage.MarginDeg)
+				rates := sizeModel.RateTable(cell, sel)
+				cap_ := s.caps[local]
+				s.inj.Advance(slot)
+				cap_ *= s.inj.SimCapFactor()
+				// Demand proxy: what the session could usefully take this
+				// slot — its top ladder rate, clipped by its link.
+				top := rates[len(rates)-1]
+				if cap_ < top {
+					top = cap_
+				}
+				shardDemand += top
+				users = append(users, core.UserInput{
+					Rate:  rates,
+					Delay: netem.DelayTableMs(rates, cap_, slotMs),
+					Delta: s.delta(),
+					MeanQ: s.meanQ(),
+					Cap:   cap_,
+				})
+				plans = append(plans, plan{
+					sess: s, rates: rates,
+					cov:  sim.Coverage.Covered(predicted, actual),
+					cap_: cap_, dropped: s.inj.Drop(),
+				})
+				s.pred.Observe(actual)
+			}
+			demand[shard] = shardDemand
+			rb.Observe(shard, shardDemand)
+			if len(users) == 0 {
+				continue
+			}
+
+			problem := &core.SlotProblem{T: slot + 1, Budget: budget[shard], Users: users}
+			var allocation core.Allocation
+			var slotTr *core.SlotTrace
+			if sim.Recorder.Enabled() {
+				if ta, ok := allocs[shard].(core.TracingAllocator); ok {
+					slotTr = &core.SlotTrace{TopK: sim.CounterfactualK}
+					allocation = ta.AllocateTraced(sim.Params, problem, slotTr)
+				}
+			}
+			if slotTr == nil {
+				allocation = allocs[shard].Allocate(sim.Params, problem)
+			}
+			if sim.Recorder.Enabled() {
+				ids := make([]uint32, len(plans))
+				for i := range plans {
+					ids[i] = plans[i].sess.spec.ID
+				}
+				recordSimSlot(sim, slot, problem, allocation, slotTr, ids, regretRef)
+			}
+
+			overloadMs := 0.0
+			if allocation.Rate > budget[shard] && budget[shard] > 0 {
+				overloadMs = (allocation.Rate/budget[shard] - 1) * slotMs
+			}
+			for i, p := range plans {
+				q := allocation.Levels[i]
+				if bcap := sim.Breaker.Cap(p.sess.spec.ID); bcap > 0 && q > bcap {
+					q = bcap
+					report.DegradedSlots++
+				}
+				rate := p.rates[q-1]
+				delay := netem.DelayMs(rate, p.cap_, slotMs) + overloadMs + stallMs
+				covered := p.cov
+				missed := p.dropped || delay > deadlineMs
+				if missed {
+					covered = false
+					delay = deadlineMs
+				}
+				s := p.sess
+				s.served++
+				if missed {
+					s.missed++
+				}
+				s.t++
+				if covered {
+					s.covered++
+					s.sumViewedQ += float64(q)
+				}
+				s.acc.Observe(q, covered, delay)
+				s.acc.ObserveFrame(!missed)
+
+				quality := float64(q)
+				if missed {
+					quality = 0
+				}
+				qualitySum += quality
+				counted++
+				sim.SLO.ObserveSlot(s.spec.ID, !missed, quality)
+				sim.Breaker.Observe(s.spec.ID, sim.SLO.State(s.spec.ID))
+			}
+		}
+
+		// Sessions mid-handoff (or stranded on a dead shard) are blacked
+		// out this slot: the frame is a forced miss, charged like a
+		// deadline miss — degraded, not dropped.
+		for _, s := range active {
+			inOutage := slot < s.outageUntil
+			stranded := dead[s.shard]
+			if !inOutage && !stranded {
+				continue
+			}
+			local := slot - s.spec.ArriveSlot
+			s.pred.Observe(s.trace[local]) // the head keeps moving
+			s.served++
+			s.missed++
+			s.t++
+			s.acc.Observe(1, false, deadlineMs)
+			s.acc.ObserveFrame(false)
+			counted++
+			report.OutageSlots++
+			sim.SLO.ObserveSlot(s.spec.ID, false, 0)
+			sim.Breaker.Observe(s.spec.ID, sim.SLO.State(s.spec.ID))
+		}
+		if counted > 0 {
+			report.SlotQuality = append(report.SlotQuality, qualitySum/float64(counted))
+		} else {
+			report.SlotQuality = append(report.SlotQuality, 0)
+		}
+
+		// Periodic rebalance from the demand EMAs.
+		if rb.Due(slot) {
+			applyShares()
+		}
+	}
+	for _, s := range active {
+		finish(s)
+	}
+	sortOutcomes(report.Outcomes)
+	report.Rebalances = rb.Rebalances()
+	for i := range report.Shards {
+		report.Shards[i].FinalBudgetMbps = budget[i]
+	}
+	return report, nil
+}
+
+// shardSessionCount counts the active sessions owned by one shard.
+func shardSessionCount(active []*fleetSession, shard int) int {
+	n := 0
+	for _, s := range active {
+		if s.shard == shard {
+			n++
+		}
+	}
+	return n
+}

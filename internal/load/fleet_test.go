@@ -1,0 +1,212 @@
+package load
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/obs"
+)
+
+// fleetWorkload is the shared campaign: 9 steady sessions across a 1200-slot
+// horizon — enough window for a mid-run shard kill and a long tail after it.
+func fleetWorkload(t *testing.T) *Workload {
+	t.Helper()
+	w, err := Generate(Config{
+		Shape:        Steady,
+		Seed:         42,
+		HorizonSlots: 1200,
+		Sessions:     9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func shardKillProfile(slot, shard int) *chaos.Profile {
+	return &chaos.Profile{
+		Name:   "test-shard-kill",
+		Seed:   42,
+		Faults: []chaos.Fault{{Kind: chaos.FaultShardKill, StartSlot: slot, Shard: shard}},
+	}
+}
+
+// TestFleetSimShardKillMigratesNotDrops is the PR's acceptance campaign:
+// killing 1 of 3 shards mid-run migrates its sessions instead of dropping
+// them, the run reproduces bit-for-bit per seed, and post-migration tail
+// quality stays within 10% of the fault-free run.
+func TestFleetSimShardKillMigratesNotDrops(t *testing.T) {
+	w := fleetWorkload(t)
+	const killSlot = 600
+
+	base := FleetSimConfig{Shards: 3}
+	baseline, err := SimulateFleet(w, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	faulted := FleetSimConfig{Shards: 3}
+	faulted.Sim.Chaos = shardKillProfile(killSlot, 1)
+	got, err := SimulateFleet(w, faulted)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Degrades, not drops: every spawned session completes with slots in
+	// both runs.
+	if got.Completed != got.Spawned || got.Failed != 0 {
+		t.Fatalf("kill run completed %d/%d (failed %d) — sessions were dropped",
+			got.Completed, got.Spawned, got.Failed)
+	}
+	if len(got.Outcomes) != len(baseline.Outcomes) {
+		t.Fatalf("outcome count %d != baseline %d", len(got.Outcomes), len(baseline.Outcomes))
+	}
+
+	// The dead shard's sessions moved: shard 1 hands off everything it
+	// owned and serves nothing after the kill.
+	s1 := got.Shards[1]
+	if s1.KilledSlot != killSlot {
+		t.Errorf("shard 1 KilledSlot = %d, want %d", s1.KilledSlot, killSlot)
+	}
+	if s1.MigratedOut == 0 {
+		t.Error("shard 1 migrated nothing out on kill")
+	}
+	if got.Migrations != s1.MigratedOut {
+		t.Errorf("Migrations = %d, want %d (only the kill migrates)", got.Migrations, s1.MigratedOut)
+	}
+	adopted := got.Shards[0].MigratedIn + got.Shards[2].MigratedIn
+	if adopted != s1.MigratedOut {
+		t.Errorf("survivors adopted %d, shard 1 exported %d", adopted, s1.MigratedOut)
+	}
+	if got.OutageSlots == 0 {
+		t.Error("no outage slots charged — migration should cost a blackout window")
+	}
+
+	// The migration blackout must dent the kill slot itself.
+	if got.SlotQuality[killSlot] >= baseline.SlotQuality[killSlot] {
+		t.Errorf("no quality dip at kill slot: got %v >= baseline %v",
+			got.SlotQuality[killSlot], baseline.SlotQuality[killSlot])
+	}
+
+	// Tail recovery: after the outage clears, the survivors carry the load
+	// at within 10% of the fault-free run's tail quality.
+	tailFrom := killSlot + 100
+	tail := got.MeanSlotQuality(tailFrom, len(got.SlotQuality))
+	want := baseline.MeanSlotQuality(tailFrom, len(baseline.SlotQuality))
+	if tail < 0.90*want {
+		t.Errorf("post-migration tail quality %.3f < 90%% of fault-free %.3f", tail, want)
+	}
+
+	// Bit-for-bit determinism: an identical run is deep-equal.
+	again, err := SimulateFleet(w, faulted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, again) {
+		t.Error("two identical fleet-sim runs differ — engine is not deterministic")
+	}
+}
+
+// TestFleetSimDrainAndRejoin: a drain empties the shard like a kill but
+// keeps it alive; when the drain window closes the shard rejoins the
+// accepting set and receives budget again.
+func TestFleetSimDrainAndRejoin(t *testing.T) {
+	w := fleetWorkload(t)
+	cfg := FleetSimConfig{Shards: 3}
+	cfg.Sim.Chaos = &chaos.Profile{
+		Name: "test-drain",
+		Seed: 1,
+		Faults: []chaos.Fault{
+			{Kind: chaos.FaultShardDrain, StartSlot: 300, DurationSlots: 240, Shard: 2},
+		},
+	}
+	rep, err := SimulateFleet(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != rep.Spawned {
+		t.Fatalf("drain run completed %d/%d", rep.Completed, rep.Spawned)
+	}
+	s2 := rep.Shards[2]
+	if s2.DrainSlot != 300 {
+		t.Errorf("shard 2 DrainSlot = %d, want 300", s2.DrainSlot)
+	}
+	if s2.KilledSlot != -1 {
+		t.Errorf("shard 2 KilledSlot = %d, want -1 (drained, not killed)", s2.KilledSlot)
+	}
+	if s2.MigratedOut == 0 {
+		t.Error("drain migrated nothing out")
+	}
+	// After the window closes the shard is accepting again, so the final
+	// rebalance gives it at least the floor share.
+	if s2.FinalBudgetMbps <= 0 {
+		t.Errorf("rejoined shard 2 has no budget (%v)", s2.FinalBudgetMbps)
+	}
+}
+
+// TestFleetSimPlacementRecords: arrivals and migrations land in the
+// placement recorder with the reasons and shard arithmetic the /debug/fleet
+// endpoint reports.
+func TestFleetSimPlacementRecords(t *testing.T) {
+	w := fleetWorkload(t)
+	rec := obs.NewPlacementRecorder(obs.PlacementRecorderOptions{RingSize: 64})
+	cfg := FleetSimConfig{Shards: 3, Recorder: rec}
+	cfg.Sim.Chaos = shardKillProfile(600, 0)
+	rep, err := SimulateFleet(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrivals, kills := 0, 0
+	for _, r := range rec.Recent(64) {
+		switch r.Reason {
+		case obs.PlaceArrival:
+			arrivals++
+			if r.From != -1 {
+				t.Errorf("arrival record has From = %d, want -1", r.From)
+			}
+		case obs.PlaceShardKill:
+			kills++
+			if r.From != 0 {
+				t.Errorf("kill record has From = %d, want 0", r.From)
+			}
+			if r.Chosen == 0 {
+				t.Error("kill record re-placed a session on the dead shard")
+			}
+		}
+	}
+	if arrivals != rep.Placements {
+		t.Errorf("%d arrival records, report says %d placements", arrivals, rep.Placements)
+	}
+	if kills != rep.Migrations {
+		t.Errorf("%d kill records, report says %d migrations", kills, rep.Migrations)
+	}
+}
+
+// TestFleetSimScorers: every named scorer runs the same campaign to
+// completion, deterministically, and the report carries its name.
+func TestFleetSimScorers(t *testing.T) {
+	w := fleetWorkload(t)
+	for _, name := range []string{"least-loaded", "locality", "slo-burn"} {
+		cfg := FleetSimConfig{Shards: 3, Scorer: name, Zones: 2}
+		rep, err := SimulateFleet(w, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if rep.Completed != rep.Spawned {
+			t.Errorf("%s: completed %d/%d", name, rep.Completed, rep.Spawned)
+		}
+		if rep.Scorer != name {
+			t.Errorf("report scorer = %q, want %q", rep.Scorer, name)
+		}
+	}
+	if _, err := SimulateFleet(w, FleetSimConfig{Scorer: "nope"}); err == nil {
+		t.Error("unknown scorer accepted")
+	}
+	// A profile naming a shard outside the fleet is a config error.
+	bad := FleetSimConfig{Shards: 2}
+	bad.Sim.Chaos = shardKillProfile(10, 5)
+	if _, err := SimulateFleet(w, bad); err == nil {
+		t.Error("out-of-range shard fault accepted")
+	}
+}

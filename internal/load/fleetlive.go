@@ -1,0 +1,305 @@
+package load
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/client"
+	"repro/internal/fleet"
+	"repro/internal/metrics"
+	"repro/internal/netem"
+	"repro/internal/obs"
+	"repro/internal/server"
+	"repro/internal/transport"
+)
+
+// FleetLiveConfig parametrizes a live fleet execution: N real in-process
+// server shards behind the fleet coordinator, one emulated client per
+// session, migration over the reconnect/Welcome-resume path.
+type FleetLiveConfig struct {
+	// Live carries the per-shard engine knobs. Live.BudgetMbps is the
+	// GLOBAL fleet budget; the rebalancer splits it. Live.Reconnect is
+	// forced on — migration is a forced redial, so clients that cannot
+	// reconnect cannot migrate. Server stall/slow-ACK chaos faults apply
+	// to every shard (the injector is shared and thread-safe).
+	Live LiveConfig
+	// Shards is the shard count (default 3).
+	Shards int
+	// Zones is the locality-zone count, as in FleetSimConfig (default
+	// Shards).
+	Zones int
+	// Scorer names the placement policy (fleet.ScorerByName).
+	Scorer string
+	// Rebalance tunes the periodic budget re-split driven by the slot
+	// clock.
+	Rebalance fleet.RebalanceConfig
+	// Recorder captures placement decisions; nil disables.
+	Recorder *obs.PlacementRecorder
+}
+
+// RunLiveFleet executes the workload against a live shard fleet over
+// loopback sockets. Arrivals are placed by the scorer, the coordinator
+// ticks the rebalancer on the real slot clock, and the chaos profile's
+// shard_kill/shard_drain faults kill or drain real servers mid-run — their
+// sessions migrate to the survivors through the Welcome-resume path
+// instead of being dropped.
+func RunLiveFleet(w *Workload, cfg FleetLiveConfig) (*FleetReport, error) {
+	if len(w.Sessions) == 0 {
+		return nil, fmt.Errorf("load: empty workload")
+	}
+	sps := w.Cfg.SlotsPerSecond
+	if sps <= 0 {
+		sps = 60
+	}
+	cfg.Live = cfg.Live.withDefaults(sps)
+	if cfg.Shards <= 0 {
+		cfg.Shards = 3
+	}
+	if cfg.Zones <= 0 {
+		cfg.Zones = cfg.Shards
+	}
+	if m := cfg.Live.Chaos.MaxShard(); m >= cfg.Shards {
+		return nil, fmt.Errorf("load: chaos profile targets shard %d but the fleet has %d shards", m, cfg.Shards)
+	}
+	scorer, err := fleet.ScorerByName(cfg.Scorer)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	lm := newLoadMetrics(cfg.Live.Metrics)
+
+	// Per-session shaping, session-keyed so it follows the session across
+	// shards (every shard shares the lookup).
+	nets := make(map[uint32]*sessionNet, len(w.Sessions))
+	if !cfg.Live.Unshaped {
+		for _, spec := range w.Sessions {
+			caps := w.CapSlots(spec)
+			n := &sessionNet{
+				bucket: netem.NewTokenBucket(caps[0], 16<<10, start),
+				caps:   caps,
+			}
+			if cfg.Live.LossProb > 0 {
+				n.loss = netem.NewLossModel(cfg.Live.LossProb, w.Cfg.Seed+int64(spec.ID)*131)
+			}
+			n.inj = chaos.NewInjector(cfg.Live.Chaos, spec.ID)
+			nets[spec.ID] = n
+		}
+	}
+
+	base := server.DefaultConfig(nil) // per-shard allocators via NewAllocator
+	base.Params = cfg.Live.Params
+	base.SlotDuration = cfg.Live.SlotDuration
+	base.TotalSlots = w.Cfg.HorizonSlots
+	base.MaxSessions = cfg.Live.MaxSessions
+	base.Metrics = cfg.Live.Metrics
+	base.Recorder = cfg.Live.Recorder
+	base.Tracer = cfg.Live.Tracer
+	base.TraceEpoch = cfg.Live.TraceEpoch
+	base.SLO = cfg.Live.SLO
+	base.Breaker = cfg.Live.Breaker
+	base.RetryPolicy = cfg.Live.RetryPolicy
+	base.Chaos = chaos.NewServerInjector(cfg.Live.Chaos)
+	base.Logf = cfg.Live.Logf
+	if !cfg.Live.Unshaped {
+		base.ShaperFor = func(user uint32) transport.Shaper {
+			if n, ok := nets[user]; ok {
+				return n
+			}
+			return nil
+		}
+	}
+
+	live, err := fleet.NewLive(fleet.LiveConfig{
+		Shards:           cfg.Shards,
+		Base:             base,
+		GlobalBudgetMbps: cfg.Live.BudgetMbps,
+		NewAllocator:     cfg.Live.NewAllocator,
+		Zones:            cfg.Zones,
+		Scorer:           scorer,
+		Recorder:         cfg.Recorder,
+		Rebalance:        cfg.Rebalance,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	report := &FleetReport{
+		RunReport: RunReport{
+			Mode:         "fleet-live",
+			Algorithm:    cfg.Live.AllocName,
+			HorizonSlots: w.Cfg.HorizonSlots,
+			Spawned:      len(w.Sessions),
+		},
+		Scorer: scorer.Name(),
+	}
+	qoeParams := metrics.QoEParams{Alpha: cfg.Live.Params.Alpha, Beta: cfg.Live.Params.Beta}
+
+	var (
+		mu     sync.Mutex
+		wg     sync.WaitGroup
+		active int
+	)
+	noteEnd := func(res *client.Result, err error) {
+		defer wg.Done()
+		mu.Lock()
+		defer mu.Unlock()
+		active--
+		lm.active.Add(-1)
+		if err != nil || res == nil || res.Slots == 0 {
+			report.Failed++
+			lm.failed.Inc()
+			return
+		}
+		out := SessionOutcome{
+			ID:       res.User,
+			Slots:    res.Slots,
+			QoE:      res.Report.QoE,
+			Quality:  res.Report.Quality,
+			DelayMs:  res.Report.Delay,
+			Variance: res.Report.Variance,
+			Coverage: res.Report.Coverage,
+			MissFrac: 1 - res.Report.FPSFrac,
+			SetupMs:  res.SetupMs,
+		}
+		report.Outcomes = append(report.Outcomes, out)
+		report.Completed++
+		lm.completed.Inc()
+		lm.observeOutcome(out)
+	}
+
+	launch := func(spec SessionSpec) {
+		shard, err := live.Place(fleet.SessionInfo{
+			ID:         spec.ID,
+			Zone:       int(spec.ID) % cfg.Zones,
+			DemandMbps: base.InitialUserMbps,
+		})
+		if err != nil {
+			mu.Lock()
+			report.Failed++
+			report.PlacementsFailed++
+			mu.Unlock()
+			lm.failed.Inc()
+			cfg.Live.Logf("loadgen: session %d: %v", spec.ID, err)
+			return
+		}
+		mu.Lock()
+		active++
+		if active > report.PeakConcurrent {
+			report.PeakConcurrent = active
+		}
+		mu.Unlock()
+		lm.active.Add(1)
+		lm.spawned.Inc()
+		wg.Add(1)
+		go func() {
+			trace := w.MotionTrace(spec, 64)
+			ccfg := client.DefaultConfig(spec.ID, live.ShardAddr(shard), trace)
+			ccfg.SlotDuration = cfg.Live.SlotDuration
+			ccfg.Params = qoeParams
+			ccfg.Slots = spec.Slots()
+			ccfg.Metrics = cfg.Live.Metrics
+			ccfg.Tracer = cfg.Live.Tracer
+			// Migration is a forced redial: reconnect is not optional in a
+			// fleet, and the Redirect hook tracks the owning shard.
+			ccfg.Reconnect = true
+			ccfg.Redirect = func() string { return live.Addr(spec.ID) }
+			res, err := client.Run(ccfg)
+			if err != nil {
+				cfg.Live.Logf("loadgen: session %d: %v", spec.ID, err)
+			}
+			live.Forget(spec.ID)
+			noteEnd(res, err)
+		}()
+	}
+
+	// Shard fault schedule, applied on the coordinator's slot clock.
+	shardFaults := cfg.Live.Chaos.ShardFaults()
+	killSlot := make(map[int]int)
+	drainSlot := make(map[int]int)
+
+	ticker := time.NewTicker(cfg.Live.SlotDuration)
+	next := 0
+	for slot := 0; slot < w.Cfg.HorizonSlots; slot++ {
+		now := <-ticker.C
+		for next < len(w.Sessions) && w.Sessions[next].ArriveSlot <= slot {
+			launch(w.Sessions[next])
+			next++
+		}
+		for _, f := range shardFaults {
+			if f.StartSlot != slot {
+				continue
+			}
+			switch f.Kind {
+			case chaos.FaultShardKill:
+				if _, done := killSlot[f.Shard]; !done {
+					killSlot[f.Shard] = slot
+					replaced := live.KillShard(f.Shard)
+					cfg.Live.Logf("loadgen: chaos killed shard %d at slot %d (%d sessions re-placed)", f.Shard, slot, replaced)
+				}
+			case chaos.FaultShardDrain:
+				if _, done := drainSlot[f.Shard]; !done {
+					drainSlot[f.Shard] = slot
+					moved, err := live.DrainShard(f.Shard)
+					cfg.Live.Logf("loadgen: chaos drained shard %d at slot %d (%d migrated, err=%v)", f.Shard, slot, moved, err)
+				}
+			}
+		}
+		if !cfg.Live.Unshaped {
+			for _, spec := range w.Sessions[:next] {
+				local := slot - spec.ArriveSlot
+				n := nets[spec.ID]
+				if local < 0 || local >= len(n.caps) {
+					continue
+				}
+				n.inj.Advance(slot)
+				rate := n.caps[local] * n.inj.CapFactor()
+				if rate != n.bucket.Rate() {
+					n.bucket.SetRate(rate, now)
+				}
+			}
+		}
+		live.Tick(slot)
+	}
+	ticker.Stop()
+
+	if cfg.Live.DrainTimeout > 0 {
+		if !live.Drain(cfg.Live.DrainTimeout) {
+			cfg.Live.Logf("loadgen: fleet drain timed out with unflushed sessions")
+		}
+	}
+	if err := live.Close(); err != nil {
+		cfg.Live.Logf("loadgen: fleet close: %v", err)
+	}
+	wg.Wait()
+	report.WallSec = time.Since(start).Seconds()
+	sortOutcomes(report.Outcomes)
+	if h := cfg.Live.Metrics.Histogram("collabvr_server_slot_decision_ms", obs.DefaultLatencyBuckets()); h.Count() > 0 {
+		report.SlotDecisionP50Ms = h.Quantile(0.50)
+		report.SlotDecisionP99Ms = h.Quantile(0.99)
+	}
+
+	// Fold the coordinator's view into the report.
+	snap := live.Snapshot(0)
+	for _, s := range snap.Shards {
+		out := ShardOutcome{
+			Shard: s.Shard, Zone: s.Zone,
+			Placed: s.Placed, MigratedIn: s.MigratedIn, MigratedOut: s.MigratedOut,
+			KilledSlot: -1, DrainSlot: -1,
+			FinalBudgetMbps: s.BudgetMbps,
+		}
+		if slot, ok := killSlot[s.Shard]; ok {
+			out.KilledSlot = slot
+			out.FinalBudgetMbps = 0
+		}
+		if slot, ok := drainSlot[s.Shard]; ok {
+			out.DrainSlot = slot
+		}
+		report.Shards = append(report.Shards, out)
+	}
+	report.Placements = int(snap.Placements)
+	report.Migrations = int(snap.Migrations)
+	report.Rebalances = int(snap.Rebalances)
+	return report, nil
+}

@@ -64,6 +64,9 @@ type MuxOptions struct {
 	SLO *SLOMonitor
 	// Regret, when non-nil, adds /debug/regret.
 	Regret *RegretAttributor
+	// Fleet, when non-nil, adds /debug/fleet serving the coordinator's
+	// shard table and placement-decision tail.
+	Fleet func(n int) FleetSnapshot
 	// Debug adds the pprof endpoints and /debug/runtime, and samples the
 	// runtime into collabvr_runtime_* gauges on every /metrics scrape.
 	Debug bool
@@ -86,6 +89,9 @@ func NewMuxOpts(r *Registry, rec *Recorder, opts MuxOptions) *http.ServeMux {
 	}
 	if opts.Regret != nil {
 		mux.Handle("/debug/regret", RegretHandler(opts.Regret))
+	}
+	if opts.Fleet != nil {
+		mux.Handle("/debug/fleet", FleetHandler(opts.Fleet))
 	}
 	if opts.Debug {
 		AttachDebug(mux, r)

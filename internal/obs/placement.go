@@ -1,0 +1,235 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Placement reasons: why the fleet router was asked for a shard. Arrival is
+// the admission decision for a new session; the migration reasons name the
+// event that evicted the session from its previous shard.
+const (
+	PlaceArrival     = "arrival"
+	PlaceShardKill   = "shard-kill"
+	PlaceShardDrain  = "shard-drain"
+	PlaceSLOPressure = "slo-pressure"
+)
+
+// ShardScore is one candidate shard's state and score at a placement
+// decision — the fleet analogue of a SlotRecord alternative: enough to
+// replay why the router preferred the chosen shard over this one.
+type ShardScore struct {
+	Shard      int     `json:"shard"`
+	Zone       int     `json:"zone"`
+	Score      float64 `json:"score"`
+	Sessions   int     `json:"sessions"`
+	BudgetMbps float64 `json:"budget_mbps"`
+	DemandMbps float64 `json:"demand_mbps"`
+	// PageFrac is the fraction of the shard's sessions whose SLO burn rate
+	// is in the page state (the input of burn-rate-aware scoring).
+	PageFrac float64 `json:"page_frac"`
+	Draining bool    `json:"draining,omitempty"`
+}
+
+// PlacementRecord is one fleet routing decision: which shard got the
+// session, why the decision was being made, and how every live candidate
+// scored. It is the placement-layer mirror of the knapsack flight
+// recorder's SlotRecord.
+type PlacementRecord struct {
+	Seq     uint64 `json:"seq"`
+	Slot    int    `json:"slot"`
+	Session uint32 `json:"session"`
+	Zone    int    `json:"zone"`
+	Scorer  string `json:"scorer"`
+	// Reason is one of the Place* constants.
+	Reason string `json:"reason"`
+	// Chosen is the winning shard (-1: no shard could accept the session).
+	Chosen int `json:"chosen"`
+	// From is the source shard of a migration (-1 for arrivals).
+	From   int          `json:"from"`
+	Scores []ShardScore `json:"scores,omitempty"`
+}
+
+// PlacementRecorderOptions configures a PlacementRecorder.
+type PlacementRecorderOptions struct {
+	// RingSize bounds the in-memory ring served by /debug/fleet
+	// (default 256).
+	RingSize int
+	// Writer, when non-nil, receives every record as one JSON line.
+	Writer io.Writer
+	// Metrics, when non-nil, receives collabvr_fleet_* counters.
+	Metrics *Registry
+}
+
+// PlacementRecorder is the concurrency-safe ring of fleet placement
+// decisions. A nil *PlacementRecorder is the disabled recorder: Record is
+// a no-op, so the router never branches on observability being wired.
+type PlacementRecorder struct {
+	mu         sync.Mutex
+	ring       []PlacementRecord
+	next       int
+	full       bool
+	enc        *json.Encoder
+	writeErr   error
+	records    uint64
+	placements *Counter
+	migrations *Counter
+	failed     *Counter
+}
+
+// NewPlacementRecorder builds a placement recorder.
+func NewPlacementRecorder(opts PlacementRecorderOptions) *PlacementRecorder {
+	if opts.RingSize <= 0 {
+		opts.RingSize = 256
+	}
+	r := &PlacementRecorder{ring: make([]PlacementRecord, opts.RingSize)}
+	if opts.Writer != nil {
+		r.enc = json.NewEncoder(opts.Writer)
+	}
+	if opts.Metrics != nil {
+		r.placements = opts.Metrics.Counter("collabvr_fleet_placements_total")
+		r.migrations = opts.Metrics.Counter("collabvr_fleet_migrations_total")
+		r.failed = opts.Metrics.Counter("collabvr_fleet_placements_failed_total")
+	}
+	return r
+}
+
+// Record ingests one placement decision, assigning its sequence number.
+// The record is copied; the Scores slice is aliased by the ring.
+func (r *PlacementRecorder) Record(rec *PlacementRecord) {
+	if r == nil || rec == nil {
+		return
+	}
+	r.mu.Lock()
+	r.records++
+	rec.Seq = r.records
+	r.ring[r.next] = *rec
+	r.next++
+	if r.next == len(r.ring) {
+		r.next = 0
+		r.full = true
+	}
+	if r.enc != nil && r.writeErr == nil {
+		r.writeErr = r.enc.Encode(rec)
+	}
+	r.mu.Unlock()
+	if rec.Chosen < 0 {
+		r.failed.Inc()
+		return
+	}
+	r.placements.Inc()
+	if rec.Reason != PlaceArrival {
+		r.migrations.Inc()
+	}
+}
+
+// Err returns the first JSONL write error, if any.
+func (r *PlacementRecorder) Err() error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.writeErr
+}
+
+// Records returns the total number of decisions ingested.
+func (r *PlacementRecorder) Records() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.records
+}
+
+// Recent returns up to n of the most recent records, oldest first.
+func (r *PlacementRecorder) Recent(n int) []PlacementRecord {
+	if r == nil || n <= 0 {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	size := r.next
+	if r.full {
+		size = len(r.ring)
+	}
+	if n > size {
+		n = size
+	}
+	out := make([]PlacementRecord, n)
+	for i := 0; i < n; i++ {
+		idx := (r.next - n + i + len(r.ring)) % len(r.ring)
+		out[i] = r.ring[idx]
+	}
+	return out
+}
+
+// FleetShardState is one shard's row in the fleet snapshot.
+type FleetShardState struct {
+	Shard       int     `json:"shard"`
+	Zone        int     `json:"zone"`
+	Alive       bool    `json:"alive"`
+	Draining    bool    `json:"draining,omitempty"`
+	Sessions    int     `json:"sessions"`
+	BudgetMbps  float64 `json:"budget_mbps"`
+	DemandMbps  float64 `json:"demand_mbps"`
+	PageFrac    float64 `json:"page_frac"`
+	Placed      int     `json:"placed"`
+	MigratedIn  int     `json:"migrated_in"`
+	MigratedOut int     `json:"migrated_out"`
+}
+
+// FleetSnapshot is the /debug/fleet JSON document: the coordinator's
+// current view of every shard plus the placement-decision tail.
+type FleetSnapshot struct {
+	Scorer           string            `json:"scorer"`
+	GlobalBudgetMbps float64           `json:"global_budget_mbps"`
+	Slot             int               `json:"slot"`
+	Shards           []FleetShardState `json:"shards"`
+	Placements       uint64            `json:"placements"`
+	Migrations       int               `json:"migrations"`
+	Rebalances       int               `json:"rebalances"`
+	Recent           []PlacementRecord `json:"recent,omitempty"`
+}
+
+// Format renders the snapshot as a terminal table.
+func (s FleetSnapshot) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# fleet: scorer %s, global budget %.0f Mbps, %d placements, %d migrations, %d rebalances\n",
+		s.Scorer, s.GlobalBudgetMbps, s.Placements, s.Migrations, s.Rebalances)
+	fmt.Fprintf(&b, "%-6s %5s %6s %9s %9s %11s %11s %9s %7s %7s %7s\n",
+		"shard", "zone", "alive", "draining", "sessions", "budget", "demand", "pagefrac", "placed", "migIn", "migOut")
+	for _, sh := range s.Shards {
+		fmt.Fprintf(&b, "%-6d %5d %6v %9v %9d %9.1fMb %9.1fMb %9.3f %7d %7d %7d\n",
+			sh.Shard, sh.Zone, sh.Alive, sh.Draining, sh.Sessions,
+			sh.BudgetMbps, sh.DemandMbps, sh.PageFrac,
+			sh.Placed, sh.MigratedIn, sh.MigratedOut)
+	}
+	return b.String()
+}
+
+// FleetHandler serves a fleet snapshot producer as JSON. The `n` query
+// parameter bounds the placement-record tail (default 64).
+func FleetHandler(snapshot func(n int) FleetSnapshot) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		n := 64
+		if s := req.URL.Query().Get("n"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v < 0 {
+				http.Error(w, "bad n", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(snapshot(n))
+	})
+}

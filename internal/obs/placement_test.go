@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestPlacementRecorderRingAndMetrics(t *testing.T) {
+	var buf bytes.Buffer
+	reg := NewRegistry()
+	pr := NewPlacementRecorder(PlacementRecorderOptions{RingSize: 4, Writer: &buf, Metrics: reg})
+	for i := 0; i < 6; i++ {
+		pr.Record(&PlacementRecord{Slot: i, Session: uint32(i), Reason: PlaceArrival, Chosen: i % 3})
+	}
+	pr.Record(&PlacementRecord{Slot: 6, Session: 2, Reason: PlaceShardKill, From: 2, Chosen: 0})
+	pr.Record(&PlacementRecord{Slot: 7, Session: 9, Reason: PlaceArrival, Chosen: -1})
+
+	if got := pr.Records(); got != 8 {
+		t.Fatalf("Records = %d, want 8", got)
+	}
+	recent := pr.Recent(10)
+	if len(recent) != 4 {
+		t.Fatalf("Recent kept %d, want ring size 4", len(recent))
+	}
+	if recent[0].Seq >= recent[3].Seq {
+		t.Fatalf("Recent not oldest-first: %d .. %d", recent[0].Seq, recent[3].Seq)
+	}
+	if recent[3].Chosen != -1 || recent[3].Seq != 8 {
+		t.Fatalf("last record = %+v, want the failed placement seq 8", recent[3])
+	}
+	if got := reg.Counter("collabvr_fleet_placements_total").Value(); got != 7 {
+		t.Fatalf("placements_total = %d, want 7", got)
+	}
+	if got := reg.Counter("collabvr_fleet_migrations_total").Value(); got != 1 {
+		t.Fatalf("migrations_total = %d, want 1", got)
+	}
+	if got := reg.Counter("collabvr_fleet_placements_failed_total").Value(); got != 1 {
+		t.Fatalf("placements_failed_total = %d, want 1", got)
+	}
+	if err := pr.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// Every record reached the JSONL writer even after falling off the ring.
+	if lines := strings.Count(buf.String(), "\n"); lines != 8 {
+		t.Fatalf("JSONL lines = %d, want 8", lines)
+	}
+
+	var disabled *PlacementRecorder
+	disabled.Record(&PlacementRecord{}) // must not panic
+	if disabled.Recent(3) != nil || disabled.Records() != 0 || disabled.Err() != nil {
+		t.Fatal("nil recorder not inert")
+	}
+}
+
+func TestFleetHandler(t *testing.T) {
+	snap := func(n int) FleetSnapshot {
+		return FleetSnapshot{
+			Scorer:           "least-loaded",
+			GlobalBudgetMbps: 300,
+			Shards: []FleetShardState{
+				{Shard: 0, Alive: true, Sessions: 4, BudgetMbps: 150},
+				{Shard: 1, Alive: false, MigratedOut: 4},
+			},
+			Recent: make([]PlacementRecord, 0, n),
+		}
+	}
+	mux := NewMuxOpts(NewRegistry(), nil, MuxOptions{Fleet: snap})
+	rr := httptest.NewRecorder()
+	mux.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/fleet", nil))
+	if rr.Code != 200 {
+		t.Fatalf("status %d", rr.Code)
+	}
+	var doc FleetSnapshot
+	if err := json.Unmarshal(rr.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Scorer != "least-loaded" || len(doc.Shards) != 2 || doc.Shards[1].Alive {
+		t.Fatalf("snapshot round-trip wrong: %+v", doc)
+	}
+	rr = httptest.NewRecorder()
+	mux.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/fleet?n=bogus", nil))
+	if rr.Code != 400 {
+		t.Fatalf("bad n: status %d, want 400", rr.Code)
+	}
+	if !strings.Contains(FleetSnapshot{Shards: []FleetShardState{{Shard: 0}}}.Format(), "shard") {
+		t.Fatal("Format missing header")
+	}
+}

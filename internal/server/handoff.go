@@ -1,0 +1,237 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// HandoffState is the portable snapshot of one session's server-side
+// streaming state: everything the adopting shard needs to continue the
+// session's QoE accounting and estimators instead of starting cold. The
+// in-process fleet coordinator hands the struct over directly; all fields
+// are plain values so an out-of-process coordinator could gob-ship it.
+type HandoffState struct {
+	User uint32
+	// Token authenticates the handoff: derived from (user, slot, shard) at
+	// export, it names the exact handoff event in logs on both sides.
+	Token uint64
+	// FromShard is the exporting shard's ID.
+	FromShard int
+	// Slot is the exporting shard's slot clock at export time.
+	Slot uint32
+
+	// Streaming QoE state (drives MeanQ and delta of h_n).
+	T          int
+	SumViewedQ float64
+	Covered    int
+
+	// Throughput estimator state: the EMA value and the goodput max-filter
+	// window feeding the capacity estimate.
+	EstMbps    float64
+	EMAPrimed  bool
+	CapSamples []float64
+
+	// Delay-regression samples (rate, delay) pairs.
+	DelayRates []float64
+	DelayMs    []float64
+}
+
+// handoffToken derives the handoff event's identity with a splitmix64-style
+// finalizer over (user, slot, shard) — deterministic per event, unique
+// across shards.
+func handoffToken(user uint32, slot uint32, shard int) uint64 {
+	z := uint64(user)<<32 | uint64(slot)
+	z ^= (uint64(shard) + 1) * 0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	if z == 0 {
+		z = 1 // a zero token means "no handoff"
+	}
+	return z
+}
+
+// ExportSession snapshots a session's portable state for migration and
+// marks it handed off; the session keeps streaming until ReleaseSession
+// closes its control connection. The split lets the coordinator register
+// the state on the adopting shard (AdoptSession) and repoint the client's
+// Redirect hook before the source triggers the redial — otherwise the
+// client's fresh Hello could race the adoption and resume cold. The
+// session retires as a handoff — the shared SLO window and breaker state
+// stay alive for the adopting shard.
+func (s *Server) ExportSession(user uint32) (*HandoffState, error) {
+	s.mu.Lock()
+	sess := s.sessions[user]
+	slot := s.slot
+	s.mu.Unlock()
+	if sess == nil {
+		return nil, fmt.Errorf("server: export: no session for user %d", user)
+	}
+
+	sess.mu.Lock()
+	if sess.retired {
+		sess.mu.Unlock()
+		return nil, fmt.Errorf("server: export: session %d already retired", user)
+	}
+	sess.handoff = true
+	st := &HandoffState{
+		User:       user,
+		Token:      handoffToken(user, slot, s.cfg.ShardID),
+		FromShard:  s.cfg.ShardID,
+		Slot:       slot,
+		T:          sess.t,
+		SumViewedQ: sess.sumViewedQ,
+		Covered:    sess.covered,
+		EstMbps:    sess.ema.Value(),
+		EMAPrimed:  sess.ema.Primed(),
+		CapSamples: append([]float64(nil), sess.capSamples...),
+		DelayRates: append([]float64(nil), sess.delayRates...),
+		DelayMs:    append([]float64(nil), sess.delayMs...),
+	}
+	sess.mu.Unlock()
+
+	s.cfg.Logf("server: exporting user %d at slot %d (token %016x)", user, slot, st.Token)
+	return st, nil
+}
+
+// ReleaseSession completes an export: closing the control connection is the
+// migration signal — the client's control reader redials (via its Redirect
+// hook, which by now points at the adopting shard) and the control loop
+// here exits into retireSession, which sees the handoff flag.
+func (s *Server) ReleaseSession(user uint32) error {
+	s.mu.Lock()
+	sess := s.sessions[user]
+	s.mu.Unlock()
+	if sess == nil {
+		return fmt.Errorf("server: release: no session for user %d", user)
+	}
+	sess.ctrl.Close()
+	sess.closeSend()
+	return nil
+}
+
+// AdoptSession registers handed-off session state; the next Hello for its
+// user (the migrating client's redial) consumes it, resumes the estimators
+// and QoE history, and answers Welcome{Resumed: true}.
+func (s *Server) AdoptSession(st *HandoffState) error {
+	if st == nil || st.Token == 0 {
+		return errors.New("server: adopt: missing handoff state or token")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("server: adopt: server closed")
+	}
+	if s.draining {
+		return errors.New("server: adopt: server draining")
+	}
+	if s.adopted == nil {
+		s.adopted = make(map[uint32]*HandoffState)
+	}
+	s.adopted[st.User] = st
+	return nil
+}
+
+// resume seeds a fresh session from handed-off state.
+func (sess *session) resume(st *HandoffState) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	sess.t = st.T
+	sess.sumViewedQ = st.SumViewedQ
+	sess.covered = st.Covered
+	if st.EMAPrimed && st.EstMbps > 0 {
+		// The EMA's first Update adopts the sample directly, so the
+		// estimate continues exactly where the exporting shard left it.
+		sess.ema.Update(st.EstMbps)
+	}
+	n := len(st.CapSamples)
+	if n > capWindow {
+		n = capWindow
+	}
+	sess.capSamples = append(sess.capSamples[:0], st.CapSamples[:n]...)
+	sess.capIdx = 0
+	nd := len(st.DelayRates)
+	if len(st.DelayMs) < nd {
+		nd = len(st.DelayMs)
+	}
+	if nd > maxDelaySamples {
+		nd = maxDelaySamples
+	}
+	sess.delayRates = append([]float64(nil), st.DelayRates[:nd]...)
+	sess.delayMs = append([]float64(nil), st.DelayMs[:nd]...)
+}
+
+// SetBudget moves the server's live bandwidth budget B(t); a fleet
+// coordinator calls it on every rebalance. Non-positive values are ignored
+// (a shard is killed by migration, not by a zero budget).
+func (s *Server) SetBudget(mbps float64) {
+	if mbps <= 0 {
+		return
+	}
+	s.mu.Lock()
+	s.budget = mbps
+	s.mu.Unlock()
+}
+
+// Budget returns the live value of B(t).
+func (s *Server) Budget() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.budget
+}
+
+// SessionCount returns the number of admitted sessions.
+func (s *Server) SessionCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// ShardID returns the configured shard identity.
+func (s *Server) ShardID() int { return s.cfg.ShardID }
+
+// Draining reports whether Drain has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Sessions returns the IDs of the admitted sessions in ascending order —
+// the deterministic iteration a fleet coordinator migrates in.
+func (s *Server) Sessions() []uint32 {
+	s.mu.Lock()
+	out := make([]uint32, 0, len(s.sessions))
+	for id := range s.sessions {
+		out = append(out, id)
+	}
+	s.mu.Unlock()
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// WaitSession blocks until the user has an admitted, unretired session or
+// the timeout elapses; fleet migration uses it to confirm the client's
+// redial landed on the adopting shard.
+func (s *Server) WaitSession(user uint32, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		s.mu.Lock()
+		_, ok := s.sessions[user]
+		s.mu.Unlock()
+		if ok {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

@@ -17,6 +17,8 @@ type serverMetrics struct {
 	sessionsLeft     *obs.Counter
 	sessionsRejected *obs.Counter
 	sessionsActive   *obs.Gauge
+	handoffsOut      *obs.Counter
+	handoffsIn       *obs.Counter
 
 	slots          *obs.Counter
 	deadlineMiss   *obs.Counter
@@ -53,6 +55,8 @@ func newServerMetrics(r *obs.Registry) serverMetrics {
 		sessionsLeft:     r.Counter("collabvr_server_sessions_left_total"),
 		sessionsRejected: r.Counter("collabvr_server_sessions_rejected_total"),
 		sessionsActive:   r.Gauge("collabvr_server_sessions_active"),
+		handoffsOut:      r.Counter("collabvr_server_sessions_handoff_out_total"),
+		handoffsIn:       r.Counter("collabvr_server_sessions_handoff_in_total"),
 		slots:            r.Counter("collabvr_server_slots_total"),
 		deadlineMiss:     r.Counter("collabvr_server_slot_deadline_miss_total"),
 		acks:             r.Counter("collabvr_server_acks_total"),

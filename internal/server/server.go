@@ -114,6 +114,10 @@ type Config struct {
 	// Chaos injects server-pipeline faults (slot stalls, slow ACK
 	// processing) from a chaos profile; nil disables.
 	Chaos *chaos.ServerInjector
+	// ShardID identifies this server inside a fleet (0 standalone). It is
+	// echoed in every Welcome so clients know which shard serves them, and
+	// salts handoff tokens so tokens from different shards never collide.
+	ShardID int
 }
 
 // DefaultConfig returns a server configuration with the paper's real-system
@@ -159,6 +163,12 @@ type Server struct {
 	mu       sync.Mutex
 	sessions map[uint32]*session
 	slot     uint32
+	// budget is the live value of B(t); it starts at Config.BudgetMbps and
+	// a fleet coordinator moves it via SetBudget on rebalance.
+	budget float64
+	// adopted holds handed-off session state awaiting the client's redial
+	// (keyed by user; consumed by the next Hello for that user).
+	adopted map[uint32]*HandoffState
 
 	stop       chan struct{}
 	stopOnce   sync.Once
@@ -196,6 +206,11 @@ type session struct {
 	t          int
 	sumViewedQ float64
 	covered    int
+
+	// handoff marks a session exported to another shard: retirement keeps
+	// the fleet-shared SLO window and breaker state alive (the adopting
+	// shard continues them) and counts a handoff instead of a departure.
+	handoff bool
 
 	// capSamples is a ring of recent goodput samples; the capacity
 	// estimate is their maximum (a BBR-style max filter — goodput of a
@@ -333,6 +348,7 @@ func New(cfg Config) (*Server, error) {
 		udp:      udp,
 		tcpLn:    tcpLn,
 		sessions: make(map[uint32]*session),
+		budget:   cfg.BudgetMbps,
 		stop:     make(chan struct{}),
 		loopDone: make(chan struct{}),
 	}
@@ -581,6 +597,12 @@ func (s *Server) handleConn(ctrl *transport.Conn) {
 	}
 	prev := s.sessions[hello.User]
 	s.sessions[hello.User] = sess
+	// A pending adoption (fleet live migration) is consumed by the first
+	// Hello for its user: the redialing client resumes here.
+	st := s.adopted[hello.User]
+	if st != nil {
+		delete(s.adopted, hello.User)
+	}
 	s.mu.Unlock()
 	if prev != nil {
 		// A reconnect superseded a live session with the same ID: retire
@@ -588,11 +610,22 @@ func (s *Server) handleConn(ctrl *transport.Conn) {
 		prev.ctrl.Close()
 		prev.closeSend()
 	}
-	s.cfg.Logf("server: user %d joined from %s", hello.User, hello.UDPAddr)
+	if st != nil {
+		sess.resume(st)
+		s.metrics.handoffsIn.Inc()
+		s.cfg.Logf("server: user %d resumed from shard %d (token %016x)",
+			hello.User, st.FromShard, st.Token)
+	} else {
+		s.cfg.Logf("server: user %d joined from %s", hello.User, hello.UDPAddr)
+	}
 	s.metrics.sessionsJoined.Inc()
 	s.metrics.sessionsActive.Add(1)
 	s.metrics.sessionSetupMs.Observe(float64(time.Since(accepted)) / float64(time.Millisecond))
-	if err := ctrl.Send(transport.Welcome{User: hello.User}); err != nil {
+	if err := ctrl.Send(transport.Welcome{
+		User:    hello.User,
+		Resumed: st != nil,
+		Shard:   s.cfg.ShardID,
+	}); err != nil {
 		s.retireSession(sess)
 		return
 	}
@@ -637,6 +670,7 @@ func (s *Server) retireSession(sess *session) {
 	sess.retired = true
 	served := sess.slotsServed
 	meanQ := sess.meanQLocked()
+	handedOff := sess.handoff
 	sess.mu.Unlock()
 
 	s.mu.Lock()
@@ -646,16 +680,22 @@ func (s *Server) retireSession(sess *session) {
 		current = true
 	}
 	s.mu.Unlock()
-	if current {
+	if current && !handedOff {
 		// Only the current session retires the SLO window and breaker: a
 		// superseding reconnect with the same ID keeps accumulating into
-		// them (session-resume keeps the QoE history).
+		// them (session-resume keeps the QoE history). A handed-off session
+		// keeps them too — the adopting shard shares the monitor and
+		// continues the windows.
 		s.cfg.SLO.Retire(sess.user)
 		s.cfg.Breaker.Retire(sess.user)
 	}
 	sess.ctrl.Close()
 	sess.closeSend()
 	s.metrics.sessionsActive.Add(-1)
+	if handedOff {
+		s.metrics.handoffsOut.Inc()
+		return
+	}
 	s.metrics.sessionsLeft.Inc()
 	if served > 0 {
 		s.metrics.sessionMeanQ.Observe(meanQ)
@@ -957,6 +997,7 @@ func (s *Server) slotLoop() {
 		s.mu.Lock()
 		slot := s.slot
 		s.slot++
+		budget := s.budget
 		sessions := make([]*session, 0, len(s.sessions))
 		for _, sess := range s.sessions {
 			sessions = append(sessions, sess)
@@ -970,7 +1011,7 @@ func (s *Server) slotLoop() {
 			time.Sleep(d)
 		}
 		if len(sessions) > 0 {
-			s.safeRunSlot(slot, sessions)
+			s.safeRunSlot(slot, sessions, budget)
 		}
 		if s.cfg.TotalSlots > 0 && int(s.slot) >= s.cfg.TotalSlots {
 			return
@@ -981,17 +1022,17 @@ func (s *Server) slotLoop() {
 // safeRunSlot runs one slot with panic isolation: a crash in the pipeline
 // (an allocator bug on a pathological input, say) costs that slot — the
 // clients miss one frame — instead of the whole server.
-func (s *Server) safeRunSlot(slot uint32, sessions []*session) {
+func (s *Server) safeRunSlot(slot uint32, sessions []*session, budget float64) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.recovered(fmt.Sprintf("slot pipeline (slot %d)", slot), r)
 		}
 	}()
-	s.runSlot(slot, sessions)
+	s.runSlot(slot, sessions, budget)
 }
 
 // runSlot predicts, allocates and dispatches one slot.
-func (s *Server) runSlot(slot uint32, sessions []*session) {
+func (s *Server) runSlot(slot uint32, sessions []*session, budget float64) {
 	started := time.Now()
 	s.metrics.slots.Inc()
 	slotMs := s.cfg.SlotDuration.Seconds() * 1000
@@ -1030,7 +1071,7 @@ func (s *Server) runSlot(slot uint32, sessions []*session) {
 		return
 	}
 
-	problem := &core.SlotProblem{T: int(slot) + 1, Budget: s.cfg.BudgetMbps, Users: users}
+	problem := &core.SlotProblem{T: int(slot) + 1, Budget: budget, Users: users}
 	decideStart := s.cfg.Tracer.Now()
 	var allocation core.Allocation
 	var slotTrace *core.SlotTrace

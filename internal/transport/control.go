@@ -28,6 +28,13 @@ type (
 	// rejection from network failure and measure setup latency precisely.
 	Welcome struct {
 		User uint32
+		// Resumed reports that the server adopted handed-off session state
+		// for this user (fleet live migration): the QoE history and
+		// estimators continue instead of starting cold.
+		Resumed bool
+		// Shard identifies the fleet shard that admitted the session
+		// (0 for a standalone server).
+		Shard int
 	}
 
 	// PoseUpdate uploads the user's 6-DoF pose for a slot ("Users will
