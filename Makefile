@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race lint bench bench-smoke fuzz-smoke ci figures figures-full loadtest-smoke trace-smoke chaos-smoke regret-smoke fleet-smoke clean
+.PHONY: all build vet test race lint bench bench-smoke fuzz-smoke ci figures figures-full loadtest-smoke trace-smoke chaos-smoke regret-smoke fleet-smoke slotloop-smoke clean
 
 all: build vet test
 
@@ -28,12 +28,13 @@ race:
 	$(GO) test -race ./internal/... ./cmd/...
 
 # What CI runs (see .github/workflows/ci.yml).
-ci: build lint test race bench-smoke fuzz-smoke loadtest-smoke trace-smoke chaos-smoke regret-smoke fleet-smoke
+ci: build lint test race bench-smoke fuzz-smoke loadtest-smoke trace-smoke chaos-smoke regret-smoke fleet-smoke slotloop-smoke
 
-# Full benchmark pass: the allocator microbenchmark JSON report, then every
+# Full benchmark pass: the allocator and slot-loop JSON reports, then every
 # Go benchmark in the tree.
 bench:
 	$(GO) run ./cmd/collabvr-bench -allocator -alloc-out BENCH_allocator.json
+	$(GO) run ./cmd/collabvr-bench -slotloop -slotloop-out BENCH_slotloop.json
 	$(GO) test -bench=. -benchmem ./...
 
 # One-iteration compile-and-run of the Solve benchmarks (CI keeps them
@@ -46,6 +47,16 @@ bench-smoke:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzGreedy$$' -fuzztime 10s ./internal/knapsack
 	$(GO) test -run '^$$' -fuzz '^FuzzDynamicProgram$$' -fuzztime 10s ./internal/knapsack
+	$(GO) test -run '^$$' -fuzz '^FuzzWarmGreedy$$' -fuzztime 10s ./internal/knapsack
+
+# Slot-loop smoke (< 60 s): the 10k-session virtual-time differential —
+# serial cold, sharded-build, and warm-start campaigns must produce
+# bit-identical reports — then the solver allocation gate.
+slotloop-smoke:
+	@mkdir -p results
+	$(GO) run ./cmd/collabvr-bench -slotloop-smoke -seed 3 | tee results/slotloop_smoke.txt
+	grep -q 'slotloop equivalence: OK' results/slotloop_smoke.txt
+	$(GO) test -run 'TestRunSlotSteadyStateAllocs|TestSlotPool' ./internal/server
 
 # Regenerate every paper figure (scaled down; ~minutes).
 figures:
@@ -135,4 +146,5 @@ clean:
 		results/chaos_smoke.txt results/regret_smoke.txt \
 		results/smoke_decisions.jsonl results/tournament_a.txt \
 		results/tournament_b.txt results/fleet_smoke.txt \
+		results/slotloop_smoke.txt \
 		test_output.txt bench_output.txt

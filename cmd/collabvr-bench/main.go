@@ -45,12 +45,22 @@ func run(args []string) error {
 		allocOut = fs.String("alloc-out", "BENCH_allocator.json", "JSON report path for -allocator")
 		spans    = fs.Bool("spans", false, "run a traced simulation campaign and print the end-to-end span analysis")
 		spanOut  = fs.String("span-out", "", "with -spans: also write the span JSONL to this file")
+
+		slotloop      = fs.Bool("slotloop", false, "run the slot-loop benchmark suite (warm-start solver, sharded campaign, batched sender) and write -slotloop-out")
+		slotloopOut   = fs.String("slotloop-out", "BENCH_slotloop.json", "JSON report path for -slotloop")
+		slotloopSmoke = fs.Bool("slotloop-smoke", false, "run the fast slot-loop equivalence differential (sharded and warm-start campaigns vs serial cold) and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *alloc {
 		return runAllocatorBench(*seed, *allocOut)
+	}
+	if *slotloop {
+		return runSlotloopBench(*seed, *slotloopOut)
+	}
+	if *slotloopSmoke {
+		return runSlotloopSmoke(*seed)
 	}
 	if *spans {
 		return runSpanAnalysis(*seed, *full, *spanOut)

@@ -95,6 +95,79 @@ func FitPoly(xs, ys []float64, degree int) (PolyFit, error) {
 	return PolyFit{Coeffs: coeffs}, nil
 }
 
+// PolyFitter computes FitPoly on reusable scratch: once its buffers have
+// grown, a fit performs zero heap allocations — the regime of the server's
+// per-slot delay-model refresh. The returned PolyFit.Coeffs alias
+// fitter-owned memory and are only valid until the next Fit on the same
+// fitter. The arithmetic is identical to FitPoly (same normal equations
+// accumulated in the same order, same pivoting), so the coefficients are
+// bit-identical. Not safe for concurrent use.
+type PolyFitter struct {
+	powSums []float64
+	b       []float64
+	rows    [][]float64
+	flat    []float64
+	coeffs  []float64
+}
+
+// Fit is FitPoly on the fitter's scratch.
+func (f *PolyFitter) Fit(xs, ys []float64, degree int) (PolyFit, error) {
+	if len(xs) != len(ys) {
+		return PolyFit{}, errors.New("estimate: mismatched sample lengths")
+	}
+	if degree < 0 {
+		return PolyFit{}, errors.New("estimate: negative degree")
+	}
+	m := degree + 1
+	if len(xs) < m {
+		return PolyFit{}, ErrSingular
+	}
+
+	f.powSums = growZeroed(f.powSums, 2*m-1)
+	f.b = growZeroed(f.b, m)
+	powSums, b := f.powSums, f.b
+	for k := range xs {
+		p := 1.0
+		for i := 0; i < 2*m-1; i++ {
+			powSums[i] += p
+			if i < m {
+				b[i] += ys[k] * p
+			}
+			p *= xs[k]
+		}
+	}
+	if cap(f.flat) < m*m {
+		f.flat = make([]float64, m*m)
+	}
+	if cap(f.rows) < m {
+		f.rows = make([][]float64, m)
+	}
+	f.flat, f.rows = f.flat[:m*m], f.rows[:m]
+	for i := 0; i < m; i++ {
+		f.rows[i] = f.flat[i*m : (i+1)*m : (i+1)*m]
+		for j := 0; j < m; j++ {
+			f.rows[i][j] = powSums[i+j]
+		}
+	}
+	if cap(f.coeffs) < m {
+		f.coeffs = make([]float64, m)
+	}
+	f.coeffs = f.coeffs[:m]
+	if err := solveGaussInto(f.rows, b, f.coeffs); err != nil {
+		return PolyFit{}, err
+	}
+	return PolyFit{Coeffs: f.coeffs}, nil
+}
+
+func growZeroed(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
+}
+
 // Predict evaluates the fitted polynomial at x using Horner's rule.
 func (f PolyFit) Predict(x float64) float64 {
 	var y float64
@@ -107,6 +180,16 @@ func (f PolyFit) Predict(x float64) float64 {
 // solveGauss solves a dense linear system with partial pivoting. It mutates
 // its arguments.
 func solveGauss(a [][]float64, b []float64) ([]float64, error) {
+	x := make([]float64, len(a))
+	if err := solveGaussInto(a, b, x); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// solveGaussInto is solveGauss writing the solution into caller-provided x
+// (len(x) == len(a)); it mutates a and b.
+func solveGaussInto(a [][]float64, b, x []float64) error {
 	n := len(a)
 	for col := 0; col < n; col++ {
 		// Partial pivot.
@@ -117,7 +200,7 @@ func solveGauss(a [][]float64, b []float64) ([]float64, error) {
 			}
 		}
 		if math.Abs(a[pivot][col]) < 1e-12 {
-			return nil, ErrSingular
+			return ErrSingular
 		}
 		a[col], a[pivot] = a[pivot], a[col]
 		b[col], b[pivot] = b[pivot], b[col]
@@ -130,7 +213,6 @@ func solveGauss(a [][]float64, b []float64) ([]float64, error) {
 			b[r] -= factor * b[col]
 		}
 	}
-	x := make([]float64, n)
 	for i := n - 1; i >= 0; i-- {
 		sum := b[i]
 		for j := i + 1; j < n; j++ {
@@ -138,7 +220,7 @@ func solveGauss(a [][]float64, b []float64) ([]float64, error) {
 		}
 		x[i] = sum / a[i][i]
 	}
-	return x, nil
+	return nil
 }
 
 // SlidingWindow keeps the most recent capacity samples of a scalar series

@@ -53,23 +53,37 @@ func heapPop(h []heapEntry) (heapEntry, []heapEntry) {
 	last := len(h) - 1
 	h[0] = h[last]
 	h = h[:last]
-	i := 0
+	siftDown(h, 0)
+	return top, h
+}
+
+// siftDown restores the heap property below index i.
+func siftDown(h []heapEntry, i int) {
 	for {
 		l := 2*i + 1
 		if l >= len(h) {
-			break
+			return
 		}
 		c := l
 		if r := l + 1; r < len(h) && entryBefore(h[r], h[l]) {
 			c = r
 		}
 		if !entryBefore(h[c], h[i]) {
-			break
+			return
 		}
 		h[i], h[c] = h[c], h[i]
 		i = c
 	}
-	return top, h
+}
+
+// heapify builds a valid max-heap in place (Floyd's O(n) algorithm). Because
+// entryBefore is a strict total order over distinct items, the pop sequence
+// of any valid heap over the same entry set is identical — so a heap built
+// here pops bit-identically to one grown by successive heapPush calls.
+func heapify(h []heapEntry) {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		siftDown(h, i)
+	}
 }
 
 // Solver runs the greedy passes of Algorithm 1 with reusable scratch
@@ -94,8 +108,7 @@ type Solver struct {
 // see the file comment for the equivalence argument.
 func (s *Solver) run(p *Problem, kind greedyKind, buf *[]int, tr *PassTrace) Solution {
 	n := len(p.Items)
-	capture := tr != nil && tr.TopK > 0
-	if capture {
+	if tr != nil && tr.TopK > 0 {
 		tr.Alternatives = tr.Alternatives[:0]
 	}
 	levels := (*buf)[:0]
@@ -114,6 +127,20 @@ func (s *Solver) run(p *Problem, kind greedyKind, buf *[]int, tr *PassTrace) Sol
 			h = heapPush(h, heapEntry{score: upgradeScore(it, 1, kind), item: int32(i)})
 		}
 	}
+	sol, rest := popLoop(p, kind, levels, value, weight, h, tr, nil)
+	s.heap = rest
+	return sol
+}
+
+// popLoop is the greedy pop loop of Algorithm 1 over an already-built heap
+// state, shared by Solver.run (entered from the all-base assignment) and by
+// the WarmSolver (entered mid-pass, after replaying the previous slot's
+// pick log). rec, when non-nil, records one pickEvent per nonnegative pop —
+// the pick log a later warm-started solve replays. It returns the finished
+// solution and the heap scratch for reuse.
+func popLoop(p *Problem, kind greedyKind, levels []int, value, weight float64,
+	h []heapEntry, tr *PassTrace, rec *[]pickEvent) (Solution, []heapEntry) {
+	capture := tr != nil && tr.TopK > 0
 	for len(h) > 0 {
 		var e heapEntry
 		e, h = heapPop(h)
@@ -181,17 +208,22 @@ func (s *Solver) run(p *Problem, kind greedyKind, buf *[]int, tr *PassTrace) Sol
 			levels[i] = old
 			value -= dv
 			weight -= dw
+			if rec != nil {
+				*rec = append(*rec, newPickEvent(e.item, false))
+			}
 			continue
 		}
 		if tr != nil {
 			tr.Upgrades++
 		}
+		if rec != nil {
+			*rec = append(*rec, newPickEvent(e.item, true))
+		}
 		if old+1 < it.Levels() {
 			h = heapPush(h, heapEntry{score: upgradeScore(it, old+1, kind), item: e.item})
 		}
 	}
-	s.heap = h
-	return Solution{Levels: levels, Value: value, Weight: weight}
+	return Solution{Levels: levels, Value: value, Weight: weight}, h
 }
 
 // DensityGreedy runs the density-greedy pass on solver scratch.

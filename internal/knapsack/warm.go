@@ -1,0 +1,502 @@
+package knapsack
+
+// Warm-started Algorithm 1. A per-slot allocator solves a sequence of
+// problems where consecutive instances usually differ in only a few items
+// (a handful of sessions' channel estimates moved) and possibly the budget.
+// The WarmSolver exploits that: each solve records the pass's pick log (the
+// exact sequence of heap pops and their accept/reject outcomes), and the
+// next solve REPLAYS that log instead of re-running the heap from scratch —
+// each replayed event is a couple of float64 compares instead of an
+// O(log N) pop plus an eventual re-push.
+//
+// Bit-identity with the cold Solver is a hard contract (the golden corpus,
+// the differential tests in warm_test.go and FuzzWarmGreedy enforce it).
+// The replay therefore never *assumes* an outcome: every replayed event
+// recomputes the upgrade score and re-runs the quality_verification
+// arithmetic against the current problem.
+//
+// DIRTY items (those whose ladder changed since the snapshot) are the
+// interesting case. Their logged events are stale — the perturbed scores
+// put their pops at unknown positions — but the clean items' events are
+// not: a clean item's upgrade score depends only on its own ladder and
+// level, so as long as every replayed outcome matches the log, the clean
+// events still pop in exactly their logged relative order. The warm pass
+// therefore runs a MERGE: dirty items live in a small side heap (fresh
+// scores, maintained with real pops and re-pushes), and before confirming
+// each logged clean event it drains every dirty upgrade that entryBefore
+// says would pop first. The merged sequence is the cold run's pop order
+// reconstructed at O(1) per clean event plus O(log d) per dirty pop,
+// d = dirty count.
+//
+// The replay aborts to a live heap run the moment the log stops being a
+// faithful oracle of what a cold run would do: after an event whose
+// accept/reject outcome flips (the budget moved, or a dirty item's op
+// shifted the cumulative weight) — the applied op is still exactly what a
+// cold run would do at that pop, but the remainder of the log describes a
+// run that no longer exists.
+//
+// Going live is cheap: rebuild the heap over every still-upgradable item
+// with Floyd's O(n) heapify and hand off to the same popLoop the cold pass
+// uses. Because entryBefore is a strict total order, a valid heap over a
+// given entry set pops in exactly one possible sequence — so the stitched
+// run is bit-identical to a cold run of the current problem.
+//
+// Structural changes (item count, ladder shapes) and heavy perturbation
+// (dirty fraction above MaxDirtyFrac) skip the replay entirely and run the
+// cold path; the solve is then merely a log re-record, never a wrong answer.
+//
+// Caveat for callers whose lowered values drift globally every slot (e.g.
+// core.ObjectiveTerms' (t-1)/t variance weight re-scales every item as T
+// advances): every item is dirty every slot, so such sequences fall back
+// cold and the WarmSolver degrades to the plain Solver plus a diff. The win
+// lives where ladders are genuinely sparse-perturbed.
+
+import "math"
+
+// DefaultMaxDirtyFrac is the dirty-item fraction above which a warm solve
+// falls back to the cold path. The merge-replay handles dirty items in a
+// side heap, so its cost grows with the dirty count; past this fraction
+// the side heap approaches the full heap and the replay bookkeeping is
+// pure overhead on top of what is effectively a cold solve.
+const DefaultMaxDirtyFrac = 0.25
+
+// pickEvent is one entry of a pass's pick log: a nonnegative-score heap pop
+// and whether quality_verification accepted it. Packed (item<<1)|accepted
+// so a 10k-item log line stays a flat 4-byte array.
+type pickEvent int32
+
+func newPickEvent(item int32, accepted bool) pickEvent {
+	e := pickEvent(item) << 1
+	if accepted {
+		e |= 1
+	}
+	return e
+}
+
+func (e pickEvent) item() int      { return int(e >> 1) }
+func (e pickEvent) accepted() bool { return e&1 == 1 }
+
+// WarmStats counts how the WarmSolver resolved its solves; read them via
+// Stats to verify a workload actually warm-starts (and to report replay
+// depth in BENCH_slotloop.json).
+type WarmStats struct {
+	Solves    int64 // total Combined/CombinedTraced calls
+	Warm      int64 // solves that entered the replay path
+	Cold      int64 // solves that ran the cold path (ColdStructural+ColdDirty)
+	ColdInit  int64 // cold: no snapshot yet (first solve, or after Reset)
+	ColdShape int64 // cold: item count or ladder shape changed
+	ColdDirty int64 // cold: dirty fraction above MaxDirtyFrac
+	Replayed  int64 // clean log events replayed across all warm solves (both passes)
+	LivePops  int64 // dirty-item pops merged live into replays (both passes)
+	Diverged  int64 // replays aborted by an accept/reject outcome flip
+}
+
+// WarmSolver is a Solver that warm-starts each solve from the previous
+// one's pick log. It is bit-identical to Solver/Reference* on every
+// problem; the previous solve only ever changes how fast the answer is
+// reached, never the answer. Like Solver, returned Levels alias solver
+// scratch (valid until the next call) and a WarmSolver is not safe for
+// concurrent use.
+//
+// The zero value is ready to use (first solve runs cold and seeds the log).
+type WarmSolver struct {
+	// MaxDirtyFrac caps the fraction of items that may differ from the
+	// previous problem before the solve falls back cold. 0 means
+	// DefaultMaxDirtyFrac; negative disables warm starts entirely.
+	MaxDirtyFrac float64
+
+	heap    []heapEntry
+	dheap   []heapEntry // dirty-item side heap of the merge-replay
+	bufD    []int
+	bufV    []int
+	retired []bool
+
+	// Snapshot of the previous problem's ladders (Float64bits so the diff
+	// is an exact bit compare, immune to NaN and -0 surprises). Budget is
+	// deliberately NOT snapshotted: a budget change alone replays fine —
+	// the quality_verification re-check catches any outcome flip.
+	snapValid   bool
+	snapN       int
+	snapLen     []int    // per-item ladder length
+	snapCapBits []uint64 // per-item Cap bits
+	snapVBits   []uint64 // flattened Values bits, item-major
+	snapWBits   []uint64 // flattened Weights bits, same offsets
+
+	// Pick logs from the previous solve (logD/logV) and scratch for the
+	// ones being recorded (newLogD/newLogV); swapped after every solve.
+	logD, logV       []pickEvent
+	newLogD, newLogV []pickEvent
+
+	dirty    []bool
+	dirtyIdx []int
+
+	stats WarmStats
+}
+
+// NewWarmSolver returns a WarmSolver with the default dirty-fraction cap.
+func NewWarmSolver() *WarmSolver { return &WarmSolver{} }
+
+// Stats returns a copy of the solve-resolution counters.
+func (s *WarmSolver) Stats() WarmStats { return s.stats }
+
+// Reset drops the snapshot and pick logs, forcing the next solve cold.
+// Use it when the item<->index correspondence breaks (e.g. the session set
+// was re-ordered): the diff only compares positionally.
+func (s *WarmSolver) Reset() {
+	s.snapValid = false
+	s.logD = s.logD[:0]
+	s.logV = s.logV[:0]
+}
+
+// Combined is Algorithm 1, warm-started: the better of the density and
+// value passes, each replayed from the previous solve's pick log when the
+// problem diff allows it.
+func (s *WarmSolver) Combined(p *Problem) Solution { return s.CombinedTraced(p, nil) }
+
+// CombinedTraced is Combined with a decision trace; traces are
+// bit-identical to Solver.CombinedTraced (nil tr traces nothing).
+func (s *WarmSolver) CombinedTraced(p *Problem, tr *CombinedTrace) Solution {
+	s.stats.Solves++
+	var dtr, vtr *PassTrace
+	if tr != nil {
+		dtr, vtr = &tr.Density, &tr.Value
+	}
+	var d, v Solution
+	if s.diff(p) {
+		s.stats.Warm++
+		d = s.warmPass(p, byDensity, &s.bufD, s.logD, &s.newLogD, dtr)
+		v = s.warmPass(p, byValue, &s.bufV, s.logV, &s.newLogV, vtr)
+	} else {
+		s.stats.Cold++
+		d = s.coldPass(p, byDensity, &s.bufD, &s.newLogD, dtr)
+		v = s.coldPass(p, byValue, &s.bufV, &s.newLogV, vtr)
+	}
+	s.snapshot(p)
+	s.logD, s.newLogD = s.newLogD, s.logD
+	s.logV, s.newLogV = s.newLogV, s.logV
+
+	if d.Value >= v.Value {
+		if tr != nil {
+			tr.Picked = BranchDensity
+		}
+		return d
+	}
+	if tr != nil {
+		tr.Picked = BranchValue
+	}
+	return v
+}
+
+// maxDirty returns the dirty-item count above which the solve goes cold.
+func (s *WarmSolver) maxDirty(n int) float64 {
+	frac := s.MaxDirtyFrac
+	if frac == 0 {
+		frac = DefaultMaxDirtyFrac
+	}
+	return frac * float64(n)
+}
+
+// diff compares p against the snapshot of the previous problem, marking
+// changed items in s.dirty/s.dirtyIdx. It reports whether the warm path
+// may run. Dirty marks from the previous diff are cleared sparsely via the
+// old dirtyIdx, so a steady-state diff touches O(n) bits but allocates
+// nothing.
+func (s *WarmSolver) diff(p *Problem) bool {
+	for _, di := range s.dirtyIdx {
+		if di < len(s.dirty) {
+			s.dirty[di] = false
+		}
+	}
+	s.dirtyIdx = s.dirtyIdx[:0]
+
+	n := len(p.Items)
+	if !s.snapValid {
+		s.stats.ColdInit++
+		return false
+	}
+	if n != s.snapN {
+		s.stats.ColdShape++
+		return false
+	}
+	off := 0
+	for i := 0; i < n; i++ {
+		it := &p.Items[i]
+		L := it.Levels()
+		if L != s.snapLen[i] || len(it.Weights) != L {
+			s.stats.ColdShape++
+			return false
+		}
+		d := math.Float64bits(it.Cap) != s.snapCapBits[i]
+		if !d {
+			for j := 0; j < L; j++ {
+				if math.Float64bits(it.Values[j]) != s.snapVBits[off+j] ||
+					math.Float64bits(it.Weights[j]) != s.snapWBits[off+j] {
+					d = true
+					break
+				}
+			}
+		}
+		if d {
+			s.dirty[i] = true
+			s.dirtyIdx = append(s.dirtyIdx, i)
+		}
+		off += L
+	}
+	if float64(len(s.dirtyIdx)) > s.maxDirty(n) {
+		s.stats.ColdDirty++
+		return false
+	}
+	return true
+}
+
+// snapshot records p's ladders for the next diff and sizes the dirty mask.
+func (s *WarmSolver) snapshot(p *Problem) {
+	n := len(p.Items)
+	total := 0
+	for i := range p.Items {
+		it := &p.Items[i]
+		if len(it.Weights) != it.Levels() {
+			// Malformed ladder; refuse to snapshot so the next solve runs
+			// cold rather than diffing against garbage.
+			s.snapValid = false
+			return
+		}
+		total += it.Levels()
+	}
+	s.snapLen = growInts(s.snapLen, n)
+	s.snapCapBits = growBits(s.snapCapBits, n)
+	s.snapVBits = growBits(s.snapVBits, total)
+	s.snapWBits = growBits(s.snapWBits, total)
+	off := 0
+	for i := 0; i < n; i++ {
+		it := &p.Items[i]
+		L := it.Levels()
+		s.snapLen[i] = L
+		s.snapCapBits[i] = math.Float64bits(it.Cap)
+		for j := 0; j < L; j++ {
+			s.snapVBits[off+j] = math.Float64bits(it.Values[j])
+			s.snapWBits[off+j] = math.Float64bits(it.Weights[j])
+		}
+		off += L
+	}
+	if cap(s.dirty) >= n {
+		s.dirty = s.dirty[:n]
+	} else {
+		s.dirty = make([]bool, n)
+	}
+	s.snapN = n
+	s.snapValid = true
+}
+
+func growInts(b []int, n int) []int {
+	if cap(b) >= n {
+		return b[:n]
+	}
+	return make([]int, n)
+}
+
+func growBits(b []uint64, n int) []uint64 {
+	if cap(b) >= n {
+		return b[:n]
+	}
+	return make([]uint64, n)
+}
+
+// coldPass is Solver.run plus pick-log recording into *rec.
+func (s *WarmSolver) coldPass(p *Problem, kind greedyKind, buf *[]int, rec *[]pickEvent, tr *PassTrace) Solution {
+	n := len(p.Items)
+	if tr != nil && tr.TopK > 0 {
+		tr.Alternatives = tr.Alternatives[:0]
+	}
+	*rec = (*rec)[:0]
+	levels := (*buf)[:0]
+	var value, weight float64
+	for i := 0; i < n; i++ {
+		levels = append(levels, 1)
+		value += p.Items[i].Values[0]
+		weight += p.Items[i].Weights[0]
+	}
+	*buf = levels
+
+	h := s.heap[:0]
+	for i := 0; i < n; i++ {
+		it := &p.Items[i]
+		if it.Levels() > 1 {
+			h = heapPush(h, heapEntry{score: upgradeScore(it, 1, kind), item: int32(i)})
+		}
+	}
+	sol, rest := popLoop(p, kind, levels, value, weight, h, tr, rec)
+	s.heap = rest
+	return sol
+}
+
+// warmPass replays log against the current problem, then finishes live.
+// See the file comment for the abort conditions and the bit-identity
+// argument.
+func (s *WarmSolver) warmPass(p *Problem, kind greedyKind, buf *[]int, log []pickEvent,
+	rec *[]pickEvent, tr *PassTrace) Solution {
+	n := len(p.Items)
+	capture := tr != nil && tr.TopK > 0
+	if capture {
+		tr.Alternatives = tr.Alternatives[:0]
+	}
+	*rec = (*rec)[:0]
+	levels := (*buf)[:0]
+	var value, weight float64
+	for i := 0; i < n; i++ {
+		levels = append(levels, 1)
+		value += p.Items[i].Values[0]
+		weight += p.Items[i].Weights[0]
+	}
+	*buf = levels
+	retired := s.retired[:0]
+	for i := 0; i < n; i++ {
+		retired = append(retired, false)
+	}
+	s.retired = retired
+
+	// Side heap of the dirty items' pending upgrades, on fresh scores.
+	// Their logged events are skipped (stale order); instead every dirty
+	// pop that entryBefore places ahead of the next confirmed clean event
+	// is merged in live, with popLoop's exact arithmetic.
+	dh := s.dheap[:0]
+	for _, di := range s.dirtyIdx {
+		it := &p.Items[di]
+		if it.Levels() > 1 {
+			dh = append(dh, heapEntry{score: upgradeScore(it, 1, kind), item: int32(di)})
+		}
+	}
+	heapify(dh)
+
+	for _, ev := range log {
+		i := ev.item()
+		if i < 0 || i >= n {
+			break // defensive: log does not fit this problem
+		}
+		if s.dirty[i] {
+			continue // stale event; the side heap owns this item's pops
+		}
+		it := &p.Items[i]
+		old := levels[i]
+		if retired[i] || old >= it.Levels() {
+			break // defensive: log does not fit this problem
+		}
+		score := upgradeScore(it, old, kind)
+		if score < 0 {
+			break // the pass terminates here; the live loop does the capture
+		}
+		cleanEntry := heapEntry{score: score, item: int32(i)}
+
+		// Drain every dirty upgrade the cold order pops before this clean
+		// event. A negative-score dirty top never drains (entryBefore is
+		// false against a nonnegative clean score), so the "eta < 0 stops
+		// the pass" rule stays with the live loop.
+		for len(dh) > 0 && entryBefore(dh[0], cleanEntry) {
+			var de heapEntry
+			de, dh = heapPop(dh)
+			di := int(de.item)
+			dit := &p.Items[di]
+			dold := levels[di]
+			ddv := dit.Values[dold] - dit.Values[dold-1]
+			ddw := dit.Weights[dold] - dit.Weights[dold-1]
+			levels[di] = dold + 1
+			value += ddv
+			weight += ddw
+			dCapViolated := dit.Weights[dold] > dit.Cap
+			if dCapViolated || weight > p.Budget {
+				if tr != nil {
+					reason := RejectBudget
+					if dCapViolated {
+						reason = RejectItemCap
+					}
+					tr.Rejections = append(tr.Rejections,
+						Rejection{Item: di, Level: dold + 1, Reason: reason})
+					if capture {
+						tr.Alternatives = insertTopK(tr.Alternatives, tr.TopK, Alternative{
+							Item:   di,
+							Level:  dold + 1,
+							Score:  de.score,
+							Gain:   ddv,
+							Reason: reason,
+						})
+					}
+				}
+				levels[di] = dold
+				value -= ddv
+				weight -= ddw
+				retired[di] = true
+				*rec = append(*rec, newPickEvent(de.item, false))
+			} else {
+				if tr != nil {
+					tr.Upgrades++
+				}
+				*rec = append(*rec, newPickEvent(de.item, true))
+				if dold+1 < dit.Levels() {
+					dh = heapPush(dh, heapEntry{score: upgradeScore(dit, dold+1, kind), item: de.item})
+				}
+			}
+			s.stats.LivePops++
+		}
+
+		// This pop is confirmed next in the cold order; apply it with the
+		// real quality_verification arithmetic (identical to popLoop).
+		dv := it.Values[old] - it.Values[old-1]
+		dw := it.Weights[old] - it.Weights[old-1]
+		levels[i] = old + 1
+		value += dv
+		weight += dw
+		accepted := true
+		capViolated := it.Weights[old] > it.Cap
+		if capViolated || weight > p.Budget {
+			accepted = false
+			if tr != nil {
+				reason := RejectBudget
+				if capViolated {
+					reason = RejectItemCap
+				}
+				tr.Rejections = append(tr.Rejections,
+					Rejection{Item: i, Level: old + 1, Reason: reason})
+				if capture {
+					tr.Alternatives = insertTopK(tr.Alternatives, tr.TopK, Alternative{
+						Item:   i,
+						Level:  old + 1,
+						Score:  score,
+						Gain:   dv,
+						Reason: reason,
+					})
+				}
+			}
+			levels[i] = old
+			value -= dv
+			weight -= dw
+			retired[i] = true
+		} else if tr != nil {
+			tr.Upgrades++
+		}
+		*rec = append(*rec, newPickEvent(int32(i), accepted))
+		s.stats.Replayed++
+		if accepted != ev.accepted() {
+			// The budget moved enough to flip this outcome. The applied op
+			// is still exactly the cold run's; the rest of the log isn't.
+			s.stats.Diverged++
+			break
+		}
+	}
+
+	// Go live: rebuild the heap over every still-upgradable item (clean
+	// log tail and dirty remainder alike) and let the shared pop loop
+	// finish the pass. Floyd heapify keeps this O(n).
+	s.dheap = dh[:0]
+	h := s.heap[:0]
+	for i := 0; i < n; i++ {
+		it := &p.Items[i]
+		if retired[i] || levels[i] >= it.Levels() {
+			continue
+		}
+		h = append(h, heapEntry{score: upgradeScore(it, levels[i], kind), item: int32(i)})
+	}
+	heapify(h)
+	sol, rest := popLoop(p, kind, levels, value, weight, h, tr, rec)
+	s.heap = rest
+	return sol
+}

@@ -1,0 +1,359 @@
+package knapsack
+
+// Differential tests for the warm-started solver. The contract is the same
+// one the heap Solver carries against the reference scan: on EVERY problem,
+// warm or cold, the WarmSolver's solutions and decision traces (including
+// top-K counterfactual alternatives) are bit-identical to a from-scratch
+// solve. The suites drive perturbation sequences shaped like the slot
+// loop's (a few channel estimates move per slot, budget drifts, sessions
+// churn) across every instance family, plus a 200-slot seeded churn
+// workload recorded in testdata/golden_warm.json (regenerate with
+// -update-golden, same flag as the greedy corpus).
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"testing"
+)
+
+// cloneProblem deep-copies p so a recorded sequence of mutated problems
+// stays independent.
+func cloneProblem(p *Problem) *Problem {
+	items := make([]Item, len(p.Items))
+	for i, it := range p.Items {
+		items[i] = Item{
+			Values:  append([]float64(nil), it.Values...),
+			Weights: append([]float64(nil), it.Weights...),
+			Cap:     it.Cap,
+		}
+	}
+	return &Problem{Items: items, Budget: p.Budget}
+}
+
+// equalAlternatives asserts bit-identical top-K counterfactual lists.
+func equalAlternatives(t *testing.T, want, got []Alternative, who string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d alternatives, want %d\ngot  %+v\nwant %+v", who, len(got), len(want), got, want)
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if w.Item != g.Item || w.Level != g.Level || w.Reason != g.Reason ||
+			math.Float64bits(w.Score) != math.Float64bits(g.Score) ||
+			math.Float64bits(w.Gain) != math.Float64bits(g.Gain) {
+			t.Fatalf("%s: alternative %d: %+v, want %+v", who, i, g, w)
+		}
+	}
+}
+
+// diffWarmCold solves p with both solvers (traced, TopK=3) and asserts
+// bit-identical solutions, pass traces, alternatives and branch pick.
+func diffWarmCold(t *testing.T, ws *WarmSolver, cold *Solver, p *Problem, who string) {
+	t.Helper()
+	var wantTr, gotTr CombinedTrace
+	wantTr.Density.TopK, wantTr.Value.TopK = 3, 3
+	gotTr.Density.TopK, gotTr.Value.TopK = 3, 3
+	want := cold.CombinedTraced(p, &wantTr)
+	got := ws.CombinedTraced(p, &gotTr)
+	equalSolutions(t, want, got, who)
+	equalPassTraces(t, wantTr.Density, gotTr.Density, who+"/density")
+	equalPassTraces(t, wantTr.Value, gotTr.Value, who+"/value")
+	equalAlternatives(t, wantTr.Density.Alternatives, gotTr.Density.Alternatives, who+"/density-alts")
+	equalAlternatives(t, wantTr.Value.Alternatives, gotTr.Value.Alternatives, who+"/value-alts")
+	if wantTr.Picked != gotTr.Picked {
+		t.Fatalf("%s: picked %v, cold picked %v", who, gotTr.Picked, wantTr.Picked)
+	}
+	checkFeasible(t, p, got, who)
+}
+
+// perturb applies k random single-entry mutations (value, weight, cap or
+// budget) on the same grids the generators use, so exact ties stay common.
+func perturb(rng *rand.Rand, p *Problem, k int) {
+	for ; k > 0 && len(p.Items) > 0; k-- {
+		i := rng.Intn(len(p.Items))
+		it := &p.Items[i]
+		l := rng.Intn(it.Levels())
+		switch rng.Intn(4) {
+		case 0:
+			it.Values[l] = math.Round((rng.Float64()*20-5)*16) / 16
+		case 1:
+			it.Weights[l] = math.Round(rng.Float64()*10*16) / 16
+		case 2:
+			it.Cap = math.Round(rng.Float64()*12*16) / 16
+		case 3:
+			p.Budget = math.Round(rng.Float64()*float64(len(p.Items))*8*16) / 16
+		}
+	}
+}
+
+// TestWarmMatchesColdOnShapes runs sparse-perturbation sequences over every
+// instance family and cross-checks every solve against a cold solver.
+func TestWarmMatchesColdOnShapes(t *testing.T) {
+	var cold Solver
+	for _, shape := range allShapes() {
+		shape := shape
+		t.Run(shape.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(20260808))
+			ws := NewWarmSolver()
+			for round := 0; round < 25; round++ {
+				p := shape.gen(rng)
+				// A fresh problem usually churns the shape: exercises the
+				// structural fallback. Then a run of sparse perturbations
+				// exercises replay, preemption and divergence.
+				for step := 0; step < 8; step++ {
+					diffWarmCold(t, ws, &cold, p,
+						fmt.Sprintf("%s/round-%d/step-%d", shape.name, round, step))
+					perturb(rng, p, 1+rng.Intn(3))
+				}
+			}
+			st := ws.Stats()
+			if st.Warm == 0 {
+				t.Fatalf("perturbation sequences never warm-started: %+v", st)
+			}
+			if st.Cold == 0 {
+				t.Fatalf("shape churn never fell back cold: %+v", st)
+			}
+		})
+	}
+}
+
+// TestWarmPathCounters pins each resolution path of the warm solver:
+// cold-init, pure replay, budget-flip divergence, dirty-item warm solve,
+// dirty-fraction fallback, structural fallback, Reset and disable.
+func TestWarmPathCounters(t *testing.T) {
+	mk := func() *Problem {
+		return &Problem{
+			Budget: 6,
+			Items: []Item{
+				{Values: []float64{0, 3, 5, 6}, Weights: []float64{0, 1, 2, 3}, Cap: 10},
+				{Values: []float64{0, 2, 3.5}, Weights: []float64{0, 1, 2}, Cap: 10},
+				{Values: []float64{0, 1.5}, Weights: []float64{0, 1}, Cap: 10},
+				{Values: []float64{0, 1}, Weights: []float64{0, 2}, Cap: 10},
+			},
+		}
+	}
+	var cold Solver
+	ws := NewWarmSolver()
+
+	p := mk()
+	diffWarmCold(t, ws, &cold, p, "first")
+	if st := ws.Stats(); st.ColdInit != 1 || st.Warm != 0 {
+		t.Fatalf("first solve should be cold-init: %+v", st)
+	}
+
+	// Identical problem: the full log replays, nothing diverges.
+	diffWarmCold(t, ws, &cold, p, "identical")
+	st := ws.Stats()
+	if st.Warm != 1 || st.Replayed == 0 || st.Diverged != 0 {
+		t.Fatalf("identical re-solve should fully replay: %+v", st)
+	}
+
+	// Budget squeeze flips an accept to a budget rejection mid-log.
+	p.Budget = 3
+	diffWarmCold(t, ws, &cold, p, "budget-squeeze")
+	if st = ws.Stats(); st.Warm != 2 || st.Diverged == 0 {
+		t.Fatalf("budget squeeze should warm-start and diverge: %+v", st)
+	}
+
+	// One dirty item out of four (25% == DefaultMaxDirtyFrac) still warms.
+	p.Items[1].Weights[1] = 0.5
+	diffWarmCold(t, ws, &cold, p, "one-dirty")
+	if st = ws.Stats(); st.Warm != 3 {
+		t.Fatalf("single dirty item should warm-start: %+v", st)
+	}
+
+	// Everything dirty: fraction cap falls back cold.
+	for i := range p.Items {
+		p.Items[i].Values[1] += 0.25
+	}
+	diffWarmCold(t, ws, &cold, p, "all-dirty")
+	if st = ws.Stats(); st.ColdDirty != 1 {
+		t.Fatalf("full perturbation should hit the dirty cap: %+v", st)
+	}
+
+	// Session churn: item count changes.
+	p.Items = append(p.Items, Item{Values: []float64{0, 2}, Weights: []float64{0, 1}, Cap: 10})
+	diffWarmCold(t, ws, &cold, p, "join")
+	if st = ws.Stats(); st.ColdShape != 1 {
+		t.Fatalf("item-count change should be a shape fallback: %+v", st)
+	}
+
+	// Ladder shape change on an existing item.
+	p.Items[0].Values = p.Items[0].Values[:3]
+	p.Items[0].Weights = p.Items[0].Weights[:3]
+	diffWarmCold(t, ws, &cold, p, "ladder-shape")
+	if st = ws.Stats(); st.ColdShape != 2 {
+		t.Fatalf("ladder-shape change should be a shape fallback: %+v", st)
+	}
+
+	// Reset forces the next solve cold even on an identical problem.
+	ws.Reset()
+	diffWarmCold(t, ws, &cold, p, "after-reset")
+	if st = ws.Stats(); st.ColdInit != 2 {
+		t.Fatalf("post-Reset solve should be cold-init: %+v", st)
+	}
+
+	// Negative MaxDirtyFrac disables warm starts entirely.
+	off := NewWarmSolver()
+	off.MaxDirtyFrac = -1
+	diffWarmCold(t, off, &cold, p, "disabled-1")
+	diffWarmCold(t, off, &cold, p, "disabled-2")
+	if st := off.Stats(); st.Warm != 0 || st.Cold != 2 {
+		t.Fatalf("MaxDirtyFrac<0 should disable warm starts: %+v", st)
+	}
+}
+
+// TestWarmSteadyStateAllocs: a warm re-solve with one perturbed item is
+// allocation-free once scratch has grown — the slot-loop steady state.
+func TestWarmSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := randomConcaveProblem(rng, 64, 5)
+	ws := NewWarmSolver()
+	tick := 0
+	step := func() {
+		p.Items[17].Weights[2] = float64(1 + tick%2)
+		tick++
+		ws.Combined(p)
+	}
+	for i := 0; i < 4; i++ { // grow scratch, logs and snapshot
+		step()
+	}
+	if allocs := testing.AllocsPerRun(200, step); allocs != 0 {
+		t.Fatalf("steady-state warm solve allocates %v/op, want 0", allocs)
+	}
+	if st := ws.Stats(); st.Warm < 200 {
+		t.Fatalf("alloc loop was not warm-starting: %+v", st)
+	}
+}
+
+// ---- 200-slot churn golden workload ----
+
+const warmGoldenPath = "testdata/golden_warm.json"
+const warmGoldenSlots = 200
+
+type warmGoldenSlot struct {
+	Levels []int   `json:"levels"`
+	Value  float64 `json:"value"`
+	Weight float64 `json:"weight"`
+	Picked string  `json:"picked"`
+}
+
+type warmGoldenFile struct {
+	Comment string           `json:"comment"`
+	Slots   []warmGoldenSlot `json:"slots"`
+}
+
+// warmChurnProblems deterministically generates the churn workload: 40
+// sessions whose rate ladders drift a few entries per slot, budget drift
+// every 17 slots, a session joining every 31st slot and one retiring every
+// 43rd — the access pattern the slot loop feeds the solver.
+func warmChurnProblems() []*Problem {
+	rng := rand.New(rand.NewSource(20260807))
+	p := randomConcaveProblem(rng, 40, 5)
+	out := make([]*Problem, 0, warmGoldenSlots)
+	for slot := 0; slot < warmGoldenSlots; slot++ {
+		for k := rng.Intn(4); k > 0; k-- {
+			it := &p.Items[rng.Intn(len(p.Items))]
+			it.Weights[rng.Intn(it.Levels())] = math.Round(rng.Float64()*10*16) / 16
+		}
+		if slot%17 == 16 {
+			p.Budget = math.Round((0.8+0.4*rng.Float64())*p.Budget*16) / 16
+		}
+		if slot%31 == 30 {
+			np := randomConcaveProblem(rng, 1, 5)
+			p.Items = append(p.Items, np.Items[0])
+		}
+		if slot%43 == 42 && len(p.Items) > 2 {
+			p.Items = p.Items[:len(p.Items)-1]
+		}
+		out = append(out, cloneProblem(p))
+	}
+	return out
+}
+
+// TestWarmGoldenChurn replays the churn workload against the recorded
+// reference solutions, through both the warm solver (which must mix warm
+// and cold solves) and a cold solver (guarding the recording itself).
+func TestWarmGoldenChurn(t *testing.T) {
+	problems := warmChurnProblems()
+	if *updateGolden {
+		file := warmGoldenFile{
+			Comment: "Reference Combined solutions for the 200-slot seeded churn workload " +
+				"(warmChurnProblems); regenerate with: go test ./internal/knapsack -run TestWarmGoldenChurn -update-golden",
+		}
+		for _, p := range problems {
+			var tr CombinedTrace
+			sol := p.ReferenceCombinedTraced(&tr)
+			file.Slots = append(file.Slots, warmGoldenSlot{
+				Levels: append([]int(nil), sol.Levels...),
+				Value:  sol.Value,
+				Weight: sol.Weight,
+				Picked: tr.Picked.String(),
+			})
+		}
+		raw, err := json.MarshalIndent(&file, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(warmGoldenPath, append(raw, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d slots to %s", len(file.Slots), warmGoldenPath)
+		return
+	}
+
+	raw, err := os.ReadFile(warmGoldenPath)
+	if err != nil {
+		t.Fatalf("read churn golden (regenerate with -update-golden): %v", err)
+	}
+	var file warmGoldenFile
+	if err := json.Unmarshal(raw, &file); err != nil {
+		t.Fatalf("parse churn golden: %v", err)
+	}
+	if len(file.Slots) != warmGoldenSlots {
+		t.Fatalf("golden has %d slots, want %d", len(file.Slots), warmGoldenSlots)
+	}
+
+	ws := NewWarmSolver()
+	var cold Solver
+	for slot, p := range problems {
+		want := file.Slots[slot]
+		var wtr, ctr CombinedTrace
+		warm := ws.CombinedTraced(p, &wtr)
+		coldSol := cold.CombinedTraced(p, &ctr)
+		for name, got := range map[string]struct {
+			sol Solution
+			tr  *CombinedTrace
+		}{"warm": {warm, &wtr}, "cold": {coldSol, &ctr}} {
+			if len(got.sol.Levels) != len(want.Levels) {
+				t.Fatalf("slot %d/%s: %d levels, golden has %d", slot, name, len(got.sol.Levels), len(want.Levels))
+			}
+			for i := range want.Levels {
+				if got.sol.Levels[i] != want.Levels[i] {
+					t.Fatalf("slot %d/%s: levels %v differ from golden %v", slot, name, got.sol.Levels, want.Levels)
+				}
+			}
+			if math.Float64bits(got.sol.Value) != math.Float64bits(want.Value) ||
+				math.Float64bits(got.sol.Weight) != math.Float64bits(want.Weight) {
+				t.Fatalf("slot %d/%s: value/weight %v/%v differ from golden %v/%v",
+					slot, name, got.sol.Value, got.sol.Weight, want.Value, want.Weight)
+			}
+			if got.tr.Picked.String() != want.Picked {
+				t.Fatalf("slot %d/%s: picked %v, golden has %v", slot, name, got.tr.Picked, want.Picked)
+			}
+		}
+	}
+	st := ws.Stats()
+	if st.Warm < warmGoldenSlots/2 {
+		t.Fatalf("churn workload should mostly warm-start: %+v", st)
+	}
+	if st.Cold == 0 {
+		t.Fatalf("churn workload should hit cold fallbacks: %+v", st)
+	}
+	if st.Replayed == 0 {
+		t.Fatalf("churn workload should replay log events: %+v", st)
+	}
+}

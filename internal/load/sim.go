@@ -2,6 +2,8 @@ package load
 
 import (
 	"fmt"
+	"runtime"
+	"slices"
 	"time"
 
 	"repro/internal/chaos"
@@ -15,9 +17,12 @@ import (
 )
 
 // SimConfig parametrizes the deterministic virtual-time engine. No wall
-// clock, no goroutines, no sockets: the same workload and config always
-// produce the bit-identical RunReport, which is what makes recorded
-// workloads usable as regression reproducers.
+// clock, no sockets, no goroutines at rest: the same workload and config
+// always produce the bit-identical RunReport, which is what makes recorded
+// workloads usable as regression reproducers. Workers shards the per-slot
+// build phase across goroutines, but every shard writes only its own
+// session's index and the solve stays serial, so the report is
+// bit-identical at any worker count.
 type SimConfig struct {
 	Params core.Params
 	// NewAllocator builds the allocator (fresh per run, since some keep
@@ -70,6 +75,21 @@ type SimConfig struct {
 	RegretRef bool
 	// RegretResolution is the DP budget grid step (<= 0: budget/2048).
 	RegretResolution float64
+	// Workers shards the per-slot build phase (prediction, tile selection,
+	// rate/delay tables, per-session chaos advance) across this many
+	// goroutines. The merged solve and the outcome accounting stay serial,
+	// so the report is bit-identical at any setting. 0 means GOMAXPROCS;
+	// 1 keeps the engine fully serial.
+	Workers int
+	// WarmStart swaps the default allocator for the warm-start solver
+	// (core.NewWarmAllocator), which replays the previous slot's pick log
+	// when the problem is sparsely perturbed and falls back to a cold
+	// solve otherwise — decisions are bit-identical either way. The sim
+	// advances T every slot, which re-lowers every value, so here warm
+	// start mostly exercises the fallback path (differential coverage);
+	// fixed-T re-solves are where it wins. Ignored when NewAllocator is
+	// set explicitly.
+	WarmStart bool
 }
 
 func (c SimConfig) withDefaults() SimConfig {
@@ -77,7 +97,11 @@ func (c SimConfig) withDefaults() SimConfig {
 		c.Params = core.DefaultSystemParams()
 	}
 	if c.NewAllocator == nil {
-		c.NewAllocator = func() core.Allocator { return core.NewSolverAllocator() }
+		if c.WarmStart {
+			c.NewAllocator = func() core.Allocator { return core.NewWarmAllocator() }
+		} else {
+			c.NewAllocator = func() core.Allocator { return core.NewSolverAllocator() }
+		}
 		if c.AllocName == "" {
 			c.AllocName = "proposed"
 		}
@@ -96,6 +120,12 @@ func (c SimConfig) withDefaults() SimConfig {
 	}
 	if c.Coverage == (motion.CoverageConfig{}) {
 		c.Coverage = motion.DefaultCoverage()
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Workers < 1 {
+		c.Workers = 1
 	}
 	return c
 }
@@ -116,6 +146,13 @@ type simSession struct {
 	covered    int
 	missed     int
 	served     int
+
+	// Per-slot build scratch, reused across slots. The rate/delay tables
+	// are consumed by the solve and outcome phases within the same slot,
+	// before the next build overwrites them.
+	selBuf    []tiles.TileID
+	ratesBuf  []float64
+	delaysBuf []float64
 }
 
 func (s *simSession) delta() float64 { return (1 + float64(s.covered)) / float64(1+s.t) }
@@ -133,6 +170,13 @@ func (s *simSession) meanQ() float64 {
 // their arrival slot and leave at departure. Overload is modelled on the
 // shared egress: when the allocated total exceeds the budget, the excess
 // serialization time is charged to every active session's delay.
+//
+// The per-slot build phase shards across cfg.Workers goroutines: every
+// active session occupies its arrival-order index, each shard writes only
+// its own sessions' indices and touches only per-session state (predictor,
+// chaos injector, scratch tables), and the merged solve plus the outcome
+// accounting stay serial — so worker count never changes a single bit of
+// the report.
 func Simulate(w *Workload, cfg SimConfig) (*RunReport, error) {
 	cfg = cfg.withDefaults()
 	if len(w.Sessions) == 0 {
@@ -201,6 +245,15 @@ func Simulate(w *Workload, cfg SimConfig) (*RunReport, error) {
 		regretRef = core.DPOptimal{Resolution: cfg.RegretResolution}
 	}
 
+	// With the recorder off nothing retains the allocation past the slot,
+	// so heap-solver allocators can hand back their own scratch instead of
+	// cloning it (identical values, zero per-slot allocation).
+	var sharedAlloc core.SharedAllocator
+	if sa, ok := alloc.(core.SharedAllocator); ok && !cfg.Recorder.Enabled() {
+		sharedAlloc = sa
+	}
+	var problem core.SlotProblem
+
 	for slot := 0; slot < horizon; slot++ {
 		// Arrivals.
 		for _, spec := range byArrive[slot] {
@@ -233,10 +286,14 @@ func Simulate(w *Workload, cfg SimConfig) (*RunReport, error) {
 		serverInj.Advance(slot)
 		stallMs := float64(serverInj.StallFor()+serverInj.AckDelay()) / float64(time.Millisecond)
 
-		// Build the slot problem over the active set.
-		users = users[:0]
-		plans = plans[:0]
-		for _, s := range active {
+		// Build the slot problem over the active set, sharded by session
+		// index. Every shard reads shared immutable state (size model,
+		// coverage config) and writes only active[i]'s own fields and the
+		// i-th problem row, so the result is identical at any worker count.
+		users = slices.Grow(users[:0], len(active))[:len(active)]
+		plans = slices.Grow(plans[:0], len(active))[:len(active)]
+		parallelFor(len(active), cfg.Workers, func(i int) {
+			s := active[i]
 			local := slot - s.spec.ArriveSlot
 			actual := s.trace[local]
 			predicted := s.pred.Predict()
@@ -244,29 +301,34 @@ func Simulate(w *Workload, cfg SimConfig) (*RunReport, error) {
 				predicted = actual
 			}
 			cell := tiles.CellFor(predicted.Pos)
-			sel := tiles.ForView(predicted, cfg.Coverage.FoV, cfg.Coverage.MarginDeg)
-			rates := sizeModel.RateTable(cell, sel)
+			s.selBuf = tiles.ForViewAppend(s.selBuf[:0], predicted, cfg.Coverage.FoV, cfg.Coverage.MarginDeg)
+			if s.ratesBuf == nil {
+				s.ratesBuf = make([]float64, tiles.Levels)
+				s.delaysBuf = make([]float64, tiles.Levels)
+			}
+			sizeModel.RateTableInto(s.ratesBuf, cell, s.selBuf)
 			cap_ := s.caps[local]
 			s.inj.Advance(slot)
 			// Chaos capacity faults: cliffs scale the link, a blackout zeroes
 			// it (MM1Delay then saturates and the frame misses); a per-slot
 			// drop loses the slot's content outright.
 			cap_ *= s.inj.SimCapFactor()
-			users = append(users, core.UserInput{
-				Rate:  rates,
-				Delay: netem.DelayTableMs(rates, cap_, slotMs),
+			netem.DelayTableMsInto(s.delaysBuf, s.ratesBuf, cap_, slotMs)
+			users[i] = core.UserInput{
+				Rate:  s.ratesBuf,
+				Delay: s.delaysBuf,
 				Delta: s.delta(),
 				MeanQ: s.meanQ(),
 				Cap:   cap_,
-			})
-			plans = append(plans, plan{
-				sess: s, rates: rates,
+			}
+			plans[i] = plan{
+				sess: s, rates: s.ratesBuf,
 				cov:  cfg.Coverage.Covered(predicted, actual),
 				cap_: cap_, dropped: s.inj.Drop(),
-			})
+			}
 			s.pred.Observe(actual)
-		}
-		problem := &core.SlotProblem{T: slot + 1, Budget: cfg.BudgetMbps, Users: users}
+		})
+		problem.T, problem.Budget, problem.Users = slot+1, cfg.BudgetMbps, users
 		var solveStart time.Time
 		if cfg.Tracer.Enabled() {
 			solveStart = time.Now()
@@ -276,11 +338,17 @@ func Simulate(w *Workload, cfg SimConfig) (*RunReport, error) {
 		if cfg.Recorder.Enabled() {
 			if ta, ok := alloc.(core.TracingAllocator); ok {
 				slotTr = &core.SlotTrace{TopK: cfg.CounterfactualK}
-				allocation = ta.AllocateTraced(cfg.Params, problem, slotTr)
+				allocation = ta.AllocateTraced(cfg.Params, &problem, slotTr)
 			}
 		}
 		if slotTr == nil {
-			allocation = alloc.Allocate(cfg.Params, problem)
+			if sharedAlloc != nil {
+				// Levels alias the solver's scratch, valid until the next
+				// solve; the outcome phase below consumes them this slot.
+				allocation = sharedAlloc.AllocateShared(cfg.Params, &problem)
+			} else {
+				allocation = alloc.Allocate(cfg.Params, &problem)
+			}
 		}
 		var slotNs, solveNs int64
 		if cfg.Tracer.Enabled() {
@@ -292,7 +360,7 @@ func Simulate(w *Workload, cfg SimConfig) (*RunReport, error) {
 			for i := range plans {
 				ids[i] = plans[i].sess.spec.ID
 			}
-			recordSimSlot(&cfg, slot, problem, allocation, slotTr, ids, regretRef)
+			recordSimSlot(&cfg, slot, &problem, allocation, slotTr, ids, regretRef)
 		}
 
 		// Shared-egress overload: the allocator respects the budget when it

@@ -67,6 +67,14 @@ func DelayTableMs(rates []float64, capacityMbps, slotMs float64) []float64 {
 	return out
 }
 
+// DelayTableMsInto is DelayTableMs writing into caller-provided out
+// (len(out) must equal len(rates)); identical values, no allocation.
+func DelayTableMsInto(out, rates []float64, capacityMbps, slotMs float64) {
+	for i, r := range rates {
+		out[i] = DelayMs(r, capacityMbps, slotMs)
+	}
+}
+
 // QueueSim reproduces the Fig. 1b experiment: a link capped at a fixed
 // throughput carries traffic at a chosen sending rate while RTT samples are
 // collected. Waiting times follow the Lindley recursion of a single-server

@@ -9,11 +9,13 @@
 package server
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
 	"math/rand"
 	"net"
 	"runtime"
+	"slices"
 	"sync"
 	"time"
 
@@ -118,6 +120,18 @@ type Config struct {
 	// echoed in every Welcome so clients know which shard serves them, and
 	// salts handoff tokens so tokens from different shards never collide.
 	ShardID int
+	// SlotWorkers shards the slot pipeline's per-session phases
+	// (predict/estimate/admit before the merged solve, fetch/dispatch
+	// after it) across a persistent worker pool of this total parallelism,
+	// the slot loop included. 0 means GOMAXPROCS; 1 runs the pipeline
+	// serially inline. Decisions are identical at any setting: the solve
+	// itself stays a single merged pass over the sorted session snapshot.
+	SlotWorkers int
+	// SenderBatch is the transport packet-batching threshold applied to
+	// every session's Sender: tile packets are staged and flushed to the
+	// socket in bursts of up to this many datagrams (one flush per queued
+	// slot batch at the latest). <= 1 writes every packet immediately.
+	SenderBatch int
 }
 
 // DefaultConfig returns a server configuration with the paper's real-system
@@ -134,6 +148,7 @@ func DefaultConfig(alloc core.Allocator) Config {
 		Coverage:        motion.DefaultCoverage(),
 		MTU:             transport.DefaultMTU,
 		CacheTiles:      8192,
+		SenderBatch:     32,
 	}
 }
 
@@ -170,17 +185,96 @@ type Server struct {
 	// (keyed by user; consumed by the next Hello for that user).
 	adopted map[uint32]*HandoffState
 
-	stop       chan struct{}
-	stopOnce   sync.Once
-	loopDone   chan struct{}
-	acceptWG   sync.WaitGroup
-	closed     bool
-	draining   bool
-	prefetchCh chan prefetchReq
-	prefetchWG sync.WaitGroup
+	stop         chan struct{}
+	stopOnce     sync.Once
+	loopDone     chan struct{}
+	acceptWG     sync.WaitGroup
+	closed       bool
+	draining     bool
+	prefetchCh   chan prefetchReq
+	prefetchFree chan []tiles.TileID
+	prefetchWG   sync.WaitGroup
+
+	// pool shards the per-session slot phases (Config.SlotWorkers); free
+	// recycles tileJob batches between the slot loop, the NACK path and
+	// the send loops so steady-state slots allocate nothing.
+	pool *slotPool
+	free batchFreeList
+
+	// sharedAlloc/tracingAlloc cache the allocator's optional interfaces:
+	// the obs-disabled hot path solves through AllocateShared (results
+	// alias solver scratch, zero per-slot allocations), the recorded path
+	// through AllocateTraced (results are cloned before retention).
+	sharedAlloc  core.SharedAllocator
+	tracingAlloc core.TracingAllocator
+
+	// Slot-loop scratch. The slot loop is the only writer and slots are
+	// strictly sequential, so these live across slots unlocked. buildFn
+	// and dispatchFn are bound once (method values) so forEach receives
+	// the same closure every slot instead of allocating one.
+	buildFn    func(int)
+	dispatchFn func(int)
+	sessBuf    []*session
+	planBuf    []slotPlan
+	userBuf    []core.UserInput
+	probBuf    core.SlotProblem
+	cur        slotCtx
 }
 
-// prefetchReq asks the prefetcher to warm one cell neighbourhood.
+// slotCtx is the slot-scoped state the pool workers read during a phase;
+// the slot loop writes it serially before each forEach barrier.
+type slotCtx struct {
+	sessions    []*session
+	plans       []slotPlan
+	slot        uint32
+	slotMs      float64
+	levels      []int
+	decideStart int64
+	decideEnd   int64
+}
+
+// slotPlan is one session's build-phase output, consumed by the merged
+// solve and the dispatch phase. sel and rates alias the session's scratch
+// buffers: valid for this slot only.
+type slotPlan struct {
+	sess  *session
+	ok    bool
+	cell  tiles.CellID
+	sel   []tiles.TileID
+	rates []float64
+}
+
+// batchFreeList recycles tileJob batches. A nil list is valid (bare test
+// sessions): get falls back to make, put discards. The zeroing on put is
+// what releases payload references, so a parked batch never pins tile
+// bytes in memory.
+type batchFreeList chan []tileJob
+
+func (fl batchFreeList) get() []tileJob {
+	select {
+	case b := <-fl:
+		return b
+	default:
+		return make([]tileJob, 0, 16)
+	}
+}
+
+func (fl batchFreeList) put(b []tileJob) {
+	if b == nil {
+		return
+	}
+	for i := range b {
+		b[i] = tileJob{}
+	}
+	select {
+	case fl <- b[:0]:
+	default:
+	}
+}
+
+// prefetchReq asks the prefetcher to warm one cell neighbourhood. sel is
+// an owned copy (the slot loop reuses its per-session selection scratch
+// while the prefetcher runs); it is recycled through prefetchFree.
 type prefetchReq struct {
 	cell  tiles.CellID
 	sel   []tiles.TileID
@@ -237,6 +331,19 @@ type session struct {
 	delayRates []float64
 	delayMs    []float64
 
+	// free is the server-wide batch free list (nil in bare test sessions).
+	free batchFreeList
+
+	// Slot-loop scratch: written by exactly one pool worker per slot (the
+	// phase barrier orders slots), so no lock beyond the sections that
+	// already take mu. fitter is only used under mu (delayTableInto).
+	selBuf    []tiles.TileID
+	ratesBuf  []float64
+	delaysBuf []float64
+	modelBuf  []float64
+	idsBuf    []tiles.VideoID
+	fitter    estimate.PolyFitter
+
 	tilesSent    int
 	tilesSkipped int
 	retransmits  int
@@ -265,7 +372,8 @@ func (sess *session) enqueue(batch []tileJob) bool {
 	default:
 	}
 	select {
-	case <-sess.sendCh:
+	case old := <-sess.sendCh:
+		sess.free.put(old)
 	default:
 	}
 	select {
@@ -310,6 +418,16 @@ type tileJob struct {
 // maxDelaySamples bounds the regression window.
 const maxDelaySamples = 240
 
+// maxAllocRecords bounds a session's slot->allocation join map: ACK-less
+// sessions (a dead display path, a one-way network) would otherwise grow
+// it by one entry per slot forever. When the map reaches the bound, the
+// slot loop drops entries older than allocRecordTTL slots — the same
+// staleness horizon handleACK applies on the feedback path.
+const (
+	maxAllocRecords = 256
+	allocRecordTTL  = 120
+)
+
 // New creates a server listening on loopback ephemeral ports.
 func New(cfg Config) (*Server, error) {
 	if cfg.Allocator == nil {
@@ -353,8 +471,23 @@ func New(cfg Config) (*Server, error) {
 		loopDone: make(chan struct{}),
 	}
 	s.store.Instrument(s.metrics.cacheHits, s.metrics.cacheMisses)
+	workers := cfg.SlotWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s.pool = newSlotPool(workers)
+	s.free = make(batchFreeList, 256)
+	s.buildFn = s.buildOne
+	s.dispatchFn = s.dispatchOne
+	if sa, ok := cfg.Allocator.(core.SharedAllocator); ok {
+		s.sharedAlloc = sa
+	}
+	if ta, ok := cfg.Allocator.(core.TracingAllocator); ok {
+		s.tracingAlloc = ta
+	}
 	if cfg.PrefetchRadius > 0 {
 		s.prefetchCh = make(chan prefetchReq, 64)
+		s.prefetchFree = make(chan []tiles.TileID, 64)
 		s.prefetchWG.Add(1)
 		go s.prefetchLoop()
 	}
@@ -378,6 +511,10 @@ func (s *Server) prefetchLoop() {
 					}
 				}
 			}
+		}
+		select {
+		case s.prefetchFree <- req.sel:
+		default:
 		}
 	}
 }
@@ -408,6 +545,7 @@ func (s *Server) Close() error {
 
 	s.tcpLn.Close()
 	<-s.loopDone
+	s.pool.Close()
 	if s.prefetchCh != nil {
 		close(s.prefetchCh)
 		s.prefetchWG.Wait()
@@ -446,6 +584,7 @@ func (s *Server) Drain(timeout time.Duration) bool {
 	s.tcpLn.Close() // stop admitting new sessions
 	s.signalStop()  // no new slots after the in-flight one
 	<-s.loopDone
+	s.pool.Close() // workers park between slots; release them now
 
 	// Closing the send queues lets each sendLoop drain what is already
 	// enqueued and exit; the deadline bounds how long a pathologically
@@ -565,12 +704,12 @@ func (s *Server) handleConn(ctrl *transport.Conn) {
 		shaper = s.cfg.ShaperFor(hello.User)
 	}
 	sess := &session{
-		user:      hello.User,
-		ctrl:      ctrl,
-		sender:    transport.NewSender(s.udp, dst, shaper, s.cfg.MTU),
-		tracer:    s.cfg.Tracer,
-		predictor: motion.NewPredictor(s.cfg.PredictorWindow),
-		ledger:    tiles.NewDeliveryLedger(),
+		user:       hello.User,
+		ctrl:       ctrl,
+		sender:     transport.NewSender(s.udp, dst, shaper, s.cfg.MTU),
+		tracer:     s.cfg.Tracer,
+		predictor:  motion.NewPredictor(s.cfg.PredictorWindow),
+		ledger:     tiles.NewDeliveryLedger(),
 		ema:        estimate.NewEMA(s.cfg.EMAAlpha),
 		allocated:  make(map[uint32]allocRecord),
 		retries:    make(map[tiles.VideoID]uint8),
@@ -578,7 +717,13 @@ func (s *Server) handleConn(ctrl *transport.Conn) {
 		rng:        rand.New(rand.NewSource(int64(hello.User)*2654435761 + 1)),
 		sendCh:     make(chan []tileJob, 32),
 		sendDone:   make(chan struct{}),
+		free:       s.free,
+		selBuf:     make([]tiles.TileID, 0, tiles.NumTiles),
+		ratesBuf:   make([]float64, tiles.Levels),
+		delaysBuf:  make([]float64, tiles.Levels),
+		modelBuf:   make([]float64, tiles.Levels),
 	}
+	sess.sender.SetBatchSize(s.cfg.SenderBatch)
 	s.metrics.instrumentSender(sess.sender)
 
 	s.mu.Lock()
@@ -703,10 +848,15 @@ func (s *Server) retireSession(sess *session) {
 }
 
 // sendLoop transmits one slot's tile batch at a time, absorbing the
-// shaper's pacing sleeps off the slot loop's critical path.
+// shaper's pacing sleeps off the slot loop's critical path. Tiles are
+// staged into the sender's packet batch and flushed once per slot batch
+// (the sender auto-flushes mid-batch at Config.SenderBatch datagrams), so
+// the wire sees one burst per slot instead of one syscall cascade per
+// tile. Spent batches return to the free list.
 func (sess *session) sendLoop() {
 	for batch := range sess.sendCh {
 		if len(batch) == 0 {
+			sess.free.put(batch)
 			continue
 		}
 		// A retransmission batch carries its backoff deadline; fresh slot
@@ -731,18 +881,27 @@ func (sess *session) sendLoop() {
 		}
 		sp := sess.tracer.Start(batch[0].trace, stage, trace.SideServer, sess.user, batch[0].origSlot)
 		bytes := 0
+		var err error
 		for _, job := range batch {
-			if err := sess.sender.SendTileTraced(sess.user, job.slot, job.id, job.payload, job.trace, job.retry); err != nil {
-				sp.SetErr("send-failed")
-				sp.End()
-				return
+			if err = sess.sender.QueueTileTraced(sess.user, job.slot, job.id, job.payload, job.trace, job.retry); err != nil {
+				break
 			}
 			bytes += len(job.payload)
+		}
+		if err == nil {
+			err = sess.sender.Flush()
+		}
+		if err != nil {
+			sp.SetErr("send-failed")
+			sp.End()
+			sess.free.put(batch)
+			return
 		}
 		sp.SetTiles(len(batch))
 		sp.SetBytes(bytes)
 		sp.SetRetry(maxRetry)
 		sp.End()
+		sess.free.put(batch)
 	}
 }
 
@@ -883,7 +1042,7 @@ func (s *Server) handleNack(sess *session, nack transport.Nack) {
 	traceID := trace.TileTraceID(s.cfg.TraceEpoch, sess.user, nack.Slot)
 	policy := s.cfg.RetryPolicy
 	now := time.Now()
-	batch := make([]tileJob, 0, len(nack.Tiles))
+	batch := s.free.get()
 	abandoned := 0
 	sess.mu.Lock()
 	if sess.retries == nil {
@@ -943,10 +1102,13 @@ func (s *Server) handleNack(sess *session, nack transport.Nack) {
 		sp.End()
 	}
 	if len(batch) == 0 {
+		s.free.put(batch)
 		return
 	}
 	s.metrics.retransmits.Add(uint64(len(batch)))
-	sess.enqueue(batch)
+	if !sess.enqueue(batch) {
+		s.free.put(batch)
+	}
 }
 
 // capWindow is the size of the goodput max-filter window (about two
@@ -998,11 +1160,19 @@ func (s *Server) slotLoop() {
 		slot := s.slot
 		s.slot++
 		budget := s.budget
-		sessions := make([]*session, 0, len(s.sessions))
+		s.sessBuf = s.sessBuf[:0]
 		for _, sess := range s.sessions {
-			sessions = append(sessions, sess)
+			s.sessBuf = append(s.sessBuf, sess)
 		}
 		s.mu.Unlock()
+		sessions := s.sessBuf
+		// Stable user order: the warm-start allocator diffs consecutive
+		// slot problems positionally, so the snapshot is sorted by user ID
+		// — map iteration order would reshuffle every position every slot
+		// and degrade every solve to a cold one.
+		slices.SortFunc(sessions, func(a, b *session) int {
+			return cmp.Compare(a.user, b.user)
+		})
 
 		// Chaos server faults ride the slot clock: advance the injector's
 		// window and absorb any scheduled pipeline stall before deciding.
@@ -1031,58 +1201,62 @@ func (s *Server) safeRunSlot(slot uint32, sessions []*session, budget float64) {
 	s.runSlot(slot, sessions, budget)
 }
 
-// runSlot predicts, allocates and dispatches one slot.
+// runSlot predicts, allocates and dispatches one slot. The per-session
+// phases are sharded across the slot pool: a parallel build phase fills
+// one plan per session (predict, capacity estimate, tile selection, rate
+// and delay tables), a serial merged solve decides every user's level in
+// one pass, and a parallel dispatch phase admits, fetches and enqueues
+// each session's batch. Decisions are independent of SlotWorkers: the
+// build phase writes by index, compaction is stable, and the solve sees
+// the same sorted problem either way.
 func (s *Server) runSlot(slot uint32, sessions []*session, budget float64) {
 	started := time.Now()
 	s.metrics.slots.Inc()
-	slotMs := s.cfg.SlotDuration.Seconds() * 1000
-	type plan struct {
-		sess  *session
-		cell  tiles.CellID
-		sel   []tiles.TileID
-		rates []float64
+	s.cur.sessions = sessions
+	s.cur.slot = slot
+	s.cur.slotMs = s.cfg.SlotDuration.Seconds() * 1000
+	if cap(s.planBuf) < len(sessions) {
+		s.planBuf = make([]slotPlan, len(sessions))
+		s.userBuf = make([]core.UserInput, len(sessions))
 	}
-	plans := make([]plan, 0, len(sessions))
-	users := make([]core.UserInput, 0, len(sessions))
+	s.planBuf = s.planBuf[:len(sessions)]
+	s.userBuf = s.userBuf[:len(sessions)]
 
-	for _, sess := range sessions {
-		sess.mu.Lock()
-		if !sess.havePose {
-			sess.mu.Unlock()
-			continue
+	s.pool.forEach(len(sessions), s.buildFn)
+
+	// Stable compaction: drop sessions that have not posed yet, keeping
+	// the sorted order the warm-start diff depends on. The append targets
+	// trail the read index, so compacting in place is safe.
+	plans, users := s.planBuf[:0], s.userBuf[:0]
+	for i := range s.planBuf {
+		if s.planBuf[i].ok {
+			plans = append(plans, s.planBuf[i])
+			users = append(users, s.userBuf[i])
 		}
-		predicted := sess.predictor.Predict()
-		capEst := sess.capEstimateLocked(s.cfg.InitialUserMbps)
-		cell := tiles.CellFor(predicted.Pos)
-		sel := tiles.ForView(predicted, s.cfg.Coverage.FoV, s.cfg.Coverage.MarginDeg)
-		rates := s.model.RateTable(cell, sel)
-		delays := s.delayTable(sess, rates, capEst, slotMs)
-		users = append(users, core.UserInput{
-			Rate:  rates,
-			Delay: delays,
-			Delta: sess.deltaLocked(),
-			MeanQ: sess.meanQLocked(),
-			Cap:   capEst,
-		})
-		sess.mu.Unlock()
-		plans = append(plans, plan{sess: sess, cell: cell, sel: sel, rates: rates})
 	}
 	if len(plans) == 0 {
 		return
 	}
 
-	problem := &core.SlotProblem{T: int(slot) + 1, Budget: budget, Users: users}
+	s.probBuf = core.SlotProblem{T: int(slot) + 1, Budget: budget, Users: users}
+	problem := &s.probBuf
 	decideStart := s.cfg.Tracer.Now()
 	var allocation core.Allocation
 	var slotTrace *core.SlotTrace
-	if tracer, ok := s.cfg.Allocator.(core.TracingAllocator); ok && s.cfg.Recorder.Enabled() {
+	recording := s.cfg.Recorder.Enabled()
+	switch {
+	case recording && s.tracingAlloc != nil:
 		slotTrace = &core.SlotTrace{TopK: s.cfg.CounterfactualK}
-		allocation = tracer.AllocateTraced(s.cfg.Params, problem, slotTrace)
-	} else {
+		allocation = s.tracingAlloc.AllocateTraced(s.cfg.Params, problem, slotTrace)
+	case !recording && s.sharedAlloc != nil:
+		// Hot path: the returned Levels alias solver scratch — valid until
+		// the next solve, which is the next slot, after dispatch completed.
+		allocation = s.sharedAlloc.AllocateShared(s.cfg.Params, problem)
+	default:
 		allocation = s.cfg.Allocator.Allocate(s.cfg.Params, problem)
 	}
 	decideEnd := s.cfg.Tracer.Now()
-	if s.cfg.Recorder.Enabled() {
+	if recording {
 		ids := make([]uint32, len(plans))
 		for i := range plans {
 			ids[i] = plans[i].sess.user
@@ -1093,84 +1267,153 @@ func (s *Server) runSlot(slot uint32, sessions []*session, budget float64) {
 	s.metrics.observeDecision(time.Since(started), s.cfg.SlotDuration)
 	s.metrics.cacheHitRatio.Set(s.store.HitRatio())
 
-	for i, p := range plans {
-		level := allocation.Levels[i]
-		traceID := trace.TileTraceID(s.cfg.TraceEpoch, p.sess.user, slot)
-		// Graceful degradation: a tripped breaker caps the session's quality
-		// level below what the allocator granted — fidelity is sacrificed
-		// before anyone considers dropping the user. The clamp happens after
-		// the solve so one struggling session cannot distort the shared
-		// budget arithmetic mid-decision.
-		if cap_ := s.cfg.Breaker.Cap(p.sess.user); cap_ > 0 && level > cap_ {
-			bsp := s.cfg.Tracer.Start(traceID, trace.StageBreaker, trace.SideServer, p.sess.user, slot)
-			bsp.SetLevel(cap_)
-			bsp.End()
-			s.metrics.breakerCapped.Inc()
-			level = cap_
+	s.cur.plans = plans
+	s.cur.levels = allocation.Levels
+	s.cur.decideStart, s.cur.decideEnd = decideStart, decideEnd
+	s.pool.forEach(len(plans), s.dispatchFn)
+}
+
+// buildOne is the parallel build phase for one session: predict the pose,
+// estimate capacity, select tiles and fill the plan and user input at the
+// session's snapshot index. All outputs land on per-session or per-index
+// scratch, so workers never contend.
+func (s *Server) buildOne(i int) {
+	sess := s.cur.sessions[i]
+	p := &s.planBuf[i]
+	p.sess = sess
+	p.ok = false
+	sess.mu.Lock()
+	if !sess.havePose {
+		sess.mu.Unlock()
+		return
+	}
+	predicted := sess.predictor.Predict()
+	capEst := sess.capEstimateLocked(s.cfg.InitialUserMbps)
+	cell := tiles.CellFor(predicted.Pos)
+	sess.selBuf = tiles.ForViewAppend(sess.selBuf[:0], predicted, s.cfg.Coverage.FoV, s.cfg.Coverage.MarginDeg)
+	if len(sess.ratesBuf) != tiles.Levels {
+		sess.ratesBuf = make([]float64, tiles.Levels)
+		sess.delaysBuf = make([]float64, tiles.Levels)
+	}
+	s.model.RateTableInto(sess.ratesBuf, cell, sess.selBuf)
+	s.delayTableInto(sess, sess.delaysBuf, sess.ratesBuf, capEst, s.cur.slotMs)
+	s.userBuf[i] = core.UserInput{
+		Rate:  sess.ratesBuf,
+		Delay: sess.delaysBuf,
+		Delta: sess.deltaLocked(),
+		MeanQ: sess.meanQLocked(),
+		Cap:   capEst,
+	}
+	sess.mu.Unlock()
+	p.cell = cell
+	p.sel = sess.selBuf
+	p.rates = sess.ratesBuf
+	p.ok = true
+}
+
+// dispatchOne is the parallel dispatch phase for one planned session:
+// breaker clamp, admission against the delivery ledger, payload fetch and
+// hand-off to the session's send loop.
+func (s *Server) dispatchOne(i int) {
+	p := &s.cur.plans[i]
+	slot := s.cur.slot
+	level := s.cur.levels[i]
+	traceID := trace.TileTraceID(s.cfg.TraceEpoch, p.sess.user, slot)
+	// Graceful degradation: a tripped breaker caps the session's quality
+	// level below what the allocator granted — fidelity is sacrificed
+	// before anyone considers dropping the user. The clamp happens after
+	// the solve so one struggling session cannot distort the shared
+	// budget arithmetic mid-decision.
+	if cap_ := s.cfg.Breaker.Cap(p.sess.user); cap_ > 0 && level > cap_ {
+		bsp := s.cfg.Tracer.Start(traceID, trace.StageBreaker, trace.SideServer, p.sess.user, slot)
+		bsp.SetLevel(cap_)
+		bsp.End()
+		s.metrics.breakerCapped.Inc()
+		level = cap_
+	}
+	s.metrics.allocLevel.Observe(float64(level))
+
+	// The solve ran once for the whole slot; each planned user's trace
+	// records it as its decision stage.
+	dsp := s.cfg.Tracer.StartAt(traceID, trace.StageDecide, trace.SideServer, p.sess.user, slot, s.cur.decideStart)
+	dsp.SetAlgo(s.cfg.Allocator.Name())
+	dsp.SetLevel(level)
+	dsp.SetTiles(len(s.cur.plans))
+	dsp.EndAt(s.cur.decideEnd)
+
+	// Admission: level assignment plus repetitive-tile suppression
+	// against the delivery ledger.
+	asp := s.cfg.Tracer.Start(traceID, trace.StageAdmit, trace.SideServer, p.sess.user, slot)
+	ids := p.sess.idsBuf[:0]
+	skipped := 0
+	for _, tile := range p.sel {
+		id, err := tiles.PackVideoID(p.cell, tile, level)
+		if err != nil {
+			s.cfg.Logf("server: pack id: %v", err)
+			continue
 		}
-		s.metrics.allocLevel.Observe(float64(level))
+		if p.sess.ledger.Has(id) {
+			skipped++
+			continue // repetitive-tile suppression
+		}
+		ids = append(ids, id)
+	}
+	p.sess.idsBuf = ids
+	asp.SetLevel(level)
+	asp.SetTiles(len(ids))
+	asp.End()
 
-		// The solve ran once for the whole slot; each planned user's trace
-		// records it as its decision stage.
-		dsp := s.cfg.Tracer.StartAt(traceID, trace.StageDecide, trace.SideServer, p.sess.user, slot, decideStart)
-		dsp.SetAlgo(s.cfg.Allocator.Name())
-		dsp.SetLevel(level)
-		dsp.SetTiles(len(plans))
-		dsp.EndAt(decideEnd)
+	// Fetch/encode: tile payloads from the store (cache or generate).
+	fsp := s.cfg.Tracer.Start(traceID, trace.StageFetch, trace.SideServer, p.sess.user, slot)
+	batch := s.free.get()
+	fetched := 0
+	for _, id := range ids {
+		payload := s.store.Payload(id)
+		fetched += len(payload)
+		batch = append(batch, tileJob{slot: slot, origSlot: slot, id: id, payload: payload, trace: traceID})
+	}
+	fsp.SetTiles(len(batch))
+	fsp.SetBytes(fetched)
+	fsp.End()
 
-		// Admission: level assignment plus repetitive-tile suppression
-		// against the delivery ledger.
-		asp := s.cfg.Tracer.Start(traceID, trace.StageAdmit, trace.SideServer, p.sess.user, slot)
-		ids := make([]tiles.VideoID, 0, len(p.sel))
-		skipped := 0
-		for _, tile := range p.sel {
-			id, err := tiles.PackVideoID(p.cell, tile, level)
-			if err != nil {
-				s.cfg.Logf("server: pack id: %v", err)
-				continue
+	p.sess.mu.Lock()
+	if len(p.sess.allocated) >= maxAllocRecords {
+		for old := range p.sess.allocated {
+			if old+allocRecordTTL < slot {
+				delete(p.sess.allocated, old)
 			}
-			if p.sess.ledger.Has(id) {
-				skipped++
-				continue // repetitive-tile suppression
-			}
-			ids = append(ids, id)
 		}
-		asp.SetLevel(level)
-		asp.SetTiles(len(ids))
-		asp.End()
+	}
+	p.sess.allocated[slot] = allocRecord{level: level, rate: p.rates[level-1]}
+	p.sess.levelSum += level
+	p.sess.slotsServed++
+	p.sess.tilesSent += len(batch)
+	p.sess.tilesSkipped += skipped
+	p.sess.mu.Unlock()
+	s.metrics.tilesSent.Add(uint64(len(batch)))
+	s.metrics.tilesSkipped.Add(uint64(skipped))
 
-		// Fetch/encode: tile payloads from the store (cache or generate).
-		fsp := s.cfg.Tracer.Start(traceID, trace.StageFetch, trace.SideServer, p.sess.user, slot)
-		batch := make([]tileJob, 0, len(ids))
-		fetched := 0
-		for _, id := range ids {
-			payload := s.store.Payload(id)
-			fetched += len(payload)
-			batch = append(batch, tileJob{slot: slot, origSlot: slot, id: id, payload: payload, trace: traceID})
+	if s.prefetchCh != nil {
+		// Hand the prefetcher an owned copy of the selection: p.sel aliases
+		// the session's scratch, which the next slot's build overwrites.
+		var sel []tiles.TileID
+		select {
+		case sel = <-s.prefetchFree:
+		default:
 		}
-		fsp.SetTiles(len(batch))
-		fsp.SetBytes(fetched)
-		fsp.End()
-
-		p.sess.mu.Lock()
-		p.sess.allocated[slot] = allocRecord{level: level, rate: p.rates[level-1]}
-		p.sess.levelSum += level
-		p.sess.slotsServed++
-		p.sess.tilesSent += len(batch)
-		p.sess.tilesSkipped += skipped
-		p.sess.mu.Unlock()
-		s.metrics.tilesSent.Add(uint64(len(batch)))
-		s.metrics.tilesSkipped.Add(uint64(skipped))
-
-		if s.prefetchCh != nil {
+		sel = append(sel[:0], p.sel...)
+		select {
+		case s.prefetchCh <- prefetchReq{cell: p.cell, sel: sel, level: level}:
+		default: // prefetcher busy; skip
 			select {
-			case s.prefetchCh <- prefetchReq{cell: p.cell, sel: p.sel, level: level}:
-			default: // prefetcher busy; skip
+			case s.prefetchFree <- sel:
+			default:
 			}
 		}
-		if !p.sess.enqueue(batch) {
-			s.cfg.Logf("server: user %d send queue full at slot %d", p.sess.user, slot)
-		}
+	}
+	if !p.sess.enqueue(batch) {
+		s.free.put(batch)
+		s.cfg.Logf("server: user %d send queue full at slot %d", p.sess.user, slot)
 	}
 }
 
@@ -1182,19 +1425,31 @@ func (s *Server) runSlot(slot uint32, sessions []*session, budget float64) {
 // the link capacity; the M/M/1 term restores it, which is what keeps the
 // allocator from riding the estimate into overload.
 func (s *Server) delayTable(sess *session, rates []float64, capMbps, slotMs float64) []float64 {
-	model := netem.DelayTableMs(rates, capMbps, slotMs)
-	if len(sess.delayRates) < 12 {
-		return model
-	}
-	xs := make([]float64, len(sess.delayRates))
-	copy(xs, sess.delayRates)
-	ys := make([]float64, len(sess.delayMs))
-	copy(ys, sess.delayMs)
-	fit, err := estimate.FitPoly(xs, ys, 2)
-	if err != nil {
-		return model
-	}
 	out := make([]float64, len(rates))
+	s.delayTableInto(sess, out, rates, capMbps, slotMs)
+	return out
+}
+
+// delayTableInto is delayTable on the session's scratch: the M/M/1 table
+// lands in sess.modelBuf and the regression runs on the session's
+// PolyFitter, so a steady-state call allocates nothing. len(out) must
+// equal len(rates); the caller holds sess.mu (delayRates/fitter are
+// mu-guarded).
+func (s *Server) delayTableInto(sess *session, out, rates []float64, capMbps, slotMs float64) {
+	if len(sess.modelBuf) < len(rates) {
+		sess.modelBuf = make([]float64, len(rates))
+	}
+	model := sess.modelBuf[:len(rates)]
+	netem.DelayTableMsInto(model, rates, capMbps, slotMs)
+	if len(sess.delayRates) < 12 {
+		copy(out, model)
+		return
+	}
+	fit, err := sess.fitter.Fit(sess.delayRates, sess.delayMs, 2)
+	if err != nil {
+		copy(out, model)
+		return
+	}
 	for i, r := range rates {
 		d := fit.Predict(r)
 		if d < 0 {
@@ -1207,5 +1462,4 @@ func (s *Server) delayTable(sess *session, rates []float64, capMbps, slotMs floa
 		}
 		out[i] = d
 	}
-	return out
 }

@@ -73,6 +73,14 @@ func (m *SizeModel) RateTable(cell CellID, sel []TileID) []float64 {
 	return table
 }
 
+// RateTableInto is RateTable writing into caller-provided table
+// (len(table) must be Levels); identical values, no allocation.
+func (m *SizeModel) RateTableInto(table []float64, cell CellID, sel []TileID) {
+	for q := 1; q <= Levels; q++ {
+		table[q-1] = m.SelectionRate(cell, sel, q)
+	}
+}
+
 // TileBytes converts a tile's rate into the payload size in bytes of one
 // slot's frame at the given display rate (frames per second).
 func (m *SizeModel) TileBytes(cell CellID, tile TileID, level int, fps float64) int {

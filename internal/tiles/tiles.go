@@ -63,6 +63,23 @@ func ForView(p vrmath.Pose, fov vrmath.FoV, marginDeg float64) []TileID {
 	return ForRect(vrmath.Rect(p, fov.Expand(marginDeg)))
 }
 
+// ForRectAppend is ForRect appending into dst (allocation-free once dst
+// has capacity); same tiles in the same order.
+func ForRectAppend(dst []TileID, r vrmath.ViewRect) []TileID {
+	for t := TileID(0); t < NumTiles; t++ {
+		yawLo, yawHi, pitchLo, pitchHi := t.Span()
+		if r.OverlapsYawSpan(yawLo, yawHi) && r.OverlapsPitchSpan(pitchLo, pitchHi) {
+			dst = append(dst, t)
+		}
+	}
+	return dst
+}
+
+// ForViewAppend is ForView appending into dst.
+func ForViewAppend(dst []TileID, p vrmath.Pose, fov vrmath.FoV, marginDeg float64) []TileID {
+	return ForRectAppend(dst, vrmath.Rect(p, fov.Expand(marginDeg)))
+}
+
 // CellSize is the grid-world granularity in metres ("we split the whole
 // panoramic scene into a grid world with the granularity of 5cm x 5cm").
 const CellSize = 0.05

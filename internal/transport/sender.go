@@ -56,14 +56,30 @@ func (c ChainShaper) Drop() bool {
 // Sender paces tile fragments of one user over a UDP socket, sleeping as
 // the shaper dictates. It is the server-side transmit path of the RTP-like
 // stream.
+//
+// Tiles can be sent immediately (SendTile/SendTileTraced) or staged with
+// QueueTile/QueueTileTraced and transmitted together by Flush — the
+// writev/sendmmsg-style batch the slot loop uses to pay one call per
+// session per slot instead of one per tile. Batched or not, the wire path
+// is the same code: byte-identical datagrams, identical per-packet fault
+// and shaper decisions, in queue order.
 type Sender struct {
 	conn   net.PacketConn
 	dst    net.Addr
 	shaper Shaper
-	faults FaultInjector // nil = no fault injection
 	mtu    int
 
+	// sendMu serializes the wire path (fragment encode, fault/shaper
+	// decisions, WriteTo) and guards the batch queue and scratch buffers.
+	sendMu    sync.Mutex
+	encBuf    []byte // fragment encode scratch, one MTU
+	heldBuf   []byte // at most one reorder-held datagram
+	batch     []queuedTile
+	qPkts     int // wire packets the current batch will produce
+	batchSize int // auto-flush threshold; <= 1 sends immediately
+
 	mu        sync.Mutex
+	faults    FaultInjector // nil = no fault injection
 	seq       uint32
 	sentPkts  int
 	sentBytes int
@@ -73,6 +89,17 @@ type Sender struct {
 	cPackets *obs.Counter
 	cBytes   *obs.Counter
 	cDropped *obs.Counter
+}
+
+// queuedTile is one staged tile awaiting Flush. The payload is aliased,
+// not copied: callers must keep it unmodified until the batch flushes.
+type queuedTile struct {
+	user    uint32
+	slot    uint32
+	id      tiles.VideoID
+	trace   uint64
+	retry   uint8
+	payload []byte
 }
 
 // NewSender builds a sender toward dst. A nil shaper means no shaping.
@@ -120,19 +147,141 @@ func (s *Sender) SendTile(user, slot uint32, id tiles.VideoID, payload []byte) e
 
 // SendTileTraced is SendTile with a trace ID and retransmission count
 // stamped into every fragment header, so the receiver can stitch its half of
-// the request onto the sender's trace and attribute retransmissions.
+// the request onto the sender's trace and attribute retransmissions. Any
+// queued batch is flushed first, so queue-then-send keeps wire order.
 func (s *Sender) SendTileTraced(user, slot uint32, id tiles.VideoID, payload []byte, traceID uint64, retry uint8) error {
+	s.sendMu.Lock()
+	defer s.sendMu.Unlock()
+	if err := s.flushLocked(); err != nil {
+		return err
+	}
+	return s.sendTileLocked(user, slot, id, payload, traceID, retry)
+}
+
+// SetBatchSize sets the number of wire packets QueueTile* stages before
+// flushing automatically. size <= 1 disables staging: queued tiles are
+// sent immediately, making QueueTile byte-equivalent to SendTile call for
+// call. Lowering the size does not flush an already-staged batch.
+func (s *Sender) SetBatchSize(size int) {
+	s.sendMu.Lock()
+	defer s.sendMu.Unlock()
+	s.batchSize = size
+}
+
+// QueueTile stages one tile for the next Flush (or sends it immediately
+// when batching is off); see QueueTileTraced.
+func (s *Sender) QueueTile(user, slot uint32, id tiles.VideoID, payload []byte) error {
+	return s.QueueTileTraced(user, slot, id, payload, 0, 0)
+}
+
+// QueueTileTraced stages one tile for the next Flush. The payload is
+// aliased until the batch flushes — callers must not recycle it earlier.
+// When staging pushes the batch past BatchSize wire packets the batch is
+// flushed inline and any transmit error is returned (errors never detach
+// from the tile sequence: a returned nil means everything staged so far is
+// either queued or on the wire).
+func (s *Sender) QueueTileTraced(user, slot uint32, id tiles.VideoID, payload []byte, traceID uint64, retry uint8) error {
+	s.sendMu.Lock()
+	defer s.sendMu.Unlock()
+	if s.batchSize <= 1 {
+		if err := s.flushLocked(); err != nil {
+			return err
+		}
+		return s.sendTileLocked(user, slot, id, payload, traceID, retry)
+	}
+	s.batch = append(s.batch, queuedTile{
+		user: user, slot: slot, id: id,
+		trace: traceID, retry: retry, payload: payload,
+	})
+	s.qPkts += packetCount(len(payload), s.mtu)
+	if s.qPkts >= s.batchSize {
+		return s.flushLocked()
+	}
+	return nil
+}
+
+// Flush transmits every staged tile in queue order — the slot-boundary
+// flush of the batched send path. On a transmit error the already-sent
+// prefix stays on the wire, the remaining tiles are discarded (a lost
+// datagram and a lost batch tail look the same to the receiver: NACK and
+// retransmit), the batch is cleared and the error is returned.
+func (s *Sender) Flush() error {
+	s.sendMu.Lock()
+	defer s.sendMu.Unlock()
+	return s.flushLocked()
+}
+
+// Queued reports the staged batch: tiles and the wire packets they will
+// produce.
+func (s *Sender) Queued() (tilesQueued, packets int) {
+	s.sendMu.Lock()
+	defer s.sendMu.Unlock()
+	return len(s.batch), s.qPkts
+}
+
+func (s *Sender) flushLocked() error {
+	if len(s.batch) == 0 {
+		s.qPkts = 0
+		return nil
+	}
+	var err error
+	sent := 0
+	for i := range s.batch {
+		qt := &s.batch[i]
+		if err = s.sendTileLocked(qt.user, qt.slot, qt.id, qt.payload, qt.trace, qt.retry); err != nil {
+			break
+		}
+		sent++
+	}
+	// Zero the staged entries so the reusable batch buffer does not retain
+	// payload memory across slots.
+	for i := range s.batch {
+		s.batch[i] = queuedTile{}
+	}
+	s.batch = s.batch[:0]
+	s.qPkts = 0
+	if err != nil {
+		return fmt.Errorf("transport: flush stopped after %d tiles: %w", sent, err)
+	}
+	return nil
+}
+
+// packetCount mirrors Fragment's fragment arithmetic (zero-length tiles
+// still cost one packet; oversized tiles truncate at 0xFFFF fragments).
+func packetCount(payloadLen, mtu int) int {
+	if mtu <= HeaderSize {
+		mtu = DefaultMTU
+	}
+	chunk := mtu - HeaderSize
+	count := (payloadLen + chunk - 1) / chunk
+	if count == 0 {
+		count = 1
+	}
+	if count > 0xFFFF {
+		count = 0xFFFF
+	}
+	return count
+}
+
+// sendTileLocked is the wire path: fragment, inject faults, shape, write.
+// It walks the fragments in place on the sender's encode scratch — no
+// per-tile packet slice, no per-call buffer — producing exactly the
+// datagram bytes, order and per-packet fault decisions of the historical
+// Fragment-then-send loop. Callers hold sendMu.
+func (s *Sender) sendTileLocked(user, slot uint32, id tiles.VideoID, payload []byte, traceID uint64, retry uint8) error {
+	mtu := s.mtu
+	if mtu <= HeaderSize {
+		mtu = DefaultMTU
+	}
+	chunk := mtu - HeaderSize
+	count := packetCount(len(payload), mtu)
+
 	s.mu.Lock()
 	seq := s.seq
-	packets := Fragment(user, slot, id, payload, s.mtu, seq)
-	s.seq += uint32(len(packets))
+	s.seq += uint32(count)
 	cPackets, cBytes, cDropped := s.cPackets, s.cBytes, s.cDropped
 	faults := s.faults
 	s.mu.Unlock()
-	for _, p := range packets {
-		p.Trace = traceID
-		p.Retry = retry
-	}
 
 	// Pacing sleeps are batched: token-bucket debt below sleepQuantum is
 	// carried instead of slept, so the OS sleep overshoot (tens of
@@ -140,7 +289,9 @@ func (s *Sender) SendTileTraced(user, slot uint32, id tiles.VideoID, payload []b
 	// achieved rate stays close to the shaped rate.
 	const sleepQuantum = time.Millisecond
 
-	buf := make([]byte, s.mtu)
+	if cap(s.encBuf) < mtu {
+		s.encBuf = make([]byte, mtu)
+	}
 	emit := func(wire []byte) error {
 		if d := s.shaper.Admit(len(wire), time.Now()); d >= sleepQuantum {
 			time.Sleep(d)
@@ -156,11 +307,28 @@ func (s *Sender) SendTileTraced(user, slot uint32, id tiles.VideoID, payload []b
 		cBytes.Add(uint64(len(wire)))
 		return nil
 	}
-	// held carries at most one datagram the injector ordered behind its
+	// heldBuf carries at most one datagram the injector ordered behind its
 	// successor — real on-the-wire reordering, not just added latency.
-	var held []byte
-	for _, p := range packets {
-		wire := p.Encode(buf)
+	haveHeld := false
+	for i := 0; i < count; i++ {
+		lo := i * chunk
+		hi := lo + chunk
+		if hi > len(payload) {
+			hi = len(payload)
+		}
+		p := Packet{
+			Type:      PacketTile,
+			User:      user,
+			Slot:      slot,
+			VideoID:   id,
+			FragIdx:   uint16(i),
+			FragCount: uint16(count),
+			Seq:       seq + uint32(i),
+			Retry:     retry,
+			Trace:     traceID,
+			Payload:   payload[lo:hi],
+		}
+		wire := p.Encode(s.encBuf)
 		var f PacketFault
 		if faults != nil {
 			f = faults.PacketFault()
@@ -179,8 +347,9 @@ func (s *Sender) SendTileTraced(user, slot uint32, id tiles.VideoID, payload []b
 			}
 			wire[pos] ^= f.CorruptXOR
 		}
-		if f.Hold && held == nil {
-			held = append(held, wire...)
+		if f.Hold && !haveHeld {
+			s.heldBuf = append(s.heldBuf[:0], wire...)
+			haveHeld = true
 			continue
 		}
 		if err := emit(wire); err != nil {
@@ -191,15 +360,15 @@ func (s *Sender) SendTileTraced(user, slot uint32, id tiles.VideoID, payload []b
 				return err
 			}
 		}
-		if held != nil {
-			if err := emit(held); err != nil {
+		if haveHeld {
+			if err := emit(s.heldBuf); err != nil {
 				return err
 			}
-			held = nil
+			haveHeld = false
 		}
 	}
-	if held != nil {
-		if err := emit(held); err != nil {
+	if haveHeld {
+		if err := emit(s.heldBuf); err != nil {
 			return err
 		}
 	}
