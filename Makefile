@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race lint bench bench-smoke fuzz-smoke ci figures figures-full loadtest-smoke trace-smoke chaos-smoke regret-smoke fleet-smoke slotloop-smoke clean
+.PHONY: all build vet test race lint bench bench-smoke fuzz-smoke ci figures figures-full loadtest-smoke trace-smoke chaos-smoke regret-smoke fleet-smoke slotloop-smoke health-smoke health-baseline clean
 
 all: build vet test
 
@@ -28,13 +28,20 @@ race:
 	$(GO) test -race ./internal/... ./cmd/...
 
 # What CI runs (see .github/workflows/ci.yml).
-ci: build lint test race bench-smoke fuzz-smoke loadtest-smoke trace-smoke chaos-smoke regret-smoke fleet-smoke slotloop-smoke
+ci: build lint test race bench-smoke fuzz-smoke loadtest-smoke trace-smoke chaos-smoke regret-smoke fleet-smoke slotloop-smoke health-smoke
 
-# Full benchmark pass: the allocator and slot-loop JSON reports, then every
-# Go benchmark in the tree.
+# Full benchmark pass: the allocator and slot-loop JSON reports (each run
+# also appended as a timestamped entry to the results/bench_history.jsonl
+# trajectory), then every Go benchmark in the tree. Gate a fresh report
+# against the committed one with, e.g.:
+#   $(GO) run ./cmd/collabvr-bench -compare BENCH_allocator.json \
+#       -compare-baseline <committed.json>
 bench:
-	$(GO) run ./cmd/collabvr-bench -allocator -alloc-out BENCH_allocator.json
-	$(GO) run ./cmd/collabvr-bench -slotloop -slotloop-out BENCH_slotloop.json
+	@mkdir -p results
+	$(GO) run ./cmd/collabvr-bench -allocator -alloc-out BENCH_allocator.json \
+		-history results/bench_history.jsonl
+	$(GO) run ./cmd/collabvr-bench -slotloop -slotloop-out BENCH_slotloop.json \
+		-history results/bench_history.jsonl
 	$(GO) test -bench=. -benchmem ./...
 
 # One-iteration compile-and-run of the Solve benchmarks (CI keeps them
@@ -140,6 +147,28 @@ fleet-smoke:
 	$(GO) run ./cmd/collabvr-fleet -mode live -shards 2 -sessions 4 \
 		-slots 240 -slotms 10 -budget 300
 
+# Health smoke (< 60 s): the seeded 3-shard evacuation campaign exports
+# its health time-series (bit-identical per seed), then collabvr-health
+# gates the export against the checked-in baseline — trend drift past the
+# tolerance on any bad-direction series fails the build.
+health-smoke:
+	@mkdir -p results
+	$(GO) run ./cmd/collabvr-loadgen -shards 3 -sessions 6 -slots 240 \
+		-budget 300 -seed 5 -evac -health-out results/health_smoke.jsonl \
+		| tee results/health_smoke.txt
+	grep -q 'health: exported' results/health_smoke.txt
+	$(GO) run ./cmd/collabvr-health -baseline results/health_baseline.json \
+		results/health_smoke.jsonl
+
+# Regenerate the checked-in health baseline from the same seeded campaign
+# (run after a deliberate behavior change, then commit the new baseline).
+health-baseline:
+	@mkdir -p results
+	$(GO) run ./cmd/collabvr-loadgen -shards 3 -sessions 6 -slots 240 \
+		-budget 300 -seed 5 -evac -health-out results/health_smoke.jsonl
+	$(GO) run ./cmd/collabvr-health -write-baseline results/health_baseline.json \
+		results/health_smoke.jsonl
+
 clean:
 	rm -f results/results_bench.txt results/results_bench_full.txt \
 		results/smoke_spans.jsonl results/smoke_spans.txt \
@@ -147,4 +176,5 @@ clean:
 		results/smoke_decisions.jsonl results/tournament_a.txt \
 		results/tournament_b.txt results/fleet_smoke.txt \
 		results/slotloop_smoke.txt \
+		results/health_smoke.jsonl results/health_smoke.txt \
 		test_output.txt bench_output.txt

@@ -1,0 +1,153 @@
+package main
+
+// The bench trajectory and its regression gate. -history appends the JSON
+// report just written by -allocator or -slotloop as one timestamped JSONL
+// entry, so repeated `make bench` runs grow results/bench_history.jsonl
+// into a machine-readable performance trajectory instead of overwriting
+// the snapshot. -compare joins a fresh report against the committed
+// baseline row by row and exits nonzero when any row's ns/op grew past
+// -compare-tolerance — the CI hook for "this change made the allocator
+// slower".
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+type benchHistoryEntry struct {
+	Date   string          `json:"date"`
+	Suite  string          `json:"suite"`
+	Report json.RawMessage `json:"report"`
+}
+
+// appendBenchHistory re-reads the report file the suite just wrote and
+// appends it, wrapped with a timestamp and suite tag, to the JSONL
+// trajectory at historyPath.
+func appendBenchHistory(historyPath, suite, reportPath string) error {
+	raw, err := os.ReadFile(reportPath)
+	if err != nil {
+		return fmt.Errorf("bench history: %w", err)
+	}
+	if !json.Valid(raw) {
+		return fmt.Errorf("bench history: %s is not valid JSON", reportPath)
+	}
+	entry := benchHistoryEntry{
+		Date:   time.Now().UTC().Format(time.RFC3339),
+		Suite:  suite,
+		Report: json.RawMessage(bytes.TrimSpace(raw)),
+	}
+	line, err := json.Marshal(&entry)
+	if err != nil {
+		return fmt.Errorf("bench history: %w", err)
+	}
+	f, err := os.OpenFile(historyPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("bench history: %w", err)
+	}
+	_, werr := f.Write(append(line, '\n'))
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("bench history: %w", werr)
+	}
+	fmt.Printf("# bench history: appended %s entry to %s\n", suite, historyPath)
+	return nil
+}
+
+// genericRow matches both report schemas closely enough to extract one
+// scalar per row: the allocator suite keys rows by name + n_users and
+// reports ns_per_op; the slotloop suite keys by name + n and reports
+// optimized_ns_per_op.
+type genericRow struct {
+	Name        string  `json:"name"`
+	NUsers      int     `json:"n_users"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	OptimizedNs float64 `json:"optimized_ns_per_op"`
+}
+
+type genericReport struct {
+	Rows []genericRow `json:"rows"`
+}
+
+func (r genericRow) key() string {
+	n := r.NUsers
+	if n == 0 {
+		n = r.N
+	}
+	return fmt.Sprintf("%s/%d", r.Name, n)
+}
+
+func (r genericRow) ns() float64 {
+	if r.NsPerOp > 0 {
+		return r.NsPerOp
+	}
+	return r.OptimizedNs
+}
+
+func readGenericReport(path string) (*genericReport, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep genericReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Rows) == 0 {
+		return nil, fmt.Errorf("%s: no bench rows", path)
+	}
+	return &rep, nil
+}
+
+// runBenchCompare gates currentPath against baselinePath: every row shared
+// with the baseline must not have grown its ns/op by more than tolerance.
+// Rows missing from the baseline are reported but do not fail the gate
+// (new benchmarks are not regressions).
+func runBenchCompare(currentPath, baselinePath string, tolerance float64) error {
+	cur, err := readGenericReport(currentPath)
+	if err != nil {
+		return err
+	}
+	base, err := readGenericReport(baselinePath)
+	if err != nil {
+		return err
+	}
+	baseByKey := make(map[string]genericRow, len(base.Rows))
+	for _, r := range base.Rows {
+		baseByKey[r.key()] = r
+	}
+
+	fmt.Printf("# bench compare: %s vs baseline %s (tolerance %+.0f%%)\n",
+		currentPath, baselinePath, tolerance*100)
+	fmt.Printf("%-22s %14s %14s %9s\n", "row", "baseline ns", "current ns", "delta")
+	regressed := 0
+	for _, r := range cur.Rows {
+		b, ok := baseByKey[r.key()]
+		if !ok {
+			fmt.Printf("%-22s %14s %14.0f %9s\n", r.key(), "-", r.ns(), "new")
+			continue
+		}
+		bn, cn := b.ns(), r.ns()
+		if bn <= 0 || cn <= 0 {
+			continue
+		}
+		delta := cn/bn - 1
+		verdict := fmt.Sprintf("%+.1f%%", delta*100)
+		if delta > tolerance {
+			verdict += " REGRESSED"
+			regressed++
+		}
+		fmt.Printf("%-22s %14.0f %14.0f %9s\n", r.key(), bn, cn, verdict)
+	}
+	if regressed > 0 {
+		return fmt.Errorf("%d bench row(s) regressed more than %.0f%% vs %s",
+			regressed, tolerance*100, baselinePath)
+	}
+	fmt.Println("# bench compare: OK")
+	return nil
+}

@@ -49,15 +49,38 @@ func run(args []string) error {
 		slotloop      = fs.Bool("slotloop", false, "run the slot-loop benchmark suite (warm-start solver, sharded campaign, batched sender) and write -slotloop-out")
 		slotloopOut   = fs.String("slotloop-out", "BENCH_slotloop.json", "JSON report path for -slotloop")
 		slotloopSmoke = fs.Bool("slotloop-smoke", false, "run the fast slot-loop equivalence differential (sharded and warm-start campaigns vs serial cold) and exit")
+
+		history     = fs.String("history", "", "append the -allocator/-slotloop JSON report as a timestamped entry to this JSONL trajectory")
+		compare     = fs.String("compare", "", "compare this JSON bench report against -compare-baseline and exit nonzero on regression")
+		compareBase = fs.String("compare-baseline", "", "committed baseline JSON report for -compare")
+		compareTol  = fs.Float64("compare-tolerance", 0.10, "fractional ns/op growth tolerated by -compare")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *compare != "" {
+		if *compareBase == "" {
+			return fmt.Errorf("-compare needs -compare-baseline <report.json>")
+		}
+		return runBenchCompare(*compare, *compareBase, *compareTol)
+	}
 	if *alloc {
-		return runAllocatorBench(*seed, *allocOut)
+		if err := runAllocatorBench(*seed, *allocOut); err != nil {
+			return err
+		}
+		if *history != "" {
+			return appendBenchHistory(*history, "allocator", *allocOut)
+		}
+		return nil
 	}
 	if *slotloop {
-		return runSlotloopBench(*seed, *slotloopOut)
+		if err := runSlotloopBench(*seed, *slotloopOut); err != nil {
+			return err
+		}
+		if *history != "" {
+			return appendBenchHistory(*history, "slotloop", *slotloopOut)
+		}
+		return nil
 	}
 	if *slotloopSmoke {
 		return runSlotloopSmoke(*seed)

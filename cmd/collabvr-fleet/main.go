@@ -36,6 +36,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/load"
 	"repro/internal/obs"
+	"repro/internal/obs/tsdb"
 	"repro/internal/transport"
 )
 
@@ -78,6 +79,9 @@ func run(args []string, out io.Writer) error {
 		httpAddr      = fs.String("http", "", "observability HTTP listen address serving /metrics and /debug/fleet (empty = disabled)")
 		placementsOut = fs.String("placements-out", "", "write placement-decision records to this JSONL file")
 		sloOn         = fs.Bool("slo", false, "track per-session QoE SLO burn rates (implied by -chaos)")
+		evacOn        = fs.Bool("evac", false, "evacuate sessions off shards whose rolling SLO pressure pages (implies -slo; sim and live modes)")
+		healthOut     = fs.String("health-out", "", "write the health time-series export to this JSONL file (enables health sampling)")
+		healthEvery   = fs.Int("health-every", 1, "health sampling cadence in slots")
 		verbose       = fs.Bool("v", false, "verbose logging")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -91,6 +95,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if *mode != "sim" && *mode != "live" {
 		return fmt.Errorf("unknown mode %q (want sim or live)", *mode)
+	}
+	if *evacOn && *shards < 2 {
+		return fmt.Errorf("-evac needs -shards > 1 (evacuated sessions need somewhere to go)")
 	}
 
 	var chaosProf *chaos.Profile
@@ -125,7 +132,7 @@ func run(args []string, out io.Writer) error {
 	var slo *obs.SLOMonitor
 	// A chaos campaign implies SLO tracking and the breaker, as in
 	// collabvr-loadgen: the resilience path is SLO state -> breaker cap.
-	if *sloOn || chaosProf != nil {
+	if *sloOn || chaosProf != nil || *evacOn {
 		slo = obs.NewSLOMonitor(obs.DefaultSLOConfig(), reg)
 	}
 	var brk *obs.Breaker
@@ -145,6 +152,23 @@ func run(args []string, out io.Writer) error {
 	}
 	rec := obs.NewPlacementRecorder(ropts)
 
+	// Health plane: one store carries the coordinator's fleet series and the
+	// sampler's registry/SLO series so /debug/health and the export are a
+	// single document.
+	var (
+		healthStore   *tsdb.Store
+		healthSampler *tsdb.Sampler
+	)
+	if *healthOut != "" || *evacOn {
+		healthStore = tsdb.New(tsdb.Options{})
+		healthSampler = tsdb.NewSampler(tsdb.SamplerOptions{
+			Store:      healthStore,
+			Registry:   reg,
+			SLO:        slo,
+			EverySlots: *healthEvery,
+		})
+	}
+
 	// /debug/fleet serves whatever the most recent run produced: a
 	// report-derived snapshot once a run has finished.
 	var (
@@ -162,7 +186,7 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("observability listen: %w", err)
 		}
 		defer ln.Close()
-		mux := obs.NewMuxOpts(reg, nil, obs.MuxOptions{SLO: slo, Fleet: func(n int) obs.FleetSnapshot {
+		mopts := obs.MuxOptions{SLO: slo, Fleet: func(n int) obs.FleetSnapshot {
 			snapMu.Lock()
 			f := snap
 			snapMu.Unlock()
@@ -178,8 +202,11 @@ func run(args []string, out io.Writer) error {
 				}
 			}
 			return f(n)
-		}})
-		go http.Serve(ln, mux)
+		}}
+		if healthStore != nil {
+			mopts.Health = tsdb.Handler(healthStore, nil)
+		}
+		go http.Serve(ln, obs.NewMuxOpts(reg, nil, mopts))
 		fmt.Fprintf(out, "observability on http://%s/metrics (/debug/fleet)\n", ln.Addr())
 	}
 	logf := func(string, ...any) {}
@@ -218,6 +245,11 @@ func run(args []string, out io.Writer) error {
 			cfg.Sim.Metrics = reg
 			cfg.Sim.SLO = slo
 			cfg.Sim.Breaker = brk
+			cfg.Sim.Health = healthSampler
+			cfg.Health = healthStore
+			if *evacOn {
+				cfg.Evac = fleet.EvacConfig{Enabled: true}
+			}
 		}
 		return cfg
 	}
@@ -262,6 +294,30 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
+	// finish prints the evacuation tally and writes the health export;
+	// shared by the sim and live paths.
+	finish := func(rep *load.FleetReport) error {
+		if *evacOn {
+			fmt.Fprintf(out, "evac: %d session(s) moved in %d batch(es)\n",
+				rep.Evacuations, rep.EvacBatches)
+		}
+		if *healthOut != "" {
+			f, err := os.Create(*healthOut)
+			if err != nil {
+				return fmt.Errorf("health export: %w", err)
+			}
+			err = healthStore.WriteJSONL(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return fmt.Errorf("health export: %w", err)
+			}
+			fmt.Fprintf(out, "health: exported %d series to %s\n", healthStore.Len(), *healthOut)
+		}
+		return nil
+	}
+
 	if *mode == "live" {
 		slotDur := time.Duration(0)
 		if *slotMs > 0 {
@@ -285,6 +341,11 @@ func run(args []string, out io.Writer) error {
 				Chaos:        chaosProf,
 				Logf:         logf,
 			},
+			Health:  healthStore,
+			Sampler: healthSampler,
+		}
+		if *evacOn {
+			lcfg.Evac = fleet.EvacConfig{Enabled: true}
 		}
 		if chaosProf != nil {
 			retrySlot := slotDur
@@ -299,7 +360,7 @@ func run(args []string, out io.Writer) error {
 		}
 		setSnap(func(n int) obs.FleetSnapshot { return reportSnapshot(rep, rec, *budget, n) })
 		fmt.Fprint(out, rep.FormatFleet())
-		return nil
+		return finish(rep)
 	}
 
 	rep, err := load.SimulateFleet(w, simCfg(true, true))
@@ -325,7 +386,7 @@ func run(args []string, out io.Writer) error {
 			reg.Counter("collabvr_slo_warn_transitions_total").Value(),
 			reg.Counter("collabvr_slo_page_transitions_total").Value())
 	}
-	return nil
+	return finish(rep)
 }
 
 // verifyFleetRecovery runs the campaign three times on fresh,
@@ -398,6 +459,9 @@ func reportSnapshot(rep *load.FleetReport, rec *obs.PlacementRecorder, global fl
 		Placements:       uint64(rep.Placements),
 		Migrations:       rep.Migrations,
 		Rebalances:       rep.Rebalances,
+		Evacuations:      rep.Evacuations,
+		RingCapacity:     rec.RingCapacity(),
+		RingDropped:      rec.Dropped(),
 		Recent:           rec.Recent(n),
 	}
 	for _, s := range rep.Shards {

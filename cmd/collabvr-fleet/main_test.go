@@ -109,6 +109,33 @@ func TestRunFleetPlacementsOut(t *testing.T) {
 	}
 }
 
+func TestRunFleetHealthExport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "health.jsonl")
+	var out bytes.Buffer
+	err := run([]string{
+		"-shards", "3", "-sessions", "6", "-slots", "300", "-budget", "300",
+		"-evac", "-health-out", path,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"evac: ", "batch(es)", "health: exported"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One document: coordinator fleet series plus sampler-fed SLO series.
+	for _, want := range []string{"fleet_shard_page_frac", "collabvr_slo_sessions_ok"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("health export missing series %q", want)
+		}
+	}
+}
+
 func TestRunFleetRejectsBadFlags(t *testing.T) {
 	cases := map[string][]string{
 		"bad scorer":            {"-scorer", "nope"},
@@ -117,6 +144,7 @@ func TestRunFleetRejectsBadFlags(t *testing.T) {
 		"check without profile": {"-chaos-check"},
 		"verify without chaos":  {"-verify-recovery"},
 		"verify in live mode":   {"-verify-recovery", "-mode", "live"},
+		"evac single shard":     {"-evac", "-shards", "1"},
 	}
 	for name, args := range cases {
 		if err := run(args, &bytes.Buffer{}); err == nil {

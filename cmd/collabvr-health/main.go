@@ -1,0 +1,189 @@
+// Command collabvr-health turns health-plane time-series exports (the JSONL
+// written by collabvr-loadgen -health-out, or fetched from a live server's
+// /debug/health endpoint) into a fleet health report: per-series trends on
+// the raw tier, MAD-based anomaly flags, and — with -baseline — a CI gate
+// that exits nonzero when any series regressed past the tolerance in its
+// bad direction.
+//
+// Usage:
+//
+//	collabvr-health health.jsonl
+//	collabvr-health -json -name fleet_ health.jsonl
+//	collabvr-health -write-baseline results/health_baseline.json health.jsonl
+//	collabvr-health -baseline results/health_baseline.json -tolerance 0.10 health.jsonl
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/obs/tsdb"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "collabvr-health:", err)
+		os.Exit(1)
+	}
+}
+
+// healthReport is the CLI's document: trends over the raw tier, the flagged
+// anomalies, and (when a baseline is given) the regressions.
+type healthReport struct {
+	Series      int               `json:"series"`
+	Skipped     int               `json:"skipped,omitempty"`
+	Trends      []tsdb.Trend      `json:"trends"`
+	Anomalies   []tsdb.Anomaly    `json:"anomalies,omitempty"`
+	Regressions []tsdb.Regression `json:"regressions,omitempty"`
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("collabvr-health", flag.ContinueOnError)
+	var (
+		asJSON    = fs.Bool("json", false, "emit the report as JSON instead of text")
+		name      = fs.String("name", "", "only series whose name contains this substring")
+		threshold = fs.Float64("threshold", tsdb.DefaultAnomalyThreshold, "MAD robust z-score above which a point is an anomaly")
+		topN      = fs.Int("top", 10, "anomalies to print in the text report (JSON always carries all)")
+
+		baseline  = fs.String("baseline", "", "compare against this snapshot JSONL and exit nonzero on regression")
+		writeBase = fs.String("write-baseline", "", "write the (filtered) current snapshots to this path and exit")
+		tolerance = fs.Float64("tolerance", 0.10, "relative degradation allowed before a series counts as regressed")
+		absFloor  = fs.Float64("abs-floor", 0.05, "absolute drift ignored regardless of ratio (near-zero baseline noise)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	paths := fs.Args()
+	if len(paths) == 0 {
+		paths = []string{"-"}
+	}
+	var snaps []tsdb.SeriesSnapshot
+	skipped := 0
+	for _, path := range paths {
+		s, sk, err := readFile(path)
+		if err != nil {
+			return err
+		}
+		snaps = append(snaps, s...)
+		skipped += sk
+	}
+	if *name != "" {
+		kept := snaps[:0]
+		for _, s := range snaps {
+			if strings.Contains(s.Name, *name) {
+				kept = append(kept, s)
+			}
+		}
+		snaps = kept
+	}
+	if len(snaps) == 0 {
+		return fmt.Errorf("no health series in input")
+	}
+
+	if *writeBase != "" {
+		f, err := os.Create(*writeBase)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		for i := range snaps {
+			if err := enc.Encode(&snaps[i]); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %d series to %s\n", len(snaps), *writeBase)
+		return nil
+	}
+
+	rep := healthReport{Series: len(snaps), Skipped: skipped}
+	for _, s := range snaps {
+		if s.Tier != 1 {
+			continue // downsampled tiers restate the raw data
+		}
+		rep.Trends = append(rep.Trends, tsdb.TrendOf(s, *threshold))
+	}
+	rep.Anomalies = tsdb.Detect(snaps, *threshold)
+	sort.SliceStable(rep.Anomalies, func(i, j int) bool {
+		return rep.Anomalies[i].Score > rep.Anomalies[j].Score
+	})
+
+	if *baseline != "" {
+		base, _, err := readFile(*baseline)
+		if err != nil {
+			return fmt.Errorf("baseline: %w", err)
+		}
+		rep.Regressions = tsdb.Compare(base, snaps, *tolerance, *absFloor)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+	} else {
+		formatReport(out, rep, *topN)
+	}
+	if n := len(rep.Regressions); n > 0 {
+		return fmt.Errorf("%d series regressed vs baseline", n)
+	}
+	return nil
+}
+
+func formatReport(out io.Writer, rep healthReport, topN int) {
+	fmt.Fprintf(out, "# health: %d series, %d anomalies", rep.Series, len(rep.Anomalies))
+	if rep.Skipped > 0 {
+		fmt.Fprintf(out, ", %d partial trailing line(s) skipped", rep.Skipped)
+	}
+	fmt.Fprintln(out)
+	fmt.Fprintf(out, "%-34s %5s %7s %6s %10s %10s %10s %5s %5s\n",
+		"series", "shard", "kind", "points", "first", "last", "mean", "dir", "anom")
+	for _, tr := range rep.Trends {
+		fmt.Fprintf(out, "%-34s %5d %7s %6d %10.4g %10.4g %10.4g %5s %5d\n",
+			tr.Name, tr.Shard, tr.Kind, tr.Points, tr.First, tr.Last, tr.Mean, tr.Direction, tr.Anomalies)
+	}
+	if len(rep.Anomalies) > 0 {
+		fmt.Fprintf(out, "# top anomalies (threshold exceeded, highest score first)\n")
+		for i, a := range rep.Anomalies {
+			if i >= topN {
+				fmt.Fprintf(out, "... and %d more\n", len(rep.Anomalies)-topN)
+				break
+			}
+			fmt.Fprintf(out, "%s shard=%d slot=%d value=%.4g median=%.4g score=%.1f\n",
+				a.Series, a.Shard, a.Slot, a.Value, a.Median, a.Score)
+		}
+	}
+	if len(rep.Regressions) > 0 {
+		fmt.Fprintf(out, "# regressions vs baseline\n")
+		for _, r := range rep.Regressions {
+			fmt.Fprintln(out, r.String())
+		}
+	}
+}
+
+func readFile(path string) ([]tsdb.SeriesSnapshot, int, error) {
+	r := io.Reader(os.Stdin)
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, 0, err
+		}
+		defer f.Close()
+		r = f
+	}
+	snaps, skipped, err := tsdb.ReadSnapshots(r)
+	if err != nil {
+		return nil, 0, fmt.Errorf("%s: %w", path, err)
+	}
+	return snaps, skipped, nil
+}

@@ -1,0 +1,154 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs/tsdb"
+)
+
+// writeExport renders a store with one spiky gauge and one miss counter to a
+// JSONL file; missPerSlot scales the counter's growth so tests can fabricate
+// regressions against a healthier baseline.
+func writeExport(t *testing.T, dir, name string, missPerSlot float64) string {
+	t.Helper()
+	st := tsdb.New(tsdb.Options{})
+	g := st.Series("fleet_slot_quality", tsdb.Gauge)
+	c := st.Series("collabvr_slo_miss_total", tsdb.Counter)
+	total := 0.0
+	for slot := int64(0); slot < 64; slot++ {
+		v := 4.0
+		if slot == 40 {
+			v = 0.1 // the anomaly
+		}
+		g.Observe(slot, v)
+		total += missPerSlot
+		c.Observe(slot, total)
+	}
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WriteJSONL(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestReportTextAndJSON(t *testing.T) {
+	dir := t.TempDir()
+	path := writeExport(t, dir, "health.jsonl", 1)
+
+	var out bytes.Buffer
+	if err := run([]string{path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"fleet_slot_quality", "collabvr_slo_miss_total", "top anomalies", "slot=40"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text report missing %q:\n%s", want, text)
+		}
+	}
+
+	out.Reset()
+	if err := run([]string{"-json", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep healthReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Series != 6 { // 2 series x 3 tiers
+		t.Errorf("Series = %d, want 6", rep.Series)
+	}
+	if len(rep.Trends) != 2 {
+		t.Errorf("%d trends, want 2 (raw tier only)", len(rep.Trends))
+	}
+	if len(rep.Anomalies) == 0 || rep.Anomalies[0].Slot != 40 {
+		t.Errorf("anomalies = %+v, want the slot-40 dip first", rep.Anomalies)
+	}
+
+	// The name filter narrows the report.
+	out.Reset()
+	if err := run([]string{"-json", "-name", "quality", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	rep = healthReport{}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Series != 3 || len(rep.Trends) != 1 {
+		t.Errorf("filtered report has %d series / %d trends, want 3 / 1", rep.Series, len(rep.Trends))
+	}
+}
+
+func TestBaselineGate(t *testing.T) {
+	dir := t.TempDir()
+	good := writeExport(t, dir, "good.jsonl", 1)
+	bad := writeExport(t, dir, "bad.jsonl", 5) // 5x the miss growth
+
+	// Write a baseline from the healthy run.
+	basePath := filepath.Join(dir, "baseline.json")
+	var out bytes.Buffer
+	if err := run([]string{"-write-baseline", basePath, good}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "wrote 6 series") {
+		t.Fatalf("write-baseline output: %s", out.String())
+	}
+
+	// Healthy vs healthy passes.
+	out.Reset()
+	if err := run([]string{"-baseline", basePath, good}, &out); err != nil {
+		t.Fatalf("self-comparison regressed: %v\n%s", err, out.String())
+	}
+
+	// A 5x miss-rate run fails the gate and names the series.
+	out.Reset()
+	err := run([]string{"-baseline", basePath, bad}, &out)
+	if err == nil {
+		t.Fatal("5x miss growth passed the baseline gate")
+	}
+	if !strings.Contains(err.Error(), "regressed") {
+		t.Errorf("gate error = %v, want a regression message", err)
+	}
+	if !strings.Contains(out.String(), "collabvr_slo_miss_total") {
+		t.Errorf("report does not name the regressed series:\n%s", out.String())
+	}
+}
+
+func TestBadAndEmptyInput(t *testing.T) {
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "empty.jsonl")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{empty}, &bytes.Buffer{}); err == nil {
+		t.Error("empty input accepted")
+	}
+
+	corrupt := filepath.Join(dir, "corrupt.jsonl")
+	good := writeExport(t, dir, "ok.jsonl", 1)
+	data, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(corrupt, append([]byte("{nope}\n"), data...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{corrupt}, &bytes.Buffer{}); err == nil {
+		t.Error("interior corruption accepted")
+	}
+
+	if err := run([]string{filepath.Join(dir, "missing.jsonl")}, &bytes.Buffer{}); err == nil {
+		t.Error("missing file accepted")
+	}
+}

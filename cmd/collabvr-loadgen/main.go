@@ -30,6 +30,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/load"
 	"repro/internal/obs"
+	"repro/internal/obs/tsdb"
 	"repro/internal/trace"
 	"repro/internal/transport"
 )
@@ -83,6 +84,10 @@ func run(args []string, out io.Writer) error {
 		spanSample = fs.Uint64("span-sample", 1, "keep 1 in N traces (deterministic by trace ID; 0 or 1 = all)")
 		sloOn      = fs.Bool("slo", false, "track per-session QoE SLO burn rates (served on /debug/slo with -http)")
 		verbose    = fs.Bool("v", false, "verbose logging")
+
+		healthOut   = fs.String("health-out", "", "sim mode: write the health-plane time-series export to this JSONL file (analyze with collabvr-health)")
+		healthEvery = fs.Int("health-every", 1, "sim mode: registry/SLO sampling cadence in slots")
+		evacOn      = fs.Bool("evac", false, "sim mode, -shards > 1: enable the SLO-pressure evacuation loop (implies -slo)")
 
 		decisionsOut = fs.String("decisions-out", "", "sim mode: write one decision record per allocated slot to this JSONL file (analyze with collabvr-regret)")
 		slotsRing    = fs.Int("slots-ring", 1024, "decision flight-recorder ring capacity (served with capacity and drop count on /debug/slots with -http)")
@@ -143,12 +148,21 @@ func run(args []string, out io.Writer) error {
 		MeanHoldSec:    *meanHold,
 	}
 
+	wantHealth := *healthOut != "" || *evacOn
+	if wantHealth && *mode != "sim" {
+		return fmt.Errorf("-health-out/-evac need -mode sim (the live server samples via its own -health endpoint)")
+	}
+	if *evacOn && *shards < 2 {
+		return fmt.Errorf("-evac needs -shards > 1 (the loop migrates sessions between shards)")
+	}
+
 	reg := obs.NewRegistry()
 	var slo *obs.SLOMonitor
 	// A chaos campaign implies SLO tracking and the circuit breaker: the
 	// resilience path is SLO state -> breaker cap, so running faults without
-	// them would measure nothing.
-	if *sloOn || chaosProf != nil {
+	// them would measure nothing. The evacuation loop's pressure signal is
+	// SLO page state, so -evac implies it too.
+	if *sloOn || chaosProf != nil || *evacOn {
 		slo = obs.NewSLOMonitor(obs.DefaultSLOConfig(), reg)
 	}
 	var brk *obs.Breaker
@@ -180,6 +194,22 @@ func run(args []string, out io.Writer) error {
 		}
 		rec = obs.NewRecorder(ropts)
 	}
+	// Health plane: one store for both the fleet series (fed by the fleet
+	// engine) and the registry/SLO samples (fed by the sampler on the
+	// virtual slot clock).
+	var (
+		healthStore   *tsdb.Store
+		healthSampler *tsdb.Sampler
+	)
+	if wantHealth {
+		healthStore = tsdb.New(tsdb.Options{})
+		healthSampler = tsdb.NewSampler(tsdb.SamplerOptions{
+			Store:      healthStore,
+			Registry:   reg,
+			SLO:        slo,
+			EverySlots: *healthEvery,
+		})
+	}
 	var (
 		tracer  *trace.Tracer
 		spanExp *trace.Exporter
@@ -202,7 +232,11 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("observability listen: %w", err)
 		}
 		defer ln.Close()
-		go http.Serve(ln, obs.NewMuxOpts(reg, rec, obs.MuxOptions{SLO: slo, Regret: attr, Debug: *debug}))
+		mopts := obs.MuxOptions{SLO: slo, Regret: attr, Debug: *debug}
+		if healthStore != nil {
+			mopts.Health = tsdb.Handler(healthStore, nil)
+		}
+		go http.Serve(ln, obs.NewMuxOpts(reg, rec, mopts))
 		fmt.Fprintf(out, "observability on http://%s/metrics\n", ln.Addr())
 	}
 	logf := func(string, ...any) {}
@@ -274,18 +308,27 @@ func run(args []string, out io.Writer) error {
 			Breaker:      brk,
 		}
 		// Decision recording applies to the measured run only, not to
-		// capacity-search probes (which pass a nil registry).
+		// capacity-search probes (which pass a nil registry). Same for
+		// health sampling: probes must not pollute the exported series.
 		if r != nil {
 			scfg.Recorder = rec
 			scfg.CounterfactualK = *counterK
 			scfg.RegretRef = *regretRef
+			scfg.Health = healthSampler
 		}
 		if *shards > 1 {
-			frep, err := load.SimulateFleet(w, load.FleetSimConfig{
+			fcfg := load.FleetSimConfig{
 				Sim:    scfg,
 				Shards: *shards,
 				Scorer: *scorer,
-			})
+			}
+			if r != nil {
+				fcfg.Health = healthStore
+				if *evacOn {
+					fcfg.Evac = fleet.EvacConfig{Enabled: true}
+				}
+			}
+			frep, err := load.SimulateFleet(w, fcfg)
 			if err != nil {
 				return nil, err
 			}
@@ -425,6 +468,24 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "regret: total %.5f, attributed %.1f%% across %d rows (full report: collabvr-regret %s)\n",
 				regRep.TotalRegret, 100*regRep.AttributedFraction, regRep.Rows, *decisionsOut)
 		}
+	}
+	if fleetRep != nil && *evacOn {
+		fmt.Fprintf(out, "evac: %d session(s) moved in %d batch(es)\n",
+			fleetRep.Evacuations, fleetRep.EvacBatches)
+	}
+	if *healthOut != "" {
+		f, err := os.Create(*healthOut)
+		if err != nil {
+			return fmt.Errorf("health export: %w", err)
+		}
+		err = healthStore.WriteJSONL(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("health export: %w", err)
+		}
+		fmt.Fprintf(out, "health: exported %d series to %s\n", healthStore.Len(), *healthOut)
 	}
 	if slo != nil {
 		fmt.Fprintf(out, "slo: warn transitions %d, page transitions %d\n",

@@ -98,6 +98,32 @@ func TestRunFleetFindCapacity(t *testing.T) {
 	}
 }
 
+func TestRunHealthExport(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "health.jsonl")
+	var out bytes.Buffer
+	err := run([]string{"-shards", "3", "-sessions", "6", "-slots", "240",
+		"-budget", "300", "-seed", "5", "-evac", "-health-out", path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"health: exported", "evac: ", "batch(es)"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The export carries both fleet series and sampler-fed SLO series.
+	for _, want := range []string{"fleet_shard_page_frac", "collabvr_slo_sessions_ok"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("health export missing series %q", want)
+		}
+	}
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	for name, args := range map[string][]string{
 		"bad algo":             {"-algo", "nope"},
@@ -105,6 +131,8 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		"bad shards":           {"-shards", "0"},
 		"bad scorer":           {"-shards", "2", "-scorer", "nope"},
 		"shard faults 1 shard": {"-chaos", filepath.Join("..", "..", "examples", "chaos", "fleet.json")},
+		"evac single shard":    {"-evac"},
+		"health in live mode":  {"-mode", "live", "-health-out", "h.jsonl"},
 	} {
 		if err := run(args, &bytes.Buffer{}); err == nil {
 			t.Errorf("%s: want error", name)

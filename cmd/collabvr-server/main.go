@@ -22,6 +22,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/obs/tsdb"
 	"repro/internal/server"
 	"repro/internal/trace"
 	"repro/internal/transport"
@@ -54,6 +55,9 @@ func run(args []string) error {
 		spanSample = fs.Uint64("span-sample", 1, "keep 1 in N traces (deterministic by trace ID; 0 or 1 = all)")
 		traceEpoch = fs.Uint64("trace-epoch", 0, "trace-ID epoch salt (clients stitching must share it)")
 		sloOn      = fs.Bool("slo", false, "track per-session QoE SLO burn rates (served on /debug/slo with -http)")
+		healthOn   = fs.Bool("health", false, "sample metrics/SLO into the multi-resolution health store each slot (served on /debug/health with -http; implies -slo)")
+		healthOut  = fs.String("health-out", "", "write the health time-series export to this JSONL file on exit (implies -health)")
+		healthEvry = fs.Int("health-every", 1, "health sampling cadence in slots")
 		chaosPath  = fs.String("chaos", "", "chaos profile JSON; server-pipeline faults (server-stall, slow-ack) apply here, packet faults need the loadgen live harness")
 		breakerOn  = fs.Bool("breaker", false, "SLO-driven per-session circuit breaker: cap quality on warn/page instead of dropping users (implies -slo)")
 		retryOn    = fs.Bool("retry", false, "bound NACK retransmissions with full-jitter backoff and abandonment")
@@ -94,11 +98,22 @@ func run(args []string) error {
 		cfg.Tracer = trace.New(trace.Options{Sample: *spanSample, Exporter: spanExp})
 		cfg.TraceEpoch = *traceEpoch
 	}
-	if *sloOn || *breakerOn {
+	wantHealth := *healthOn || *healthOut != ""
+	if *sloOn || *breakerOn || wantHealth {
 		if cfg.Metrics == nil {
 			cfg.Metrics = obs.NewRegistry()
 		}
 		cfg.SLO = obs.NewSLOMonitor(obs.DefaultSLOConfig(), cfg.Metrics)
+	}
+	var healthStore *tsdb.Store
+	if wantHealth {
+		healthStore = tsdb.New(tsdb.Options{})
+		cfg.Health = tsdb.NewSampler(tsdb.SamplerOptions{
+			Store:      healthStore,
+			Registry:   cfg.Metrics,
+			SLO:        cfg.SLO,
+			EverySlots: *healthEvry,
+		})
 	}
 	if *breakerOn {
 		bcfg := obs.DefaultBreakerConfig()
@@ -138,8 +153,11 @@ func run(args []string) error {
 			return fmt.Errorf("observability listen: %w", err)
 		}
 		defer ln.Close()
-		go http.Serve(ln, obs.NewMuxOpts(cfg.Metrics, rec,
-			obs.MuxOptions{SLO: cfg.SLO, Regret: attr, Debug: *debug}))
+		mopts := obs.MuxOptions{SLO: cfg.SLO, Regret: attr, Debug: *debug}
+		if healthStore != nil {
+			mopts.Health = tsdb.Handler(healthStore, nil)
+		}
+		go http.Serve(ln, obs.NewMuxOpts(cfg.Metrics, rec, mopts))
 		fmt.Printf("collabvr-server: observability on http://%s/metrics, /debug/slots and /debug/regret\n",
 			ln.Addr())
 	}
@@ -187,6 +205,20 @@ func run(args []string) error {
 		}
 		fmt.Printf("spans: exported %d dropped %d to %s\n",
 			spanExp.Exported(), spanExp.Dropped(), *spanOut)
+	}
+	if *healthOut != "" {
+		f, err := os.Create(*healthOut)
+		if err != nil {
+			return fmt.Errorf("health export: %w", err)
+		}
+		err = healthStore.WriteJSONL(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("health export: %w", err)
+		}
+		fmt.Printf("health: exported %d series to %s\n", healthStore.Len(), *healthOut)
 	}
 	return nil
 }

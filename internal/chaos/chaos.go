@@ -50,7 +50,7 @@ func NewInjector(p *Profile, session uint32) *Injector {
 	for i := range p.Faults {
 		f := &p.Faults[i]
 		switch f.Kind {
-		case FaultStall, FaultSlowACK, FaultShardKill, FaultShardDrain:
+		case FaultStall, FaultSlowACK, FaultShardKill, FaultShardDrain, FaultShardDegrade:
 			continue
 		}
 		if !f.appliesTo(session) {

@@ -59,6 +59,12 @@ const (
 	// the fleet, spread across DurationSlots (0 = all at once), after which
 	// the shard is out of rotation.
 	FaultShardDrain FaultKind = "shard_drain"
+	// FaultShardDegrade multiplies one fleet shard's delivery capacity by
+	// Factor (0 < Factor < 1) for the window — a brownout rather than an
+	// outage: the shard keeps its sessions but pages its SLOs, which is the
+	// signal the SLO-pressure evacuation loop acts on. Only fleet engines
+	// honor it.
+	FaultShardDegrade FaultKind = "shard_degrade"
 )
 
 // Fault is one scheduled fault window on the slot clock.
@@ -156,7 +162,7 @@ func (f *Fault) validate(i int) error {
 		if f.DelayMs <= 0 || f.DelayMs > 5000 {
 			return fail(fmt.Errorf("delay_ms %g outside (0, 5000]", f.DelayMs))
 		}
-	case FaultShardKill, FaultShardDrain:
+	case FaultShardKill, FaultShardDrain, FaultShardDegrade:
 		if f.Shard < 0 {
 			return fail(fmt.Errorf("shard %d < 0", f.Shard))
 		}
@@ -165,6 +171,9 @@ func (f *Fault) validate(i int) error {
 		}
 		if f.Kind == FaultShardKill && f.DurationSlots != 0 {
 			return fail(fmt.Errorf("duration_slots %d invalid (a killed shard never comes back)", f.DurationSlots))
+		}
+		if f.Kind == FaultShardDegrade && (f.Factor <= 0 || f.Factor >= 1) {
+			return fail(fmt.Errorf("factor %g outside (0, 1)", f.Factor))
 		}
 	default:
 		return fail(fmt.Errorf("unknown kind"))
@@ -235,7 +244,7 @@ func (p *Profile) HasSessionFaults() bool {
 	}
 	for i := range p.Faults {
 		switch p.Faults[i].Kind {
-		case FaultStall, FaultSlowACK, FaultShardKill, FaultShardDrain:
+		case FaultStall, FaultSlowACK, FaultShardKill, FaultShardDrain, FaultShardDegrade:
 		default:
 			return true
 		}
@@ -248,9 +257,9 @@ func (p *Profile) HasShardFaults() bool {
 	return p != nil && len(p.ShardFaults()) > 0
 }
 
-// ShardFaults returns the shard-scoped faults (shard_kill, shard_drain) in
-// profile order. Fleet engines schedule these directly; session and server
-// injectors ignore them.
+// ShardFaults returns the shard-scoped faults (shard_kill, shard_drain,
+// shard_degrade) in profile order. Fleet engines schedule these directly;
+// session and server injectors ignore them.
 func (p *Profile) ShardFaults() []Fault {
 	if p == nil {
 		return nil
@@ -258,7 +267,7 @@ func (p *Profile) ShardFaults() []Fault {
 	var out []Fault
 	for i := range p.Faults {
 		switch p.Faults[i].Kind {
-		case FaultShardKill, FaultShardDrain:
+		case FaultShardKill, FaultShardDrain, FaultShardDegrade:
 			out = append(out, p.Faults[i])
 		}
 	}

@@ -11,6 +11,10 @@ func TestShardFaultValidation(t *testing.T) {
 		{"kill", `{"seed":1,"faults":[{"kind":"shard_kill","start_slot":10,"shard":1}]}`, true},
 		{"drain", `{"seed":1,"faults":[{"kind":"shard_drain","start_slot":10,"duration_slots":30,"shard":0}]}`, true},
 		{"drain-instant", `{"seed":1,"faults":[{"kind":"shard_drain","start_slot":10,"shard":2}]}`, true},
+		{"degrade", `{"seed":1,"faults":[{"kind":"shard_degrade","start_slot":10,"duration_slots":30,"shard":1,"factor":0.1}]}`, true},
+		{"degrade-no-factor", `{"seed":1,"faults":[{"kind":"shard_degrade","start_slot":10,"shard":1}]}`, false},
+		{"degrade-factor-one", `{"seed":1,"faults":[{"kind":"shard_degrade","start_slot":10,"shard":1,"factor":1}]}`, false},
+		{"degrade-with-sessions", `{"seed":1,"faults":[{"kind":"shard_degrade","start_slot":10,"shard":1,"factor":0.5,"sessions":[2]}]}`, false},
 		{"kill-negative-shard", `{"seed":1,"faults":[{"kind":"shard_kill","start_slot":10,"shard":-1}]}`, false},
 		{"kill-with-duration", `{"seed":1,"faults":[{"kind":"shard_kill","start_slot":10,"duration_slots":5,"shard":0}]}`, false},
 		{"kill-with-sessions", `{"seed":1,"faults":[{"kind":"shard_kill","start_slot":10,"shard":0,"sessions":[3]}]}`, false},
@@ -55,7 +59,7 @@ func TestShardFaultAccessors(t *testing.T) {
 	if !p.HasSessionFaults() {
 		t.Fatal("HasSessionFaults = false, want true (blackout present)")
 	}
-	shardOnly, err := ParseProfile([]byte(`{"seed":1,"faults":[{"kind":"shard_kill","start_slot":5,"shard":0}]}`))
+	shardOnly, err := ParseProfile([]byte(`{"seed":1,"faults":[{"kind":"shard_kill","start_slot":5,"shard":0},{"kind":"shard_degrade","start_slot":5,"duration_slots":10,"shard":0,"factor":0.2}]}`))
 	if err != nil {
 		t.Fatal(err)
 	}

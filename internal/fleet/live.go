@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/obs/tsdb"
 	"repro/internal/server"
 )
 
@@ -36,6 +37,15 @@ type LiveConfig struct {
 	Recorder *obs.PlacementRecorder
 	// Rebalance tunes the periodic budget re-split driven by Tick.
 	Rebalance RebalanceConfig
+	// Health, when non-nil, receives per-shard fleet series (sessions,
+	// budget, demand, page fraction) every Tick, keyed on the coordinator
+	// slot clock. The evacuation loop reads its page-frac windows, so Evac
+	// without Health gets a private store.
+	Health *tsdb.Store
+	// Evac enables the SLO-pressure evacuation loop: Tick watches each
+	// shard's rolling page-frac window and live-migrates sessions off
+	// shards that stay hot, with hysteresis and cooldowns (see EvacConfig).
+	Evac EvacConfig
 }
 
 // liveShard is the coordinator's bookkeeping for one shard.
@@ -63,6 +73,24 @@ type Live struct {
 	owner      map[uint32]int
 	slot       int
 	migrations int
+
+	// Health plane: per-shard series observed on Tick's slot clock, and
+	// the hysteresis evacuation controller they feed. All guarded by mu
+	// (the Evacuator itself is not concurrency-safe).
+	health      *tsdb.Store
+	hseries     []liveShardSeries
+	hFleetSess  *tsdb.Series
+	hEvacTotal  *tsdb.Series
+	evac        *Evacuator
+	evacuations int
+}
+
+// liveShardSeries holds one shard's health-plane series handles.
+type liveShardSeries struct {
+	sessions *tsdb.Series
+	budget   *tsdb.Series
+	demand   *tsdb.Series
+	pageFrac *tsdb.Series
 }
 
 // NewLive builds and starts the fleet.
@@ -82,6 +110,26 @@ func NewLive(cfg LiveConfig) (*Live, error) {
 		rb:     NewRebalancer(cfg.Rebalance, cfg.Shards),
 		owner:  make(map[uint32]int),
 		shards: make([]liveShard, cfg.Shards),
+	}
+	l.evac = NewEvacuator(cfg.Evac, cfg.Shards)
+	l.health = cfg.Health
+	if l.health == nil && l.evac != nil {
+		// The evacuation loop needs the page-frac windows even when the
+		// caller did not ask for a health store.
+		l.health = tsdb.New(tsdb.Options{})
+	}
+	if l.health != nil {
+		l.hseries = make([]liveShardSeries, cfg.Shards)
+		for i := 0; i < cfg.Shards; i++ {
+			l.hseries[i] = liveShardSeries{
+				sessions: l.health.ShardSeries("fleet_shard_sessions", tsdb.Gauge, i),
+				budget:   l.health.ShardSeries("fleet_shard_budget_mbps", tsdb.Gauge, i),
+				demand:   l.health.ShardSeries("fleet_shard_demand_mbps", tsdb.Gauge, i),
+				pageFrac: l.health.ShardSeries("fleet_shard_page_frac", tsdb.Gauge, i),
+			}
+		}
+		l.hFleetSess = l.health.Series("fleet_active_sessions", tsdb.Gauge)
+		l.hEvacTotal = l.health.Series("fleet_evacuations_total", tsdb.Counter)
 	}
 	for i := 0; i < cfg.Shards; i++ {
 		scfg := cfg.Base
@@ -193,7 +241,27 @@ func (l *Live) Place(sess SessionInfo) (int, error) {
 func (l *Live) Forget(user uint32) {
 	l.mu.Lock()
 	delete(l.owner, user)
+	l.evac.Forget(user)
 	l.mu.Unlock()
+}
+
+// Health returns the coordinator's time-series store (nil when neither
+// LiveConfig.Health nor the evacuation loop enabled one). Mount it on
+// /debug/health via tsdb.Handler.
+func (l *Live) Health() *tsdb.Store { return l.health }
+
+// Evacuations reports how many sessions the SLO-pressure loop has moved.
+func (l *Live) Evacuations() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.evacuations
+}
+
+// EvacBatches reports how many cooldown-spaced evacuation batches fired.
+func (l *Live) EvacBatches() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.evac.Batches()
 }
 
 // Migrate moves one session to the best-scoring other shard: export on the
@@ -313,9 +381,11 @@ func (l *Live) KillShard(i int) int {
 	return replaced
 }
 
-// Tick advances the coordinator's slot clock: demand observation every
-// slot, and on the rebalance cadence a budget re-split applied to the
-// shards via SetBudget.
+// Tick advances the coordinator's slot clock: demand and health-series
+// observation every slot, on the rebalance cadence a budget re-split
+// applied to the shards via SetBudget, and — when the evacuation loop is
+// enabled — the SLO-pressure check that live-migrates sessions off shards
+// whose windowed page fraction stays above the enter threshold.
 func (l *Live) Tick(slot int) {
 	l.mu.Lock()
 	l.slot = slot
@@ -325,10 +395,29 @@ func (l *Live) Tick(slot int) {
 		alive[i] = st.Alive
 		l.rb.Observe(i, st.DemandMbps)
 	}
+	if l.health != nil {
+		total := 0
+		for i, st := range states {
+			l.hseries[i].sessions.Observe(int64(slot), float64(st.Sessions))
+			l.hseries[i].budget.Observe(int64(slot), st.BudgetMbps)
+			l.hseries[i].demand.Observe(int64(slot), st.DemandMbps)
+			l.hseries[i].pageFrac.Observe(int64(slot), st.PageFrac)
+			total += st.Sessions
+		}
+		l.hFleetSess.Observe(int64(slot), float64(total))
+		l.hEvacTotal.Observe(int64(slot), float64(l.evacuations))
+	}
 	due := l.rb.Due(slot)
 	var shares []float64
 	if due {
 		shares = l.rb.Shares(l.cfg.GlobalBudgetMbps, alive)
+	}
+	// Evacuation decisions happen under the lock (stable view of ownership
+	// and the pressure windows); the migrations themselves run after it —
+	// Migrate re-takes the lock and talks to the shard servers.
+	var victims []uint32
+	if l.evac != nil {
+		victims = l.evacVictimsLocked(slot, states)
 	}
 	l.mu.Unlock()
 	if due {
@@ -338,6 +427,72 @@ func (l *Live) Tick(slot int) {
 			}
 		}
 	}
+	for _, user := range victims {
+		if _, err := l.Migrate(user, obs.PlaceSLOPressure); err != nil {
+			continue
+		}
+		l.mu.Lock()
+		l.evac.NoteMigration(user, int64(slot))
+		l.evacuations++
+		l.mu.Unlock()
+	}
+}
+
+// evacVictimsLocked runs one slot of the hysteresis controller over every
+// live, non-draining shard and collects the sessions to evacuate: paging
+// sessions first, then ascending session ID, capped per shard at
+// BatchSessions, each respecting the per-session re-migration cooldown.
+// Caller holds l.mu.
+func (l *Live) evacVictimsLocked(slot int, states []ShardState) []uint32 {
+	slo := l.cfg.Base.SLO
+	window := l.evac.Config().WindowSlots
+	batch := l.evac.Config().BatchSessions
+	var victims []uint32
+	for i, st := range states {
+		if !st.Alive || st.Draining {
+			continue
+		}
+		w := l.hseries[i].pageFrac.Stats(window)
+		pressure := 0.0
+		if w.Count > 0 {
+			pressure = w.Mean()
+		}
+		if !l.evac.Update(i, int64(slot), pressure, w.Count) {
+			continue
+		}
+		var users []uint32
+		for user, shard := range l.owner {
+			if shard == i && l.evac.AllowSession(user, int64(slot)) {
+				users = append(users, user)
+			}
+		}
+		// Deterministic order: paging sessions first (they are the ones
+		// burning the SLO), ties broken by ascending session ID. The map
+		// walk above is unordered, so sort fully.
+		for a := 1; a < len(users); a++ {
+			for b := a; b > 0 && evacLess(slo, users[b], users[b-1]); b-- {
+				users[b], users[b-1] = users[b-1], users[b]
+			}
+		}
+		if len(users) > batch {
+			users = users[:batch]
+		}
+		victims = append(victims, users...)
+	}
+	return victims
+}
+
+// evacLess orders evacuation candidates: paging before non-paging, then by
+// session ID.
+func evacLess(slo *obs.SLOMonitor, a, b uint32) bool {
+	if slo != nil {
+		pa := slo.State(a) == obs.SLOStatePage
+		pb := slo.State(b) == obs.SLOStatePage
+		if pa != pb {
+			return pa
+		}
+	}
+	return a < b
 }
 
 // Snapshot builds the /debug/fleet document with up to n recent placement
@@ -352,6 +507,9 @@ func (l *Live) Snapshot(n int) obs.FleetSnapshot {
 		Placements:       l.router.Placed(),
 		Migrations:       l.migrations,
 		Rebalances:       l.rb.Rebalances(),
+		Evacuations:      l.evacuations,
+		RingCapacity:     l.cfg.Recorder.RingCapacity(),
+		RingDropped:      l.cfg.Recorder.Dropped(),
 	}
 	for i, st := range states {
 		snap.Shards = append(snap.Shards, obs.FleetShardState{

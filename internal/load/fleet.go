@@ -2,6 +2,7 @@ package load
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -12,6 +13,7 @@ import (
 	"repro/internal/motion"
 	"repro/internal/netem"
 	"repro/internal/obs"
+	"repro/internal/obs/tsdb"
 	"repro/internal/tiles"
 )
 
@@ -41,6 +43,16 @@ type FleetSimConfig struct {
 	MigrationOutageSlots int
 	// Recorder, when non-nil, captures every placement decision.
 	Recorder *obs.PlacementRecorder
+	// Health, when non-nil, receives per-shard and fleet-aggregate series
+	// every slot (fleet_shard_* keyed by shard, fleet_* fleet-wide). The
+	// store is deterministic on the slot clock: same workload + config =
+	// bit-identical export.
+	Health *tsdb.Store
+	// Evac turns on the SLO-pressure evacuation loop: shards whose rolling
+	// page-fraction window stays above the enter threshold hand sessions to
+	// the rest of the fleet in cooldown-spaced batches. Needs a pressure
+	// history, so an internal health store is created when Health is nil.
+	Evac fleet.EvacConfig
 }
 
 func (c FleetSimConfig) withDefaults() FleetSimConfig {
@@ -94,6 +106,10 @@ type FleetReport struct {
 	// OutageSlots counts session-slots charged as forced misses during
 	// migration blackouts.
 	OutageSlots int `json:"outage_slots"`
+	// Evacuations counts sessions migrated by the SLO-pressure loop;
+	// EvacBatches how many cooldown-spaced batches fired.
+	Evacuations int `json:"evacuations,omitempty"`
+	EvacBatches int `json:"evac_batches,omitempty"`
 }
 
 // FormatFleet renders the fleet addendum under the standard report.
@@ -159,6 +175,35 @@ func SimulateFleet(w *Workload, cfg FleetSimConfig) (*FleetReport, error) {
 	router := fleet.NewRouter(scorer, cfg.Recorder)
 	rb := fleet.NewRebalancer(cfg.Rebalance, cfg.Shards)
 
+	// Health plane: per-shard and fleet-aggregate series on the slot clock.
+	// The evacuation loop reads its pressure signal from the page-frac
+	// series, so it gets a private store when the caller did not ask for one.
+	evac := fleet.NewEvacuator(cfg.Evac, cfg.Shards)
+	health := cfg.Health
+	if health == nil && evac != nil {
+		health = tsdb.New(tsdb.Options{})
+	}
+	type shardHealth struct {
+		sessions, budget, demand, pageFrac, quality *tsdb.Series
+	}
+	var sh []shardHealth
+	var fleetQuality, fleetSessions, fleetEvacTotal *tsdb.Series
+	if health != nil {
+		sh = make([]shardHealth, cfg.Shards)
+		for i := range sh {
+			sh[i] = shardHealth{
+				sessions: health.ShardSeries("fleet_shard_sessions", tsdb.Gauge, i),
+				budget:   health.ShardSeries("fleet_shard_budget_mbps", tsdb.Gauge, i),
+				demand:   health.ShardSeries("fleet_shard_demand_mbps", tsdb.Gauge, i),
+				pageFrac: health.ShardSeries("fleet_shard_page_frac", tsdb.Gauge, i),
+				quality:  health.ShardSeries("fleet_shard_slot_quality", tsdb.Gauge, i),
+			}
+		}
+		fleetQuality = health.Series("fleet_slot_quality", tsdb.Gauge)
+		fleetSessions = health.Series("fleet_active_sessions", tsdb.Gauge)
+		fleetEvacTotal = health.Series("fleet_evacuations_total", tsdb.Counter)
+	}
+
 	byArrive := make(map[int][]SessionSpec)
 	for _, s := range w.Sessions {
 		byArrive[s.ArriveSlot] = append(byArrive[s.ArriveSlot], s)
@@ -204,6 +249,7 @@ func SimulateFleet(w *Workload, cfg FleetSimConfig) (*FleetReport, error) {
 	finish := func(s *fleetSession) {
 		sim.SLO.Retire(s.spec.ID)
 		sim.Breaker.Retire(s.spec.ID)
+		evac.Forget(s.spec.ID)
 		out := SessionOutcome{
 			ID:       s.spec.ID,
 			Slots:    s.acc.Slots(),
@@ -292,15 +338,28 @@ func SimulateFleet(w *Workload, cfg FleetSimConfig) (*FleetReport, error) {
 		dropped bool
 	}
 	plans := make([]plan, 0, 64)
+	degrade := make([]float64, cfg.Shards)
+	shardQualSum := make([]float64, cfg.Shards)
+	shardQualCnt := make([]int, cfg.Shards)
+	var evacCands []*fleetSession
 
 	for slot := 0; slot < horizon; slot++ {
 		// Shard faults: kill and drain windows open (and drains close) on
-		// slot boundaries, before arrivals see the shard states.
+		// slot boundaries, before arrivals see the shard states. Degrade
+		// windows recompute each slot — a browned-out shard's sessions see
+		// their link capacity multiplied by the fault factor.
+		for i := range degrade {
+			degrade[i] = 1
+		}
 		for _, f := range shardFaults {
 			if f.Shard >= cfg.Shards {
 				continue
 			}
 			switch f.Kind {
+			case chaos.FaultShardDegrade:
+				if slot >= f.StartSlot && (f.DurationSlots == 0 || slot < f.StartSlot+f.DurationSlots) {
+					degrade[f.Shard] *= f.Factor
+				}
 			case chaos.FaultShardKill:
 				if f.StartSlot == slot && !dead[f.Shard] {
 					dead[f.Shard] = true
@@ -359,6 +418,7 @@ func SimulateFleet(w *Workload, cfg FleetSimConfig) (*FleetReport, error) {
 		active = next
 		if len(active) == 0 {
 			report.SlotQuality = append(report.SlotQuality, 0)
+			sim.Health.Sample(int64(slot))
 			continue
 		}
 
@@ -370,6 +430,10 @@ func SimulateFleet(w *Workload, cfg FleetSimConfig) (*FleetReport, error) {
 		// budget share.
 		qualitySum := 0.0
 		counted := 0
+		for i := range report.Shards {
+			shardQualSum[i] = 0
+			shardQualCnt[i] = 0
+		}
 		for i := range report.Shards {
 			if c := shardSessionCount(active, i); c > report.Shards[i].PeakSessions {
 				report.Shards[i].PeakSessions = c
@@ -400,6 +464,7 @@ func SimulateFleet(w *Workload, cfg FleetSimConfig) (*FleetReport, error) {
 				cap_ := s.caps[local]
 				s.inj.Advance(slot)
 				cap_ *= s.inj.SimCapFactor()
+				cap_ *= degrade[shard]
 				// Demand proxy: what the session could usefully take this
 				// slot — its top ladder rate, clipped by its link.
 				top := rates[len(rates)-1]
@@ -484,6 +549,8 @@ func SimulateFleet(w *Workload, cfg FleetSimConfig) (*FleetReport, error) {
 				}
 				qualitySum += quality
 				counted++
+				shardQualSum[shard] += quality
+				shardQualCnt[shard]++
 				sim.SLO.ObserveSlot(s.spec.ID, !missed, quality)
 				sim.Breaker.Observe(s.spec.ID, sim.SLO.State(s.spec.ID))
 			}
@@ -506,6 +573,7 @@ func SimulateFleet(w *Workload, cfg FleetSimConfig) (*FleetReport, error) {
 			s.acc.Observe(1, false, deadlineMs)
 			s.acc.ObserveFrame(false)
 			counted++
+			shardQualCnt[s.shard]++
 			report.OutageSlots++
 			sim.SLO.ObserveSlot(s.spec.ID, false, 0)
 			sim.Breaker.Observe(s.spec.ID, sim.SLO.State(s.spec.ID))
@@ -516,16 +584,96 @@ func SimulateFleet(w *Workload, cfg FleetSimConfig) (*FleetReport, error) {
 			report.SlotQuality = append(report.SlotQuality, 0)
 		}
 
+		// Health plane: fold this slot's shard states into the store. The
+		// evacuation loop below reads the page-frac window from here, so
+		// sampling must precede it.
+		if health != nil {
+			states := shardStates()
+			for i, st := range states {
+				sh[i].sessions.Observe(int64(slot), float64(st.Sessions))
+				sh[i].budget.Observe(int64(slot), st.BudgetMbps)
+				sh[i].demand.Observe(int64(slot), st.DemandMbps)
+				sh[i].pageFrac.Observe(int64(slot), st.PageFrac)
+				q := 0.0
+				if shardQualCnt[i] > 0 {
+					q = shardQualSum[i] / float64(shardQualCnt[i])
+				}
+				sh[i].quality.Observe(int64(slot), q)
+			}
+			fleetSessions.Observe(int64(slot), float64(len(active)))
+			fleetQuality.Observe(int64(slot), report.SlotQuality[len(report.SlotQuality)-1])
+			fleetEvacTotal.Observe(int64(slot), float64(report.Evacuations))
+		}
+
+		// SLO-pressure evacuation: a shard whose ROLLING page-frac window
+		// (never the instantaneous sample) crosses the enter threshold
+		// hands a cooldown-spaced batch to the rest of the fleet. Paging
+		// sessions move first — they are the ones a fresh shard can still
+		// save — and no session moves twice inside one cooldown window.
+		if evac != nil {
+			for shard := 0; shard < cfg.Shards; shard++ {
+				if dead[shard] || draining[shard] {
+					continue
+				}
+				w := sh[shard].pageFrac.Stats(evac.Config().WindowSlots)
+				pressure := 0.0
+				if w.Count > 0 {
+					pressure = w.Mean()
+				}
+				if !evac.Update(shard, int64(slot), pressure, w.Count) {
+					continue
+				}
+				evacCands = evacCands[:0]
+				for _, s := range active {
+					if s.shard != shard || slot < s.outageUntil {
+						continue
+					}
+					if !evac.AllowSession(s.spec.ID, int64(slot)) {
+						continue
+					}
+					evacCands = append(evacCands, s)
+				}
+				sort.SliceStable(evacCands, func(i, j int) bool {
+					pi := sim.SLO.State(evacCands[i].spec.ID) == obs.SLOStatePage
+					pj := sim.SLO.State(evacCands[j].spec.ID) == obs.SLOStatePage
+					return pi && !pj
+				})
+				moved := 0
+				for _, s := range evacCands {
+					if moved >= evac.Config().BatchSessions {
+						break
+					}
+					to := router.Place(slot, fleet.SessionInfo{ID: s.spec.ID, Zone: s.zone},
+						shardStates(), obs.PlaceSLOPressure, shard)
+					if to < 0 {
+						break
+					}
+					s.shard = to
+					s.outageUntil = slot + cfg.MigrationOutageSlots
+					evac.NoteMigration(s.spec.ID, int64(slot))
+					report.Shards[shard].MigratedOut++
+					report.Shards[to].MigratedIn++
+					report.Migrations++
+					report.Evacuations++
+					moved++
+				}
+			}
+		}
+
 		// Periodic rebalance from the demand EMAs.
 		if rb.Due(slot) {
 			applyShares()
 		}
+		// Registry/SLO sampling (Sim.Health) rides the same virtual clock
+		// as the fleet series above.
+		sim.Health.Sample(int64(slot))
 	}
 	for _, s := range active {
 		finish(s)
 	}
 	sortOutcomes(report.Outcomes)
 	report.Rebalances = rb.Rebalances()
+	report.EvacBatches = evac.Batches()
 	for i := range report.Shards {
 		report.Shards[i].FinalBudgetMbps = budget[i]
 	}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/netem"
 	"repro/internal/obs"
+	"repro/internal/obs/tsdb"
 	"repro/internal/server"
 	"repro/internal/transport"
 )
@@ -37,6 +38,16 @@ type FleetLiveConfig struct {
 	Rebalance fleet.RebalanceConfig
 	// Recorder captures placement decisions; nil disables.
 	Recorder *obs.PlacementRecorder
+	// Health, when non-nil, receives the coordinator's per-shard and
+	// fleet-aggregate series each tick (same store the shards' sampler
+	// should write to, so /debug/health serves one document).
+	Health *tsdb.Store
+	// Sampler, when non-nil, runs one registry/SLO sampling pass per slot
+	// on the coordinator's clock. Point it at the same store as Health.
+	Sampler *tsdb.Sampler
+	// Evac turns on the SLO-pressure evacuation loop on the live
+	// coordinator (see fleet.EvacConfig).
+	Evac fleet.EvacConfig
 }
 
 // RunLiveFleet executes the workload against a live shard fleet over
@@ -120,6 +131,8 @@ func RunLiveFleet(w *Workload, cfg FleetLiveConfig) (*FleetReport, error) {
 		Scorer:           scorer,
 		Recorder:         cfg.Recorder,
 		Rebalance:        cfg.Rebalance,
+		Health:           cfg.Health,
+		Evac:             cfg.Evac,
 	})
 	if err != nil {
 		return nil, err
@@ -261,6 +274,9 @@ func RunLiveFleet(w *Workload, cfg FleetLiveConfig) (*FleetReport, error) {
 			}
 		}
 		live.Tick(slot)
+		// Registry/SLO sampling rides the coordinator's clock so the
+		// stored series share the fleet series' slot axis.
+		cfg.Sampler.Sample(int64(slot))
 	}
 	ticker.Stop()
 
@@ -301,5 +317,7 @@ func RunLiveFleet(w *Workload, cfg FleetLiveConfig) (*FleetReport, error) {
 	report.Placements = int(snap.Placements)
 	report.Migrations = int(snap.Migrations)
 	report.Rebalances = int(snap.Rebalances)
+	report.Evacuations = snap.Evacuations
+	report.EvacBatches = live.EvacBatches()
 	return report, nil
 }

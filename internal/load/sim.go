@@ -12,6 +12,7 @@ import (
 	"repro/internal/motion"
 	"repro/internal/netem"
 	"repro/internal/obs"
+	"repro/internal/obs/tsdb"
 	"repro/internal/tiles"
 	"repro/internal/trace"
 )
@@ -81,6 +82,10 @@ type SimConfig struct {
 	// so the report is bit-identical at any setting. 0 means GOMAXPROCS;
 	// 1 keeps the engine fully serial.
 	Workers int
+	// Health, when non-nil, runs one health-sampler pass per virtual slot
+	// (after the slot's outcomes have landed in Metrics/SLO), so the sim
+	// produces the same multi-resolution series schema as a live server.
+	Health *tsdb.Sampler
 	// WarmStart swaps the default allocator for the warm-start solver
 	// (core.NewWarmAllocator), which replays the previous slot's pick log
 	// when the problem is sparsely perturbed and falls back to a cold
@@ -278,6 +283,7 @@ func Simulate(w *Workload, cfg SimConfig) (*RunReport, error) {
 		active = next
 		if len(active) == 0 {
 			report.SlotQuality = append(report.SlotQuality, 0)
+			cfg.Health.Sample(int64(slot))
 			continue
 		}
 
@@ -448,6 +454,7 @@ func Simulate(w *Workload, cfg SimConfig) (*RunReport, error) {
 			}
 		}
 		report.SlotQuality = append(report.SlotQuality, qualitySum/float64(len(plans)))
+		cfg.Health.Sample(int64(slot))
 	}
 	// Sessions alive at the horizon end complete there.
 	for _, s := range active {

@@ -67,6 +67,10 @@ type MuxOptions struct {
 	// Fleet, when non-nil, adds /debug/fleet serving the coordinator's
 	// shard table and placement-decision tail.
 	Fleet func(n int) FleetSnapshot
+	// Health, when non-nil, adds /debug/health. The handler comes from
+	// obs/tsdb (tsdb.Handler); it is a plain http.Handler here so obs does
+	// not depend on the health store package.
+	Health http.Handler
 	// Debug adds the pprof endpoints and /debug/runtime, and samples the
 	// runtime into collabvr_runtime_* gauges on every /metrics scrape.
 	Debug bool
@@ -92,6 +96,9 @@ func NewMuxOpts(r *Registry, rec *Recorder, opts MuxOptions) *http.ServeMux {
 	}
 	if opts.Fleet != nil {
 		mux.Handle("/debug/fleet", FleetHandler(opts.Fleet))
+	}
+	if opts.Health != nil {
+		mux.Handle("/debug/health", opts.Health)
 	}
 	if opts.Debug {
 		AttachDebug(mux, r)

@@ -8,6 +8,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"repro/internal/jsonl"
 )
 
 // Placement reasons: why the fleet router was asked for a shard. Arrival is
@@ -170,6 +172,51 @@ func (r *PlacementRecorder) Recent(n int) []PlacementRecord {
 	return out
 }
 
+// RingCapacity returns the configured ring size.
+func (r *PlacementRecorder) RingCapacity() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.ring)
+}
+
+// Dropped returns how many records have already fallen out of the ring —
+// the same ring_capacity/ring_dropped accounting /debug/slots reports for
+// the flight recorder.
+func (r *PlacementRecorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.records <= uint64(len(r.ring)) {
+		return 0
+	}
+	return r.records - uint64(len(r.ring))
+}
+
+// ValidatePlacement is the JSONL reader's per-record check.
+func ValidatePlacement(rec *PlacementRecord) error {
+	if rec.Seq == 0 {
+		return fmt.Errorf("placement record without a sequence number")
+	}
+	switch rec.Reason {
+	case PlaceArrival, PlaceShardKill, PlaceShardDrain, PlaceSLOPressure:
+	default:
+		return fmt.Errorf("placement seq %d: unknown reason %q", rec.Seq, rec.Reason)
+	}
+	if rec.Chosen < -1 {
+		return fmt.Errorf("placement seq %d: bad chosen shard %d", rec.Seq, rec.Chosen)
+	}
+	return nil
+}
+
+// ReadPlacements decodes a PlacementRecorder JSONL stream with the shared
+// tolerant trailing-line policy (see internal/jsonl).
+func ReadPlacements(rd io.Reader) ([]PlacementRecord, int, error) {
+	return jsonl.Decode[PlacementRecord](rd, ValidatePlacement)
+}
+
 // FleetShardState is one shard's row in the fleet snapshot.
 type FleetShardState struct {
 	Shard       int     `json:"shard"`
@@ -195,7 +242,14 @@ type FleetSnapshot struct {
 	Placements       uint64            `json:"placements"`
 	Migrations       int               `json:"migrations"`
 	Rebalances       int               `json:"rebalances"`
-	Recent           []PlacementRecord `json:"recent,omitempty"`
+	// Evacuations counts sessions moved by the SLO-pressure loop (a subset
+	// of Migrations).
+	Evacuations int `json:"evacuations,omitempty"`
+	// RingCapacity/RingDropped mirror the /debug/slots flight-recorder
+	// accounting for the placement ring.
+	RingCapacity int               `json:"ring_capacity"`
+	RingDropped  uint64            `json:"ring_dropped"`
+	Recent       []PlacementRecord `json:"recent,omitempty"`
 }
 
 // Format renders the snapshot as a terminal table.

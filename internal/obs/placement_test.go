@@ -55,6 +55,66 @@ func TestPlacementRecorderRingAndMetrics(t *testing.T) {
 	}
 }
 
+func TestPlacementJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	pr := NewPlacementRecorder(PlacementRecorderOptions{RingSize: 8, Writer: &buf})
+	want := []PlacementRecord{
+		{Slot: 1, Session: 10, Zone: 1, Scorer: "least-loaded", Reason: PlaceArrival, Chosen: 0, From: -1,
+			Scores: []ShardScore{{Shard: 0, Score: 1.5, Sessions: 2}, {Shard: 1, Score: 0.5, Draining: true}}},
+		{Slot: 2, Session: 11, Reason: PlaceSLOPressure, Chosen: 1, From: 0},
+		{Slot: 3, Session: 12, Reason: PlaceShardKill, Chosen: -1, From: 2},
+	}
+	for i := range want {
+		rec := want[i]
+		pr.Record(&rec)
+		want[i].Seq = rec.Seq
+	}
+	got, skipped, err := ReadPlacements(bytes.NewReader(buf.Bytes()))
+	if err != nil || skipped != 0 {
+		t.Fatalf("read: err=%v skipped=%d", err, skipped)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("round-tripped %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		a, b := got[i], want[i]
+		if a.Seq != b.Seq || a.Slot != b.Slot || a.Session != b.Session || a.Reason != b.Reason ||
+			a.Chosen != b.Chosen || a.From != b.From || len(a.Scores) != len(b.Scores) {
+			t.Fatalf("record %d = %+v, want %+v", i, a, b)
+		}
+	}
+	if got[0].Scores[1].Shard != 1 || !got[0].Scores[1].Draining {
+		t.Fatalf("scores lost: %+v", got[0].Scores)
+	}
+
+	// Interior corruption is a hard error; an unknown reason fails validation.
+	bad := `{"seq":1,"slot":0,"session":1,"reason":"nope","chosen":0,"from":-1}` + "\n" + buf.String()
+	if _, _, err := ReadPlacements(strings.NewReader(bad)); err == nil {
+		t.Fatal("unknown reason accepted")
+	}
+	noSeq := `{"slot":0,"session":1,"reason":"arrival","chosen":0,"from":-1}` + "\n" + buf.String()
+	if _, _, err := ReadPlacements(strings.NewReader(noSeq)); err == nil {
+		t.Fatal("record without seq accepted")
+	}
+}
+
+func TestPlacementRingCapacityDropped(t *testing.T) {
+	pr := NewPlacementRecorder(PlacementRecorderOptions{RingSize: 4})
+	if pr.RingCapacity() != 4 || pr.Dropped() != 0 {
+		t.Fatalf("fresh ring: cap=%d dropped=%d", pr.RingCapacity(), pr.Dropped())
+	}
+	for i := 0; i < 7; i++ {
+		pr.Record(&PlacementRecord{Slot: i, Reason: PlaceArrival, Chosen: 0})
+	}
+	if pr.Dropped() != 3 {
+		t.Fatalf("dropped = %d, want 3", pr.Dropped())
+	}
+	var disabled *PlacementRecorder
+	if disabled.RingCapacity() != 0 || disabled.Dropped() != 0 {
+		t.Fatal("nil recorder ring accounting not zero")
+	}
+}
+
 func TestFleetHandler(t *testing.T) {
 	snap := func(n int) FleetSnapshot {
 		return FleetSnapshot{

@@ -272,6 +272,45 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	return h
 }
 
+// EachCounter calls fn for every registered counter while holding the
+// registry lock: fn must be fast and must not call back into the registry.
+// Iteration order is the map's (nondeterministic); callers needing order
+// must sort downstream. No-op on a nil registry.
+func (r *Registry) EachCounter(fn func(name string, c *Counter)) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for n, c := range r.counters {
+		fn(n, c)
+	}
+}
+
+// EachGauge is EachCounter for gauges.
+func (r *Registry) EachGauge(fn func(name string, g *Gauge)) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for n, g := range r.gauges {
+		fn(n, g)
+	}
+}
+
+// EachHistogram is EachCounter for histograms.
+func (r *Registry) EachHistogram(fn func(name string, h *Histogram)) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for n, h := range r.histograms {
+		fn(n, h)
+	}
+}
+
 // WritePrometheus renders every instrument in the Prometheus text
 // exposition format, sorted by name.
 func (r *Registry) WritePrometheus(w io.Writer) error {

@@ -353,6 +353,35 @@ func (m *SLOMonitor) Snapshot() SLOSnapshot {
 	return snap
 }
 
+// Totals returns the session counts per alert state and the worst
+// long-window miss burn rate without building the snapshot document — the
+// allocation-free form the health sampler calls every slot.
+func (m *SLOMonitor) Totals() (ok, warn, page int, worstBurn float64) {
+	if m == nil {
+		return 0, 0, 0, 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, s := range m.sessions {
+		longN := float64(s.filled)
+		if longN == 0 {
+			continue
+		}
+		switch s.state {
+		case SLOStatePage:
+			page++
+		case SLOStateWarn:
+			warn++
+		default:
+			ok++
+		}
+		if burn := float64(s.missLong) / longN / m.cfg.MissTarget; burn > worstBurn {
+			worstBurn = burn
+		}
+	}
+	return ok, warn, page, worstBurn
+}
+
 // RefreshGauges recomputes the mirrored registry gauges (Snapshot without
 // the document); the metrics handler calls it before serving a scrape.
 func (m *SLOMonitor) RefreshGauges() {

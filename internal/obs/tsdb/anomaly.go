@@ -1,0 +1,275 @@
+package tsdb
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// DefaultAnomalyThreshold is the robust z-score above which a point is
+// flagged. 3.5 is the classic Iglewicz–Hoaglin cutoff for MAD-based
+// outlier detection.
+const DefaultAnomalyThreshold = 3.5
+
+// madScale makes the MAD a consistent estimator of the standard deviation
+// under normality.
+const madScale = 1.4826
+
+// Anomaly is one flagged point: a value whose robust z-score against its
+// own series history exceeds the detection threshold.
+type Anomaly struct {
+	Series string  `json:"series"`
+	Shard  int     `json:"shard"`
+	Tier   int     `json:"tier"`
+	Slot   int64   `json:"slot"`
+	Value  float64 `json:"value"`
+	Median float64 `json:"median"`
+	// Score is |value-median| / (1.4826 * MAD). When the MAD is zero (a
+	// flat series) any deviation scores +Inf, encoded as a large sentinel
+	// so the JSON stays parseable.
+	Score float64 `json:"score"`
+}
+
+// infScore stands in for +Inf in JSON output (encoding/json rejects Inf).
+const infScore = 1e9
+
+// medianOf returns the median of a sorted slice.
+func medianOf(sorted []float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+// robustStats returns the median and MAD of vs (scratch is sorted in place).
+func robustStats(vs []float64) (median, mad float64) {
+	sorted := append([]float64(nil), vs...)
+	sort.Float64s(sorted)
+	median = medianOf(sorted)
+	devs := sorted // reuse: sorted copy is ours
+	for i, v := range vs {
+		devs[i] = math.Abs(v - median)
+	}
+	sort.Float64s(devs)
+	mad = medianOf(devs)
+	return median, mad
+}
+
+// Score returns the robust z-score of v against (median, mad). A zero MAD
+// means the history is flat: any deviation is infinitely surprising.
+func Score(v, median, mad float64) float64 {
+	dev := math.Abs(v - median)
+	if mad == 0 {
+		if dev == 0 {
+			return 0
+		}
+		return infScore
+	}
+	return dev / (madScale * mad)
+}
+
+// minAnomalyPoints is the fewest points a series needs before the detector
+// will flag anything — robust statistics over a handful of samples are
+// noise.
+const minAnomalyPoints = 8
+
+// DetectSeries flags the points of one snapshot whose robust z-score
+// exceeds threshold (<= 0 takes DefaultAnomalyThreshold).
+func DetectSeries(snap SeriesSnapshot, threshold float64) []Anomaly {
+	if threshold <= 0 {
+		threshold = DefaultAnomalyThreshold
+	}
+	if len(snap.Points) < minAnomalyPoints {
+		return nil
+	}
+	vs := make([]float64, len(snap.Points))
+	for i, p := range snap.Points {
+		vs[i] = p.Value
+	}
+	median, mad := robustStats(vs)
+	var out []Anomaly
+	for _, p := range snap.Points {
+		score := Score(p.Value, median, mad)
+		if score >= threshold {
+			out = append(out, Anomaly{
+				Series: snap.Name, Shard: snap.Shard, Tier: snap.Tier,
+				Slot: p.Slot, Value: p.Value, Median: median, Score: score,
+			})
+		}
+	}
+	return out
+}
+
+// Detect runs DetectSeries over the raw tier of every snapshot (the
+// downsampled tiers restate the same data; flagging them too would
+// triple-report every excursion).
+func Detect(snaps []SeriesSnapshot, threshold float64) []Anomaly {
+	var out []Anomaly
+	for _, snap := range snaps {
+		if snap.Tier != 1 {
+			continue
+		}
+		out = append(out, DetectSeries(snap, threshold)...)
+	}
+	return out
+}
+
+// Trend summarizes one snapshot for the CLI report.
+type Trend struct {
+	Name   string  `json:"name"`
+	Kind   string  `json:"kind"`
+	Shard  int     `json:"shard"`
+	Tier   int     `json:"tier"`
+	Points int     `json:"points"`
+	First  float64 `json:"first"`
+	Last   float64 `json:"last"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	Mean   float64 `json:"mean"`
+	// Summary is the baseline-comparison scalar (counter: total delta;
+	// gauge/hist: mean of points).
+	Summary float64 `json:"summary"`
+	// Direction is "up", "down" or "flat": the sign of the second-half
+	// mean minus the first-half mean, dead-banded at 1% of the value scale.
+	Direction string `json:"direction"`
+	Anomalies int    `json:"anomalies"`
+}
+
+// TrendOf reduces one snapshot to its trend row.
+func TrendOf(snap SeriesSnapshot, threshold float64) Trend {
+	t := Trend{
+		Name: snap.Name, Kind: snap.Kind, Shard: snap.Shard, Tier: snap.Tier,
+		Points: len(snap.Points), Summary: snap.Summary(), Direction: "flat",
+		Anomalies: len(DetectSeries(snap, threshold)),
+	}
+	if len(snap.Points) == 0 {
+		return t
+	}
+	t.First = snap.Points[0].Value
+	t.Last = snap.Points[len(snap.Points)-1].Value
+	t.Min, t.Max = t.First, t.First
+	sum := 0.0
+	for _, p := range snap.Points {
+		if p.Value < t.Min {
+			t.Min = p.Value
+		}
+		if p.Value > t.Max {
+			t.Max = p.Value
+		}
+		sum += p.Value
+	}
+	t.Mean = sum / float64(len(snap.Points))
+
+	half := len(snap.Points) / 2
+	if half > 0 {
+		var a, b float64
+		for _, p := range snap.Points[:half] {
+			a += p.Value
+		}
+		for _, p := range snap.Points[half:] {
+			b += p.Value
+		}
+		a /= float64(half)
+		b /= float64(len(snap.Points) - half)
+		scale := math.Max(math.Abs(t.Min), math.Abs(t.Max))
+		deadband := 0.01 * scale
+		switch {
+		case b-a > deadband:
+			t.Direction = "up"
+		case a-b > deadband:
+			t.Direction = "down"
+		}
+	}
+	return t
+}
+
+// Regression is one baseline-comparison failure: a series whose summary
+// moved past the tolerance in its bad direction.
+type Regression struct {
+	Key      string  `json:"key"`
+	Baseline float64 `json:"baseline"`
+	Current  float64 `json:"current"`
+	// Ratio is current/baseline when baseline is nonzero.
+	Ratio float64 `json:"ratio,omitempty"`
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: baseline %.4g -> current %.4g (ratio %.3f)", r.Key, r.Baseline, r.Current, r.Ratio)
+}
+
+// badDirectionUp reports whether a larger value of the named series is
+// worse. Health series follow the convention that miss/stall/page/drop/
+// abandon/retry/evac style names grow when things degrade, while
+// quality/budget style names shrink.
+func badDirectionUp(name string) bool {
+	for _, bad := range []string{"miss", "stall", "page", "warn", "drop", "abandon", "retry", "evac", "migrat", "outage", "pressure", "dropped", "malformed"} {
+		if containsWord(name, bad) {
+			return true
+		}
+	}
+	return false
+}
+
+func containsWord(s, sub string) bool {
+	// plain substring match is enough for our snake_case series names
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// Compare joins current snapshots against a baseline by series key and
+// returns the regressions: series whose summary degraded by more than
+// tolerance (a fraction, e.g. 0.10) in the bad direction for their name,
+// plus baseline series missing entirely from the current export. Absolute
+// drifts below absFloor are ignored so near-zero baselines don't turn
+// rounding noise into huge ratios.
+func Compare(baseline, current []SeriesSnapshot, tolerance, absFloor float64) []Regression {
+	if tolerance <= 0 {
+		tolerance = 0.10
+	}
+	cur := make(map[string]*SeriesSnapshot, len(current))
+	for i := range current {
+		cur[current[i].Key()] = &current[i]
+	}
+	var out []Regression
+	for i := range baseline {
+		b := &baseline[i]
+		// one tier is enough for the gate: compare the raw tier only
+		if b.Tier != 1 {
+			continue
+		}
+		c, ok := cur[b.Key()]
+		if !ok {
+			out = append(out, Regression{Key: b.Key(), Baseline: b.Summary(), Current: math.NaN()})
+			continue
+		}
+		bv, cv := b.Summary(), c.Summary()
+		diff := cv - bv
+		if !badDirectionUp(b.Name) {
+			diff = -diff // for good-up series, a drop is the regression
+		}
+		if diff <= absFloor {
+			continue
+		}
+		limit := tolerance * math.Abs(bv)
+		if limit < absFloor {
+			limit = absFloor
+		}
+		if diff > limit {
+			r := Regression{Key: b.Key(), Baseline: bv, Current: cv}
+			if bv != 0 {
+				r.Ratio = cv / bv
+			}
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}

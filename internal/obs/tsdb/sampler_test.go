@@ -1,0 +1,161 @@
+package tsdb
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestSamplerWalksRegistryAndSLO(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("collabvr_sent_total").Add(10)
+	reg.Gauge("collabvr_sessions").Set(3)
+	h := reg.Histogram("collabvr_latency_ms", obs.DefaultLatencyBuckets())
+	h.Observe(2)
+	h.Observe(4)
+	slo := obs.NewSLOMonitor(obs.SLOConfig{WindowSlots: 10, ShortWindowSlots: 2}, reg)
+	for i := 0; i < 5; i++ {
+		slo.ObserveSlot(1, true, 4)
+		slo.ObserveSlot(2, false, 0)
+	}
+
+	st := New(Options{RawSlots: 16, TierPoints: 4})
+	s := NewSampler(SamplerOptions{Store: st, Registry: reg, SLO: slo, Mirror: true})
+	s.Sample(0)
+	reg.Counter("collabvr_sent_total").Add(5)
+	s.Sample(1)
+
+	if got := st.Series("collabvr_sent_total", Counter).Stats(2); got.Delta() != 5 {
+		t.Fatalf("counter delta = %g, want 5", got.Delta())
+	}
+	if got := st.Series("collabvr_sessions", Gauge).Stats(1); got.Last != 3 {
+		t.Fatalf("gauge = %g, want 3", got.Last)
+	}
+	if got := st.Series("collabvr_latency_ms_mean", Hist).Stats(1); got.Last != 3 {
+		t.Fatalf("hist mean = %g, want 3", got.Last)
+	}
+	if got := st.Series("collabvr_slo_sessions_page", Gauge).Stats(1); got.Count != 1 {
+		t.Fatal("SLO totals not sampled")
+	}
+	// mirror instruments exist in the registry but are never re-sampled
+	if got := reg.Counter(healthPrefix + "samples_total").Value(); got != 2 {
+		t.Fatalf("mirror samples_total = %d, want 2", got)
+	}
+	if got := reg.Gauge(healthPrefix + "last_slot").Value(); got != 1 {
+		t.Fatalf("mirror last_slot = %g, want 1", got)
+	}
+	for _, snap := range st.Snapshot() {
+		if len(snap.Name) >= len(healthPrefix) && snap.Name[:len(healthPrefix)] == healthPrefix {
+			t.Fatalf("health plane sampled itself: %s", snap.Name)
+		}
+	}
+}
+
+func TestSamplerCadence(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Gauge("g").Set(1)
+	st := New(Options{})
+	s := NewSampler(SamplerOptions{Store: st, Registry: reg, EverySlots: 10})
+	for slot := int64(0); slot < 25; slot++ {
+		s.Sample(slot)
+	}
+	if got := st.Series("g", Gauge).Total(); got != 3 { // slots 0, 10, 20
+		t.Fatalf("sampled %d times, want 3", got)
+	}
+}
+
+func TestDisabledSamplerIsAllocationFree(t *testing.T) {
+	var s *Sampler
+	slot := int64(0)
+	if n := testing.AllocsPerRun(1000, func() {
+		s.Sample(slot)
+		slot++
+	}); n != 0 {
+		t.Fatalf("disabled sampler: %.1f allocs/op, want 0", n)
+	}
+}
+
+func TestEnabledSamplerSteadyStateIsAllocationFree(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("c").Add(1)
+	reg.Gauge("g").Set(2)
+	reg.Histogram("h", []float64{1, 10}).Observe(3)
+	slo := obs.NewSLOMonitor(obs.SLOConfig{WindowSlots: 8, ShortWindowSlots: 2}, reg)
+	slo.ObserveSlot(1, true, 4)
+	st := New(Options{RawSlots: 32, TierPoints: 4})
+	s := NewSampler(SamplerOptions{Store: st, Registry: reg, SLO: slo, Mirror: true})
+	s.Sample(0) // first pass registers the series
+	slot := int64(1)
+	if n := testing.AllocsPerRun(500, func() {
+		s.Sample(slot)
+		slot++
+	}); n != 0 {
+		t.Fatalf("steady-state sampler: %.1f allocs/op, want 0", n)
+	}
+}
+
+func TestSamplerDeterministicAcrossRuns(t *testing.T) {
+	run := func() []SeriesSnapshot {
+		reg := obs.NewRegistry()
+		st := New(Options{RawSlots: 32, TierPoints: 8})
+		s := NewSampler(SamplerOptions{Store: st, Registry: reg})
+		for slot := int64(0); slot < 40; slot++ {
+			reg.Counter("work_total").Add(uint64(slot % 7))
+			reg.Gauge("load").Set(float64(slot * 13 % 29))
+			s.Sample(slot)
+		}
+		return st.Snapshot()
+	}
+	if !reflect.DeepEqual(run(), run()) {
+		t.Fatal("identical sampler runs exported different snapshots")
+	}
+}
+
+func TestHealthHandler(t *testing.T) {
+	st := New(Options{RawSlots: 16, TierPoints: 4})
+	for slot := int64(0); slot < 12; slot++ {
+		st.Series("a_metric", Gauge).Observe(slot, 1)
+		st.ShardSeries("shard_load", Gauge, 0).Observe(slot, float64(slot))
+	}
+	served := 0
+	h := Handler(st, func(HealthDoc) { served++ })
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/health", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var doc HealthDoc
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Slot != 11 || doc.SeriesCount != 2 || len(doc.Series) != 6 {
+		t.Fatalf("doc slot=%d series_count=%d series=%d", doc.Slot, doc.SeriesCount, len(doc.Series))
+	}
+	if served != 1 {
+		t.Fatalf("onServe fired %d times", served)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/health?name=shard&tier=1", nil))
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Series) != 1 || doc.Series[0].Name != "shard_load" || doc.Series[0].Tier != 1 {
+		t.Fatalf("filtered doc = %+v", doc.Series)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/health?tier=7", nil))
+	if rec.Code != 400 {
+		t.Fatalf("bad tier got status %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/health?threshold=-1", nil))
+	if rec.Code != 400 {
+		t.Fatalf("bad threshold got status %d", rec.Code)
+	}
+}

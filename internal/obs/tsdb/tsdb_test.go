@@ -1,0 +1,363 @@
+package tsdb
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestDownsamplingGauge(t *testing.T) {
+	st := New(Options{RawSlots: 50, TierPoints: 16})
+	s := st.Series("q", Gauge)
+	// slots 0..29, value = slot
+	for slot := int64(0); slot < 30; slot++ {
+		s.Observe(slot, float64(slot))
+	}
+	snaps := st.Snapshot()
+	if len(snaps) != 3 {
+		t.Fatalf("want 3 tiers, got %d", len(snaps))
+	}
+	raw, t10, t100 := snaps[0], snaps[1], snaps[2]
+	if raw.Tier != 1 || t10.Tier != 10 || t100.Tier != 100 {
+		t.Fatalf("tier order wrong: %d %d %d", raw.Tier, t10.Tier, t100.Tier)
+	}
+	if len(raw.Points) != 30 {
+		t.Fatalf("raw points = %d, want 30", len(raw.Points))
+	}
+	// tier-10: windows [0,10), [10,20) flushed, [20,30) current (still open
+	// until slot 30 arrives, but exported as a partial point).
+	if len(t10.Points) != 3 {
+		t.Fatalf("tier-10 points = %d, want 3", len(t10.Points))
+	}
+	want := []struct {
+		slot     int64
+		mean     float64
+		min, max float64
+		count    uint32
+	}{
+		{0, 4.5, 0, 9, 10},
+		{10, 14.5, 10, 19, 10},
+		{20, 24.5, 20, 29, 10},
+	}
+	for i, w := range want {
+		p := t10.Points[i]
+		if p.Slot != w.slot || p.Value != w.mean || p.Min != w.min || p.Max != w.max || p.Count != w.count {
+			t.Fatalf("tier-10 point %d = %+v, want %+v", i, p, w)
+		}
+	}
+	// tier-100: a single partial window covering everything
+	if len(t100.Points) != 1 || t100.Points[0].Count != 30 || t100.Points[0].Value != 14.5 {
+		t.Fatalf("tier-100 = %+v", t100.Points)
+	}
+}
+
+func TestDownsamplingCounterDelta(t *testing.T) {
+	st := New(Options{RawSlots: 50, TierPoints: 16})
+	s := st.Series("sent_total", Counter)
+	// cumulative counter growing by 3 per slot
+	for slot := int64(0); slot < 20; slot++ {
+		s.Observe(slot, float64(slot*3))
+	}
+	snaps := st.Snapshot()
+	t10 := snaps[1]
+	// window [0,10): first 0, last 27 -> delta 27; [10,20): 30..57 -> 27
+	for i, p := range t10.Points {
+		if p.Value != 27 {
+			t.Fatalf("counter window %d delta = %g, want 27", i, p.Value)
+		}
+	}
+	if got := s.Stats(10).Delta(); got != 27 {
+		t.Fatalf("Stats(10).Delta() = %g, want 27", got)
+	}
+}
+
+func TestRawRingWrap(t *testing.T) {
+	st := New(Options{RawSlots: 8, TierPoints: 4})
+	s := st.Series("g", Gauge)
+	for slot := int64(0); slot < 20; slot++ {
+		s.Observe(slot, float64(slot))
+	}
+	raw := st.Snapshot()[0]
+	if len(raw.Points) != 8 {
+		t.Fatalf("raw kept %d points, want 8", len(raw.Points))
+	}
+	for i, p := range raw.Points {
+		if p.Slot != int64(12+i) {
+			t.Fatalf("raw point %d slot = %d, want %d", i, p.Slot, 12+i)
+		}
+	}
+	w := s.Stats(100) // clamped to ring length
+	if w.Count != 8 || w.First != 12 || w.Last != 19 || w.Min != 12 || w.Max != 19 {
+		t.Fatalf("Stats = %+v", w)
+	}
+	if got := s.Total(); got != 20 {
+		t.Fatalf("Total = %d, want 20", got)
+	}
+}
+
+func TestTierRingWrap(t *testing.T) {
+	st := New(Options{RawSlots: 8, TierPoints: 3})
+	s := st.Series("g", Gauge)
+	for slot := int64(0); slot < 60; slot++ {
+		s.Observe(slot, 1)
+	}
+	t10 := st.Snapshot()[1]
+	// 5 full windows flushed into a 3-point ring -> keeps [20,30,40] + open [50]
+	if len(t10.Points) != 4 {
+		t.Fatalf("tier-10 kept %d points, want 4", len(t10.Points))
+	}
+	for i, wantSlot := range []int64{20, 30, 40, 50} {
+		if t10.Points[i].Slot != wantSlot {
+			t.Fatalf("tier-10 point %d slot = %d, want %d", i, t10.Points[i].Slot, wantSlot)
+		}
+	}
+}
+
+func TestWindowStatsEmpty(t *testing.T) {
+	var s *Series
+	w := s.Stats(10)
+	if w.Count != 0 || !math.IsNaN(w.Mean()) {
+		t.Fatalf("nil series stats = %+v mean %g", w, w.Mean())
+	}
+}
+
+func TestSnapshotDeterministicAndRoundTrip(t *testing.T) {
+	build := func() *Store {
+		st := New(Options{RawSlots: 32, TierPoints: 8})
+		// register in different orders; snapshot must not care
+		names := []string{"b_gauge", "a_counter", "c_hist"}
+		for slot := int64(0); slot < 45; slot++ {
+			st.ShardSeries(names[slot%3], Gauge, int(slot%2)).Observe(slot, float64(slot*slot%97))
+			st.Series("fleet_total", Counter).Observe(slot, float64(slot*2))
+		}
+		return st
+	}
+	s1, s2 := build().Snapshot(), build().Snapshot()
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatal("snapshots of identical observation streams differ")
+	}
+	for i := 1; i < len(s1); i++ {
+		a, b := s1[i-1], s1[i]
+		if a.Name > b.Name || (a.Name == b.Name && a.Shard > b.Shard) ||
+			(a.Name == b.Name && a.Shard == b.Shard && a.Tier >= b.Tier) {
+			t.Fatalf("snapshot not sorted at %d: %s#%d@%d then %s#%d@%d",
+				i, a.Name, a.Shard, a.Tier, b.Name, b.Shard, b.Tier)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := build().WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, skipped, err := ReadSnapshots(bytes.NewReader(buf.Bytes()))
+	if err != nil || skipped != 0 {
+		t.Fatalf("read: err=%v skipped=%d", err, skipped)
+	}
+	if !reflect.DeepEqual(got, s1) {
+		t.Fatal("JSONL round trip does not reproduce the snapshot")
+	}
+}
+
+func TestReadSnapshotsRejectsBadRecords(t *testing.T) {
+	// A good line after the bad one makes it interior corruption — a hard
+	// error under the shared jsonl policy (a lone trailing bad line would
+	// be skipped as a live writer's partial tail).
+	good := `{"name":"ok","kind":"gauge","shard":-1,"tier":1,"points":[]}` + "\n"
+	for _, bad := range []string{
+		`{"name":"x","kind":"gauge","shard":-1,"tier":7,"points":[]}`,
+		`{"name":"","kind":"gauge","shard":-1,"tier":1,"points":[]}`,
+		`{"name":"x","kind":"nope","shard":-1,"tier":1,"points":[]}`,
+		`{"name":"x","kind":"gauge","shard":-1,"tier":1,"points":[{"slot":5,"value":1},{"slot":4,"value":1}]}`,
+	} {
+		if _, _, err := ReadSnapshots(strings.NewReader(bad + "\n" + good)); err == nil {
+			t.Fatalf("interior bad record accepted: %s", bad)
+		}
+	}
+	// ...and the same bad line at EOF is tolerated as a partial tail.
+	recs, skipped, err := ReadSnapshots(strings.NewReader(good + `{"name":"x","kind":"nope"`))
+	if err != nil || skipped != 1 || len(recs) != 1 {
+		t.Fatalf("trailing partial: recs=%d skipped=%d err=%v", len(recs), skipped, err)
+	}
+}
+
+func TestDisabledStoreIsAllocationFree(t *testing.T) {
+	var st *Store
+	s := st.Series("x", Gauge)
+	if s != nil {
+		t.Fatal("nil store handed out a live series")
+	}
+	slot := int64(0)
+	if n := testing.AllocsPerRun(1000, func() {
+		s.Observe(slot, 1.0)
+		_ = s.Stats(16)
+		slot++
+	}); n != 0 {
+		t.Fatalf("disabled series: %.1f allocs/op, want 0", n)
+	}
+	if st.Snapshot() != nil || st.Len() != 0 {
+		t.Fatal("nil store snapshot not empty")
+	}
+}
+
+func TestEnabledObserveIsAllocationFree(t *testing.T) {
+	st := New(Options{RawSlots: 64, TierPoints: 8})
+	s := st.Series("x", Gauge)
+	slot := int64(0)
+	if n := testing.AllocsPerRun(1000, func() {
+		s.Observe(slot, float64(slot))
+		_ = s.Stats(32)
+		slot++
+	}); n != 0 {
+		t.Fatalf("enabled observe: %.1f allocs/op, want 0", n)
+	}
+}
+
+func TestKindNames(t *testing.T) {
+	for _, k := range []Kind{Gauge, Counter, Hist} {
+		got, ok := KindByName(k.String())
+		if !ok || got != k {
+			t.Fatalf("KindByName(%q) = %v %v", k.String(), got, ok)
+		}
+	}
+	if _, ok := KindByName("bogus"); ok {
+		t.Fatal("bogus kind accepted")
+	}
+}
+
+func TestAnomalyDetection(t *testing.T) {
+	snap := SeriesSnapshot{Name: "miss_rate", Shard: FleetShard, Tier: 1}
+	for i := 0; i < 40; i++ {
+		v := 1.0 + 0.01*float64(i%5) // mild noise
+		if i == 25 {
+			v = 50 // the excursion
+		}
+		snap.Points = append(snap.Points, SnapPoint{Slot: int64(i), Value: v})
+	}
+	got := DetectSeries(snap, 0)
+	if len(got) != 1 {
+		t.Fatalf("anomalies = %+v, want exactly the spike", got)
+	}
+	if got[0].Slot != 25 || got[0].Value != 50 {
+		t.Fatalf("flagged wrong point: %+v", got[0])
+	}
+	if got[0].Score < DefaultAnomalyThreshold {
+		t.Fatalf("score %g below threshold", got[0].Score)
+	}
+}
+
+func TestAnomalyFlatSeriesSpike(t *testing.T) {
+	// MAD of a perfectly flat series is 0: any deviation must still flag,
+	// with the finite Inf sentinel.
+	snap := SeriesSnapshot{Name: "g", Tier: 1}
+	for i := 0; i < 20; i++ {
+		snap.Points = append(snap.Points, SnapPoint{Slot: int64(i), Value: 3})
+	}
+	snap.Points[10].Value = 4
+	got := DetectSeries(snap, 0)
+	if len(got) != 1 || got[0].Score != infScore {
+		t.Fatalf("flat-series spike: %+v", got)
+	}
+	// and a short series never flags
+	short := SeriesSnapshot{Name: "g", Tier: 1, Points: snap.Points[:minAnomalyPoints-1]}
+	if got := DetectSeries(short, 0); got != nil {
+		t.Fatalf("short series flagged: %+v", got)
+	}
+}
+
+func TestDetectSkipsDownsampledTiers(t *testing.T) {
+	mk := func(tier int) SeriesSnapshot {
+		s := SeriesSnapshot{Name: "g", Tier: tier}
+		for i := 0; i < 20; i++ {
+			s.Points = append(s.Points, SnapPoint{Slot: int64(i), Value: 1})
+		}
+		s.Points[5].Value = 100
+		return s
+	}
+	got := Detect([]SeriesSnapshot{mk(1), mk(10), mk(100)}, 0)
+	if len(got) != 1 || got[0].Tier != 1 {
+		t.Fatalf("Detect flagged %d anomalies (want 1, raw tier only): %+v", len(got), got)
+	}
+}
+
+func TestTrendDirection(t *testing.T) {
+	up := SeriesSnapshot{Name: "g", Kind: "gauge", Tier: 1}
+	for i := 0; i < 20; i++ {
+		up.Points = append(up.Points, SnapPoint{Slot: int64(i), Value: float64(i)})
+	}
+	if tr := TrendOf(up, 0); tr.Direction != "up" || tr.First != 0 || tr.Last != 19 {
+		t.Fatalf("up trend = %+v", tr)
+	}
+	flat := SeriesSnapshot{Name: "g", Kind: "gauge", Tier: 1}
+	for i := 0; i < 20; i++ {
+		flat.Points = append(flat.Points, SnapPoint{Slot: int64(i), Value: 5})
+	}
+	if tr := TrendOf(flat, 0); tr.Direction != "flat" || tr.Mean != 5 {
+		t.Fatalf("flat trend = %+v", tr)
+	}
+}
+
+func TestCompareRegressions(t *testing.T) {
+	mk := func(name string, vals ...float64) SeriesSnapshot {
+		s := SeriesSnapshot{Name: name, Kind: "gauge", Shard: FleetShard, Tier: 1}
+		for i, v := range vals {
+			s.Points = append(s.Points, SnapPoint{Slot: int64(i), Value: v})
+		}
+		return s
+	}
+	baseline := []SeriesSnapshot{
+		mk("miss_rate", 0.01, 0.01, 0.01), // bad-up
+		mk("mean_quality", 4.0, 4.0, 4.0), // good-up
+		mk("vanished", 1, 1, 1),
+	}
+	current := []SeriesSnapshot{
+		mk("miss_rate", 0.05, 0.05, 0.05), // 5x worse -> regression
+		mk("mean_quality", 3.9, 3.9, 3.9), // 2.5% dip, within 10% -> fine
+	}
+	got := Compare(baseline, current, 0.10, 0.001)
+	if len(got) != 2 {
+		t.Fatalf("regressions = %+v, want miss_rate + vanished", got)
+	}
+	if got[0].Key != "mean_quality#-1@1" && got[0].Key != "miss_rate#-1@1" {
+		t.Fatalf("unexpected first regression %q", got[0].Key)
+	}
+	keys := []string{got[0].Key, got[1].Key}
+	wantKeys := []string{"miss_rate#-1@1", "vanished#-1@1"}
+	if !reflect.DeepEqual(keys, wantKeys) {
+		t.Fatalf("regression keys = %v, want %v", keys, wantKeys)
+	}
+	if !math.IsNaN(got[1].Current) {
+		t.Fatalf("vanished series should read NaN current, got %g", got[1].Current)
+	}
+
+	// quality dropping past tolerance is a regression for good-up series
+	current[1] = mk("mean_quality", 3.0, 3.0, 3.0)
+	got = Compare(baseline[:2], current, 0.10, 0.001)
+	if len(got) != 2 {
+		t.Fatalf("quality drop not caught: %+v", got)
+	}
+
+	// improvements never flag
+	better := []SeriesSnapshot{
+		mk("miss_rate", 0.001, 0.001, 0.001),
+		mk("mean_quality", 4.5, 4.5, 4.5),
+	}
+	if got := Compare(baseline[:2], better, 0.10, 0.001); len(got) != 0 {
+		t.Fatalf("improvement flagged as regression: %+v", got)
+	}
+}
+
+func TestCompareAbsFloor(t *testing.T) {
+	mk := func(v float64) []SeriesSnapshot {
+		return []SeriesSnapshot{{Name: "drop_total", Kind: "gauge", Tier: 1,
+			Points: []SnapPoint{{Slot: 0, Value: v}}}}
+	}
+	// 0 -> 0.0005 is a huge ratio but below the absolute floor: no flag
+	if got := Compare(mk(0), mk(0.0005), 0.10, 0.001); len(got) != 0 {
+		t.Fatalf("sub-floor drift flagged: %+v", got)
+	}
+	if got := Compare(mk(0), mk(0.5), 0.10, 0.001); len(got) != 1 {
+		t.Fatalf("real drift from zero baseline not flagged: %+v", got)
+	}
+}

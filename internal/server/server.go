@@ -25,6 +25,7 @@ import (
 	"repro/internal/motion"
 	"repro/internal/netem"
 	"repro/internal/obs"
+	"repro/internal/obs/tsdb"
 	"repro/internal/tiles"
 	"repro/internal/trace"
 	"repro/internal/transport"
@@ -116,6 +117,10 @@ type Config struct {
 	// Chaos injects server-pipeline faults (slot stalls, slow ACK
 	// processing) from a chaos profile; nil disables.
 	Chaos *chaos.ServerInjector
+	// Health runs one health-plane sampling pass per slot on the slot
+	// loop's clock, folding Metrics/SLO into the sampler's time-series
+	// store; nil disables with one pointer check per slot.
+	Health *tsdb.Sampler
 	// ShardID identifies this server inside a fleet (0 standalone). It is
 	// echoed in every Welcome so clients know which shard serves them, and
 	// salts handoff tokens so tokens from different shards never collide.
@@ -1183,6 +1188,9 @@ func (s *Server) slotLoop() {
 		if len(sessions) > 0 {
 			s.safeRunSlot(slot, sessions, budget)
 		}
+		// Health sampling rides the same slot clock so the stored series
+		// align with decisions; it runs after the slot's outcomes land.
+		s.cfg.Health.Sample(int64(slot))
 		if s.cfg.TotalSlots > 0 && int(s.slot) >= s.cfg.TotalSlots {
 			return
 		}
