@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race lint bench bench-smoke fuzz-smoke ci figures figures-full loadtest-smoke trace-smoke chaos-smoke regret-smoke fleet-smoke slotloop-smoke health-smoke health-baseline clean
+.PHONY: all build vet test race lint bench bench-smoke fuzz-smoke ci figures figures-full loadtest-smoke trace-smoke chaos-smoke regret-smoke fleet-smoke slotloop-smoke coord-smoke health-smoke health-baseline clean
 
 all: build vet test
 
@@ -28,7 +28,7 @@ race:
 	$(GO) test -race ./internal/... ./cmd/...
 
 # What CI runs (see .github/workflows/ci.yml).
-ci: build lint test race bench-smoke fuzz-smoke loadtest-smoke trace-smoke chaos-smoke regret-smoke fleet-smoke slotloop-smoke health-smoke
+ci: build lint test race bench-smoke fuzz-smoke loadtest-smoke trace-smoke chaos-smoke regret-smoke fleet-smoke slotloop-smoke coord-smoke health-smoke
 
 # Full benchmark pass: the allocator and slot-loop JSON reports (each run
 # also appended as a timestamped entry to the results/bench_history.jsonl
@@ -41,6 +41,8 @@ bench:
 	$(GO) run ./cmd/collabvr-bench -allocator -alloc-out BENCH_allocator.json \
 		-history results/bench_history.jsonl
 	$(GO) run ./cmd/collabvr-bench -slotloop -slotloop-out BENCH_slotloop.json \
+		-history results/bench_history.jsonl
+	$(GO) run ./cmd/collabvr-bench -coord -coord-out BENCH_coord.json \
 		-history results/bench_history.jsonl
 	$(GO) test -bench=. -benchmem ./...
 
@@ -55,6 +57,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzGreedy$$' -fuzztime 10s ./internal/knapsack
 	$(GO) test -run '^$$' -fuzz '^FuzzDynamicProgram$$' -fuzztime 10s ./internal/knapsack
 	$(GO) test -run '^$$' -fuzz '^FuzzWarmGreedy$$' -fuzztime 10s ./internal/knapsack
+	$(GO) test -run '^$$' -fuzz '^FuzzCoordLog$$' -fuzztime 10s ./internal/fleet/coord
 
 # Slot-loop smoke (< 60 s): the 10k-session virtual-time differential —
 # serial cold, sharded-build, and warm-start campaigns must produce
@@ -146,6 +149,24 @@ fleet-smoke:
 	grep -q 'recovery: OK' results/fleet_smoke.txt
 	$(GO) run ./cmd/collabvr-fleet -mode live -shards 2 -sessions 4 \
 		-slots 240 -slotms 10 -budget 300
+
+# Coordinator smoke (< 60 s): validate the coordinator-fault profile, then
+# run the seeded 3-shard / 3-coordinator campaign that kills the lease
+# holder mid-migration and assert the replication contract — no session
+# drops, the survivors elect and converge, the run reproduces bit for bit,
+# and a deposed leader's stale flips are fenced. A short live loopback run
+# exercises the same failover on the real slot clock.
+coord-smoke:
+	@mkdir -p results
+	$(GO) run ./cmd/collabvr-fleet -coordinators 3 -chaos examples/chaos/coordkill.json -chaos-check
+	$(GO) run ./cmd/collabvr-fleet -shards 3 -sessions 9 -slots 1200 -seed 42 \
+		-coordinators 3 -chaos examples/chaos/coordkill.json -verify-recovery \
+		| tee results/coord_smoke.txt
+	grep -q 'degrades-not-drops: OK' results/coord_smoke.txt
+	grep -q 'determinism: OK' results/coord_smoke.txt
+	grep -q 'coord failover: OK' results/coord_smoke.txt
+	$(GO) test -run 'TestFleetCoordLeaderKillMidMigration|TestAdoptSessionEpochFencing' \
+		./internal/load ./internal/server
 
 # Health smoke (< 60 s): the seeded 3-shard evacuation campaign exports
 # its health time-series (bit-identical per seed), then collabvr-health

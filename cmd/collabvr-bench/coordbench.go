@@ -1,0 +1,207 @@
+package main
+
+// The -coord mode: the replicated coordinator's cost guard — a
+// single-replica Propose must stay allocation-free, the coordinator-enabled
+// fleet slot loop must stay within 5% of the cluster-disabled engine (after
+// proving the reports bit-identical), and the 3-replica configuration's
+// cost is recorded for the trajectory — written as one JSON report
+// (BENCH_coord.json). The first two rows are hard gates: the run exits
+// nonzero if the single-replica path allocates or drifts past the budget.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/fleet/coord"
+	"repro/internal/load"
+)
+
+type coordRow struct {
+	Name string `json:"name"`
+	// N is the problem scale: resident sessions for the propose rows,
+	// campaign sessions for the slot-loop rows.
+	N           int     `json:"n"`
+	Slots       int     `json:"slots,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	NsPerOp     float64 `json:"ns_per_op,omitempty"`
+	BaselineNs  float64 `json:"baseline_ns,omitempty"`
+	CoordNs     float64 `json:"coord_ns,omitempty"`
+	OverheadPct float64 `json:"overhead_pct"`
+	Note        string  `json:"note,omitempty"`
+}
+
+type coordReport struct {
+	Comment   string     `json:"comment"`
+	GoVersion string     `json:"go_version"`
+	GOOS      string     `json:"goos"`
+	GOARCH    string     `json:"goarch"`
+	NumCPU    int        `json:"num_cpu"`
+	Date      string     `json:"date"`
+	Rows      []coordRow `json:"rows"`
+}
+
+// benchCoordPropose measures Propose on an n-session resident owner map:
+// place once, then flip existing sessions forever — the steady-state op mix
+// the fleet slot loop issues. At 1 replica this must be allocation-free.
+func benchCoordPropose(replicas, sessions int) coordRow {
+	build := func() *coord.Cluster {
+		c := coord.New(coord.Config{Replicas: replicas})
+		c.Tick(0)
+		for i := 0; i < sessions; i++ {
+			if err := c.Propose(coord.Op{Kind: coord.OpPlace, Session: uint32(i), Shard: i % 4}); err != nil {
+				panic(err)
+			}
+		}
+		return c
+	}
+	c := build()
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s := uint32(i % sessions)
+			if err := c.Propose(coord.Op{Kind: coord.OpFlip, Session: s, Shard: (i + 1) % 4, From: i % 4}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return coordRow{
+		Name:        fmt.Sprintf("propose_%d_replica", replicas),
+		N:           sessions,
+		AllocsPerOp: r.AllocsPerOp(),
+		NsPerOp:     float64(r.NsPerOp()),
+		Note:        fmt.Sprintf("steady-state flip on a %d-session owner map, %d replica(s)", sessions, replicas),
+	}
+}
+
+// benchCoordSlotloop times the fleet campaign with the coordinator at
+// `replicas` against the cluster-disabled engine (Coordinators: -1), after
+// proving the two produce bit-identical reports. Interleaved best-of-`reps`
+// wall times keep scheduler noise out of the overhead gate.
+func benchCoordSlotloop(seed int64, sessions, horizon, replicas, reps int) (coordRow, error) {
+	w, err := slotloopWorkload(seed, sessions, horizon)
+	if err != nil {
+		return coordRow{}, err
+	}
+	run := func(coordinators int) (float64, *load.FleetReport, error) {
+		cfg := load.FleetSimConfig{Shards: 4, Coordinators: coordinators}
+		start := time.Now()
+		rep, err := load.SimulateFleet(w, cfg)
+		return float64(time.Since(start).Nanoseconds()), rep, err
+	}
+
+	// Differential first: the overhead number is worthless if the
+	// coordinator-routed engine changes a single byte of the outcome.
+	_, base, err := run(-1)
+	if err != nil {
+		return coordRow{}, err
+	}
+	_, routed, err := run(replicas)
+	if err != nil {
+		return coordRow{}, err
+	}
+	if routed.Coord == nil || routed.Coord.Commits == 0 {
+		return coordRow{}, fmt.Errorf("coordinator-routed campaign committed nothing at %d replica(s)", replicas)
+	}
+	if replicas == 1 {
+		clone := *routed
+		clone.Coord = nil
+		if !reflect.DeepEqual(&clone, base) {
+			return coordRow{}, fmt.Errorf("single-replica coordinator campaign diverged from the cluster-disabled engine")
+		}
+	}
+
+	baseNs, coordNs := 0.0, 0.0
+	for i := 0; i < reps; i++ {
+		bNs, _, err := run(-1)
+		if err != nil {
+			return coordRow{}, err
+		}
+		cNs, _, err := run(replicas)
+		if err != nil {
+			return coordRow{}, err
+		}
+		if i == 0 || bNs < baseNs {
+			baseNs = bNs
+		}
+		if i == 0 || cNs < coordNs {
+			coordNs = cNs
+		}
+	}
+	row := coordRow{
+		Name:       fmt.Sprintf("fleet_slotloop_%d_replica", replicas),
+		N:          len(w.Sessions),
+		Slots:      horizon,
+		BaselineNs: baseNs,
+		CoordNs:    coordNs,
+		Note:       fmt.Sprintf("whole-campaign wall time, coordinator-routed vs cluster-disabled, best of %d interleaved runs", reps),
+	}
+	if baseNs > 0 {
+		row.OverheadPct = (coordNs - baseNs) / baseNs * 100
+	}
+	return row, nil
+}
+
+// runCoordBench executes the coordinator cost guard and writes the JSON
+// report to outPath. The single-replica rows are gates: nonzero allocs or
+// >5% slot-loop overhead is an error, not a data point.
+func runCoordBench(seed int64, outPath string) error {
+	report := coordReport{
+		Comment: "replicated-coordinator cost: single-replica Propose must not allocate and the " +
+			"coordinator-routed fleet slot loop must stay within 5% of the cluster-disabled engine",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Date:      time.Now().UTC().Format(time.RFC3339),
+	}
+
+	proposeRow := benchCoordPropose(1, 10_000)
+	report.Rows = append(report.Rows, proposeRow)
+	report.Rows = append(report.Rows, benchCoordPropose(3, 10_000))
+
+	loopRow, err := benchCoordSlotloop(seed, 2000, 1200, 1, 5)
+	if err != nil {
+		return err
+	}
+	report.Rows = append(report.Rows, loopRow)
+	threeRow, err := benchCoordSlotloop(seed, 2000, 1200, 3, 3)
+	if err != nil {
+		return err
+	}
+	report.Rows = append(report.Rows, threeRow)
+
+	raw, err := json.MarshalIndent(&report, "", " ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+
+	fmt.Printf("# Coordinator benchmark (%s %s/%s, %d cpu)\n",
+		report.GoVersion, report.GOOS, report.GOARCH, report.NumCPU)
+	fmt.Printf("%-24s %8s %10s %14s %14s %9s\n", "path", "n", "allocs/op", "baseline", "coord", "overhead")
+	for _, row := range report.Rows {
+		base := row.NsPerOp
+		if row.BaselineNs > 0 {
+			base = row.BaselineNs
+		}
+		fmt.Printf("%-24s %8d %10d %12.0fns %12.0fns %+8.2f%%\n",
+			row.Name, row.N, row.AllocsPerOp, base, row.CoordNs, row.OverheadPct)
+	}
+	fmt.Printf("# report written to %s\n", outPath)
+
+	if proposeRow.AllocsPerOp != 0 {
+		return fmt.Errorf("single-replica Propose allocates %d/op, want 0", proposeRow.AllocsPerOp)
+	}
+	if loopRow.OverheadPct > 5 {
+		return fmt.Errorf("single-replica coordinator adds %.2f%% slot-loop overhead, budget 5%%", loopRow.OverheadPct)
+	}
+	fmt.Println("coord cost gates: OK (0 allocs/op, overhead within 5%)")
+	return nil
+}

@@ -50,6 +50,9 @@ func run(args []string) error {
 		slotloopOut   = fs.String("slotloop-out", "BENCH_slotloop.json", "JSON report path for -slotloop")
 		slotloopSmoke = fs.Bool("slotloop-smoke", false, "run the fast slot-loop equivalence differential (sharded and warm-start campaigns vs serial cold) and exit")
 
+		coordBench = fs.Bool("coord", false, "run the replicated-coordinator cost guard (0 allocs/op Propose, <5% slot-loop overhead at 1 replica) and write -coord-out")
+		coordOut   = fs.String("coord-out", "BENCH_coord.json", "JSON report path for -coord")
+
 		history     = fs.String("history", "", "append the -allocator/-slotloop JSON report as a timestamped entry to this JSONL trajectory")
 		compare     = fs.String("compare", "", "compare this JSON bench report against -compare-baseline and exit nonzero on regression")
 		compareBase = fs.String("compare-baseline", "", "committed baseline JSON report for -compare")
@@ -84,6 +87,15 @@ func run(args []string) error {
 	}
 	if *slotloopSmoke {
 		return runSlotloopSmoke(*seed)
+	}
+	if *coordBench {
+		if err := runCoordBench(*seed, *coordOut); err != nil {
+			return err
+		}
+		if *history != "" {
+			return appendBenchHistory(*history, "coord", *coordOut)
+		}
+		return nil
 	}
 	if *spans {
 		return runSpanAnalysis(*seed, *full, *spanOut)

@@ -14,12 +14,14 @@
 //	collabvr-fleet -shards 3 -sessions 9 -slots 1200
 //	collabvr-fleet -shards 3 -scorer slo-burn -chaos examples/chaos/fleet.json
 //	collabvr-fleet -chaos examples/chaos/fleet.json -verify-recovery
+//	collabvr-fleet -coordinators 3 -chaos examples/chaos/coordkill.json -verify-recovery
 //	collabvr-fleet -mode live -shards 2 -sessions 6 -slotms 5
 //	collabvr-fleet -find-capacity -shards 3 -budget 300 -miss-target 0.01
 package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -34,6 +36,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/fleet"
+	"repro/internal/fleet/coord"
 	"repro/internal/load"
 	"repro/internal/obs"
 	"repro/internal/obs/tsdb"
@@ -60,6 +63,9 @@ func run(args []string, out io.Writer) error {
 		scorerName = fs.String("scorer", "least-loaded", "placement scorer: least-loaded, locality, slo-burn")
 		rebSlots   = fs.Int("rebalance-slots", 0, "budget rebalance cadence in slots (0 = default)")
 		migSlots   = fs.Int("migration-slots", 0, "sim: forced-miss blackout per migrated session (0 = default 2, negative = none)")
+
+		coordinators = fs.Int("coordinators", 1, "coordinator replica count for the replicated owner map (2f+1 tolerates f crashes; 1 = zero-cost single replica)")
+		leaseSlots   = fs.Int("lease-slots", 0, "coordinator leader-lease length in slots — the election timeout (0 = default 8)")
 
 		mode   = fs.String("mode", "sim", "execution engine: sim (virtual time) or live (loopback sockets)")
 		slotMs = fs.Float64("slotms", 0, "live-mode wall-clock slot duration in ms (0 = 1000/sps)")
@@ -110,6 +116,9 @@ func run(args []string, out io.Writer) error {
 		if m := chaosProf.MaxShard(); m >= *shards {
 			return fmt.Errorf("chaos profile targets shard %d but -shards is %d", m, *shards)
 		}
+		if m := chaosProf.MaxReplica(); m >= *coordinators {
+			return fmt.Errorf("chaos profile targets coordinator replica %d but -coordinators is %d", m, *coordinators)
+		}
 	}
 	if *chaosCheck {
 		if chaosProf == nil {
@@ -122,8 +131,8 @@ func run(args []string, out io.Writer) error {
 		if *mode != "sim" {
 			return fmt.Errorf("-verify-recovery needs -mode sim (determinism is a virtual-time property)")
 		}
-		if !chaosProf.HasShardFaults() {
-			return fmt.Errorf("-verify-recovery needs -chaos with shard_kill/shard_drain faults")
+		if !chaosProf.HasShardFaults() && !chaosProf.HasCoordFaults() {
+			return fmt.Errorf("-verify-recovery needs -chaos with shard_kill/shard_drain or coord_kill/coord_partition faults")
 		}
 	}
 
@@ -169,15 +178,18 @@ func run(args []string, out io.Writer) error {
 		})
 	}
 
-	// /debug/fleet serves whatever the most recent run produced: a
-	// report-derived snapshot once a run has finished.
+	// /debug/fleet and /debug/coord serve whatever the most recent run
+	// produced: a report-derived snapshot once a run has finished.
 	var (
-		snapMu sync.Mutex
-		snap   func(n int) obs.FleetSnapshot
+		snapMu      sync.Mutex
+		snap        func(n int) obs.FleetSnapshot
+		coordOut    *load.CoordOutcome
+		coordStatus func() coord.Status
 	)
-	setSnap := func(f func(n int) obs.FleetSnapshot) {
+	setSnap := func(f func(n int) obs.FleetSnapshot, co *load.CoordOutcome) {
 		snapMu.Lock()
 		snap = f
+		coordOut = co
 		snapMu.Unlock()
 	}
 	if *httpAddr != "" {
@@ -206,6 +218,23 @@ func run(args []string, out io.Writer) error {
 		if healthStore != nil {
 			mopts.Health = tsdb.Handler(healthStore, nil)
 		}
+		// Live mode serves the cluster's full status document (leadership,
+		// lease, per-replica log frontier) mid-run; sim mode serves the
+		// finished run's coord outcome.
+		mopts.Coord = http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			snapMu.Lock()
+			st := coordStatus
+			co := coordOut
+			snapMu.Unlock()
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			if st != nil {
+				_ = enc.Encode(st())
+				return
+			}
+			_ = enc.Encode(co)
+		})
 		go http.Serve(ln, obs.NewMuxOpts(reg, nil, mopts))
 		fmt.Fprintf(out, "observability on http://%s/metrics (/debug/fleet)\n", ln.Addr())
 	}
@@ -230,6 +259,8 @@ func run(args []string, out io.Writer) error {
 			Scorer:               *scorerName,
 			Rebalance:            rebalance,
 			MigrationOutageSlots: *migSlots,
+			Coordinators:         *coordinators,
+			Coord:                coord.Config{LeaseSlots: *leaseSlots},
 		}
 		cfg.Sim = load.SimConfig{
 			Params:       params,
@@ -341,8 +372,10 @@ func run(args []string, out io.Writer) error {
 				Chaos:        chaosProf,
 				Logf:         logf,
 			},
-			Health:  healthStore,
-			Sampler: healthSampler,
+			Health:       healthStore,
+			Sampler:      healthSampler,
+			Coordinators: *coordinators,
+			Coord:        coord.Config{LeaseSlots: *leaseSlots},
 		}
 		if *evacOn {
 			lcfg.Evac = fleet.EvacConfig{Enabled: true}
@@ -354,11 +387,16 @@ func run(args []string, out io.Writer) error {
 			}
 			lcfg.Live.RetryPolicy = transport.DefaultRetryPolicy(retrySlot)
 		}
+		lcfg.CoordDebug = func(status func() coord.Status) {
+			snapMu.Lock()
+			coordStatus = status
+			snapMu.Unlock()
+		}
 		rep, err := load.RunLiveFleet(w, lcfg)
 		if err != nil {
 			return err
 		}
-		setSnap(func(n int) obs.FleetSnapshot { return reportSnapshot(rep, rec, *budget, n) })
+		setSnap(func(n int) obs.FleetSnapshot { return reportSnapshot(rep, rec, *budget, n) }, rep.Coord)
 		fmt.Fprint(out, rep.FormatFleet())
 		return finish(rep)
 	}
@@ -367,7 +405,7 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	setSnap(func(n int) obs.FleetSnapshot { return reportSnapshot(rep, rec, *budget, n) })
+	setSnap(func(n int) obs.FleetSnapshot { return reportSnapshot(rep, rec, *budget, n) }, rep.Coord)
 	fmt.Fprint(out, rep.FormatFleet())
 
 	if *verifyRecovery {
@@ -405,7 +443,7 @@ func verifyFleetRecovery(out io.Writer, w *load.Workload,
 		return fmt.Errorf("verify-recovery: %d/%d sessions completed (%d failed) — shard faults dropped sessions",
 			faulted.Completed, faulted.Spawned, faulted.Failed)
 	}
-	if faulted.Migrations == 0 {
+	if prof.HasShardFaults() && faulted.Migrations == 0 {
 		return fmt.Errorf("verify-recovery: shard faults migrated no sessions")
 	}
 	fmt.Fprintln(out, "degrades-not-drops: OK")
@@ -436,6 +474,22 @@ func verifyFleetRecovery(out io.Writer, w *load.Workload,
 		return fmt.Errorf("verify-recovery: post-fault tail quality %.3f < 90%% of fault-free %.3f", tail, want)
 	}
 	fmt.Fprintf(out, "recovery: OK (tail quality %.3f vs fault-free %.3f from slot %d)\n", tail, want, tailFrom)
+
+	// Coordinator failover contract: when the campaign kills or partitions
+	// coordinator replicas, every alive replica must still converge to one
+	// owner map (no split brain), and a leader loss must have cost only a
+	// bounded leaderless window.
+	if prof.HasCoordFaults() {
+		co := faulted.Coord
+		if co == nil {
+			return fmt.Errorf("verify-recovery: coord faults ran but the report has no coord outcome")
+		}
+		if !co.Converged {
+			return fmt.Errorf("verify-recovery: coordinator replicas did not converge — split-brain ownership")
+		}
+		fmt.Fprintf(out, "coord failover: OK (term %d, elections %d, rejected %d, leaderless slots %d, converged)\n",
+			co.Term, co.Elections, co.Rejected, co.LeaderlessSlots)
+	}
 	return nil
 }
 
@@ -504,6 +558,8 @@ func chaosSummary(p *chaos.Profile) string {
 			fmt.Fprintf(&b, ", delay %g ms", f.DelayMs)
 		case chaos.FaultShardKill, chaos.FaultShardDrain:
 			fmt.Fprintf(&b, ", shard %d", f.Shard)
+		case chaos.FaultCoordKill, chaos.FaultCoordPartition:
+			fmt.Fprintf(&b, ", replica %d", f.Replica)
 		}
 		b.WriteByte('\n')
 	}

@@ -57,10 +57,11 @@ func run(args []string, out io.Writer) error {
 		algo   = fs.String("algo", "dvgreedy", "allocator: dvgreedy, dvgreedy-scan, density, value, optimal, firefly, pavq")
 		budget = fs.Float64("budget", 400, "server throughput budget B(t) in Mbps (fleet-wide when -shards > 1)")
 
-		shards = fs.Int("shards", 1, "run against a sharded fleet of this many servers (1 = single server)")
-		scorer = fs.String("scorer", "least-loaded", "fleet placement scorer: least-loaded, locality, slo-burn")
-		alpha  = fs.Float64("alpha", 0.1, "QoE delay weight")
-		beta   = fs.Float64("beta", 0.5, "QoE variance weight")
+		shards       = fs.Int("shards", 1, "run against a sharded fleet of this many servers (1 = single server)")
+		scorer       = fs.String("scorer", "least-loaded", "fleet placement scorer: least-loaded, locality, slo-burn")
+		coordinators = fs.Int("coordinators", 1, "replicated coordinator size for the fleet owner map (1 = single, no replication cost)")
+		alpha        = fs.Float64("alpha", 0.1, "QoE delay weight")
+		beta         = fs.Float64("beta", 0.5, "QoE variance weight")
 
 		mode        = fs.String("mode", "sim", "execution engine: sim (virtual time) or live (loopback sockets)")
 		maxSessions = fs.Int("max-sessions", 0, "live-mode server accept limit, excess rejected (0 = unlimited)")
@@ -128,6 +129,12 @@ func run(args []string, out io.Writer) error {
 		}
 		if chaosProf.HasShardFaults() && *shards == 1 {
 			return fmt.Errorf("chaos profile %q has shard faults; run with -shards > 1 (or use collabvr-fleet)", chaosProf.Name)
+		}
+		if chaosProf.HasCoordFaults() && *shards == 1 {
+			return fmt.Errorf("chaos profile %q has coordinator faults; run with -shards > 1 (or use collabvr-fleet)", chaosProf.Name)
+		}
+		if m := chaosProf.MaxReplica(); m >= *coordinators {
+			return fmt.Errorf("chaos profile %q targets coordinator replica %d; run with -coordinators > %d", chaosProf.Name, m, m)
 		}
 	}
 	if *chaosCheck {
@@ -283,9 +290,10 @@ func run(args []string, out io.Writer) error {
 			}
 			if *shards > 1 {
 				frep, err := load.RunLiveFleet(w, load.FleetLiveConfig{
-					Live:   lcfg,
-					Shards: *shards,
-					Scorer: *scorer,
+					Live:         lcfg,
+					Shards:       *shards,
+					Scorer:       *scorer,
+					Coordinators: *coordinators,
 				})
 				if err != nil {
 					return nil, err
@@ -318,9 +326,10 @@ func run(args []string, out io.Writer) error {
 		}
 		if *shards > 1 {
 			fcfg := load.FleetSimConfig{
-				Sim:    scfg,
-				Shards: *shards,
-				Scorer: *scorer,
+				Sim:          scfg,
+				Shards:       *shards,
+				Scorer:       *scorer,
+				Coordinators: *coordinators,
 			}
 			if r != nil {
 				fcfg.Health = healthStore

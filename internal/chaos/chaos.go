@@ -50,7 +50,8 @@ func NewInjector(p *Profile, session uint32) *Injector {
 	for i := range p.Faults {
 		f := &p.Faults[i]
 		switch f.Kind {
-		case FaultStall, FaultSlowACK, FaultShardKill, FaultShardDrain, FaultShardDegrade:
+		case FaultStall, FaultSlowACK, FaultShardKill, FaultShardDrain, FaultShardDegrade,
+			FaultCoordKill, FaultCoordPartition:
 			continue
 		}
 		if !f.appliesTo(session) {

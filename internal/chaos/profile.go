@@ -65,6 +65,17 @@ const (
 	// signal the SLO-pressure evacuation loop acts on. Only fleet engines
 	// honor it.
 	FaultShardDegrade FaultKind = "shard_degrade"
+	// FaultCoordKill crashes one fleet coordinator replica at StartSlot
+	// (DurationSlots 0 = permanently; > 0 restarts it, log intact, after
+	// the window). Killing the leader stalls ownership mutations until its
+	// lease drains and the survivors elect. Only coord-enabled fleet
+	// engines honor it.
+	FaultCoordKill FaultKind = "coord_kill"
+	// FaultCoordPartition cuts one coordinator replica off from its peers
+	// for DurationSlots (must be > 0; the partition heals by the slot
+	// clock). Partitioning the leader forces a term bump on the majority
+	// side — the epoch fencing path.
+	FaultCoordPartition FaultKind = "coord_partition"
 )
 
 // Fault is one scheduled fault window on the slot clock.
@@ -90,6 +101,9 @@ type Fault struct {
 	DelayMs float64 `json:"delay_ms,omitempty"`
 	// Shard is the fleet shard index targeted by shard_kill/shard_drain.
 	Shard int `json:"shard,omitempty"`
+	// Replica is the coordinator replica index targeted by
+	// coord_kill/coord_partition.
+	Replica int `json:"replica,omitempty"`
 }
 
 // active reports whether the fault window covers the slot.
@@ -175,6 +189,16 @@ func (f *Fault) validate(i int) error {
 		if f.Kind == FaultShardDegrade && (f.Factor <= 0 || f.Factor >= 1) {
 			return fail(fmt.Errorf("factor %g outside (0, 1)", f.Factor))
 		}
+	case FaultCoordKill, FaultCoordPartition:
+		if f.Replica < 0 {
+			return fail(fmt.Errorf("replica %d < 0", f.Replica))
+		}
+		if len(f.Sessions) > 0 {
+			return fail(fmt.Errorf("sessions list is not applicable (the fault targets a coordinator replica)"))
+		}
+		if f.Kind == FaultCoordPartition && f.DurationSlots <= 0 {
+			return fail(fmt.Errorf("duration_slots %d invalid (a partition must heal; use coord_kill for a crash)", f.DurationSlots))
+		}
 	default:
 		return fail(fmt.Errorf("unknown kind"))
 	}
@@ -244,7 +268,8 @@ func (p *Profile) HasSessionFaults() bool {
 	}
 	for i := range p.Faults {
 		switch p.Faults[i].Kind {
-		case FaultStall, FaultSlowACK, FaultShardKill, FaultShardDrain, FaultShardDegrade:
+		case FaultStall, FaultSlowACK, FaultShardKill, FaultShardDrain, FaultShardDegrade,
+			FaultCoordKill, FaultCoordPartition:
 		default:
 			return true
 		}
@@ -284,6 +309,41 @@ func (p *Profile) MaxShard() int {
 		}
 	}
 	return maxShard
+}
+
+// HasCoordFaults reports whether any fault targets a coordinator replica.
+func (p *Profile) HasCoordFaults() bool {
+	return p != nil && len(p.CoordFaults()) > 0
+}
+
+// CoordFaults returns the coordinator-replica faults (coord_kill,
+// coord_partition) in profile order. Coord-enabled fleet engines schedule
+// these on the slot clock; everything else ignores them.
+func (p *Profile) CoordFaults() []Fault {
+	if p == nil {
+		return nil
+	}
+	var out []Fault
+	for i := range p.Faults {
+		switch p.Faults[i].Kind {
+		case FaultCoordKill, FaultCoordPartition:
+			out = append(out, p.Faults[i])
+		}
+	}
+	return out
+}
+
+// MaxReplica returns the highest coordinator replica index any coord fault
+// targets (-1 when the profile has none); fleet engines validate it against
+// the configured replica count.
+func (p *Profile) MaxReplica() int {
+	maxReplica := -1
+	for _, f := range p.CoordFaults() {
+		if f.Replica > maxReplica {
+			maxReplica = f.Replica
+		}
+	}
+	return maxReplica
 }
 
 // HasServerFaults reports whether any fault targets the server pipeline.

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fleet/coord"
 	"repro/internal/obs"
 	"repro/internal/obs/tsdb"
 	"repro/internal/server"
@@ -46,6 +47,15 @@ type LiveConfig struct {
 	// shard's rolling page-frac window and live-migrates sessions off
 	// shards that stay hot, with hysteresis and cooldowns (see EvacConfig).
 	Evac EvacConfig
+	// Coordinators is the coordinator replica count (default 1 — a single
+	// replica, the zero-cost path, byte-identical to the unreplicated
+	// coordinator; 2f+1 replicas tolerate f crashes with ownership
+	// mutations stalling at most Coord.LeaseSlots per leader loss).
+	Coordinators int
+	// Coord tunes the replicated coordinator beyond the replica count
+	// (lease length, snapshot cadence). Coordinators, when set, overrides
+	// Coord.Replicas.
+	Coord coord.Config
 }
 
 // liveShard is the coordinator's bookkeeping for one shard.
@@ -70,9 +80,20 @@ type Live struct {
 
 	mu         sync.Mutex
 	shards     []liveShard
-	owner      map[uint32]int
 	slot       int
 	migrations int
+
+	// cluster replicates the owner map (session → shard) and the budget
+	// split; every ownership mutation is proposed through it. It is not
+	// concurrency-safe by itself — l.mu is its lock. pendingForgets holds
+	// departures that arrived while the cluster was leaderless; Tick
+	// retries them (a forgotten binding is never load-bearing, so deferral
+	// is safe).
+	cluster        *coord.Cluster
+	pendingForgets []uint32
+	lastTerm       uint64
+	cm             coordMetrics
+	cmPrev         coord.Status
 
 	// Health plane: per-shard series observed on Tick's slot clock, and
 	// the hysteresis evacuation controller they feed. All guarded by mu
@@ -104,12 +125,17 @@ func NewLive(cfg LiveConfig) (*Live, error) {
 	if cfg.Zones <= 0 {
 		cfg.Zones = cfg.Shards
 	}
+	ccfg := cfg.Coord
+	if cfg.Coordinators > 0 {
+		ccfg.Replicas = cfg.Coordinators
+	}
 	l := &Live{
-		cfg:    cfg,
-		router: NewRouter(cfg.Scorer, cfg.Recorder),
-		rb:     NewRebalancer(cfg.Rebalance, cfg.Shards),
-		owner:  make(map[uint32]int),
-		shards: make([]liveShard, cfg.Shards),
+		cfg:     cfg,
+		router:  NewRouter(cfg.Scorer, cfg.Recorder),
+		rb:      NewRebalancer(cfg.Rebalance, cfg.Shards),
+		cluster: coord.New(ccfg),
+		shards:  make([]liveShard, cfg.Shards),
+		cm:      newCoordMetrics(cfg.Base.Metrics),
 	}
 	l.evac = NewEvacuator(cfg.Evac, cfg.Shards)
 	l.health = cfg.Health
@@ -164,11 +190,14 @@ func (l *Live) ShardAddr(i int) string { return l.servers[i].ControlAddr() }
 
 // Addr returns the control address of the shard that currently owns the
 // session — the client's Redirect hook. An unplaced user gets shard 0.
+// During a coordinator failover the read replica may briefly lag, which is
+// safe: the client redials, the stale shard has no session, and the next
+// re-resolve lands on the committed owner.
 func (l *Live) Addr(user uint32) string {
 	l.mu.Lock()
-	shard, ok := l.owner[user]
+	shard, ok := l.cluster.Lookup(user)
 	l.mu.Unlock()
-	if !ok {
+	if !ok || shard < 0 {
 		shard = 0
 	}
 	return l.servers[shard].ControlAddr()
@@ -178,7 +207,7 @@ func (l *Live) Addr(user uint32) string {
 func (l *Live) Owner(user uint32) int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if shard, ok := l.owner[user]; ok {
+	if shard, ok := l.cluster.Lookup(user); ok {
 		return shard
 	}
 	return -1
@@ -196,12 +225,12 @@ func (l *Live) statesLocked() []ShardState {
 	slo := l.cfg.Base.SLO
 	counts := make([]int, len(l.servers))
 	paging := make([]int, len(l.servers))
-	for user, shard := range l.owner {
+	l.cluster.Each(func(user uint32, shard int) {
 		counts[shard]++
 		if slo != nil && slo.State(user) == obs.SLOStatePage {
 			paging[shard]++
 		}
-	}
+	})
 	out := make([]ShardState, len(l.servers))
 	for i := range l.servers {
 		st := ShardState{
@@ -228,19 +257,29 @@ func (l *Live) statesLocked() []ShardState {
 func (l *Live) Place(sess SessionInfo) (int, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if !l.cluster.Available() {
+		return -1, fmt.Errorf("fleet: place session %d: %w", sess.ID, coord.ErrUnavailable)
+	}
 	shard := l.router.Place(l.slot, sess, l.statesLocked(), obs.PlaceArrival, -1)
 	if shard < 0 {
 		return -1, fmt.Errorf("fleet: no shard can accept session %d", sess.ID)
 	}
-	l.owner[sess.ID] = shard
+	if err := l.cluster.Propose(coord.Op{Kind: coord.OpPlace, Session: sess.ID, Shard: shard}); err != nil {
+		return -1, fmt.Errorf("fleet: place session %d: %w", sess.ID, err)
+	}
 	l.shards[shard].placed++
 	return shard, nil
 }
 
-// Forget drops a departed session from the ownership table.
+// Forget drops a departed session from the ownership table. While the
+// coordinator is leaderless the departure is queued and replayed by Tick —
+// a stale binding only wastes a map entry, it cannot misroute anything
+// because the session is gone.
 func (l *Live) Forget(user uint32) {
 	l.mu.Lock()
-	delete(l.owner, user)
+	if err := l.cluster.Propose(coord.Op{Kind: coord.OpForget, Session: user}); err != nil {
+		l.pendingForgets = append(l.pendingForgets, user)
+	}
 	l.evac.Forget(user)
 	l.mu.Unlock()
 }
@@ -271,10 +310,16 @@ func (l *Live) EvacBatches() int {
 // constants. Returns the target shard.
 func (l *Live) Migrate(user uint32, reason string) (int, error) {
 	l.mu.Lock()
-	from, ok := l.owner[user]
+	from, ok := l.cluster.Lookup(user)
 	if !ok {
 		l.mu.Unlock()
 		return -1, fmt.Errorf("fleet: migrate: unknown session %d", user)
+	}
+	if !l.cluster.Available() {
+		// Refuse to even start: an export that cannot commit its
+		// ownership flip would only be rolled back again.
+		l.mu.Unlock()
+		return -1, fmt.Errorf("fleet: migrate session %d: %w", user, coord.ErrUnavailable)
 	}
 	sess := SessionInfo{ID: user, Zone: l.shards[from].zone, DemandMbps: l.cfg.Base.InitialUserMbps}
 	to := l.router.Place(l.slot, sess, l.statesLocked(), reason, from)
@@ -285,20 +330,32 @@ func (l *Live) Migrate(user uint32, reason string) (int, error) {
 	l.mu.Unlock()
 
 	// Ordering is the whole protocol: snapshot the state, register it on
-	// the adopting shard, flip ownership (so the client's Redirect hook
-	// resolves to the target), and only then close the source's control
-	// connection to trigger the redial. Any other order lets the client's
-	// fresh Hello race the adoption or redial back into the source.
+	// the adopting shard, commit the ownership flip (so the client's
+	// Redirect hook resolves to the target), and only then close the
+	// source's control connection to trigger the redial. Any other order
+	// lets the client's fresh Hello race the adoption or redial back into
+	// the source. Every step that can fail after the export rolls the
+	// export back — the session must never be left flagged as handed off
+	// on a shard that still owns it.
 	st, err := l.servers[from].ExportSession(user)
 	if err != nil {
 		return -1, fmt.Errorf("fleet: migrate session %d: %w", user, err)
 	}
 	if err := l.servers[to].AdoptSession(st); err != nil {
+		l.servers[from].CancelExport(user)
 		return -1, fmt.Errorf("fleet: migrate session %d: %w", user, err)
 	}
-
 	l.mu.Lock()
-	l.owner[user] = to
+	perr := l.cluster.Propose(coord.Op{Kind: coord.OpFlip, Session: user, From: from, Shard: to})
+	if perr != nil {
+		l.mu.Unlock()
+		// The flip did not commit: the source keeps the session. Undo the
+		// adoption before it can consume a redial, then clear the handoff
+		// flag so the session retires normally.
+		l.servers[to].DropAdopted(user)
+		l.servers[from].CancelExport(user)
+		return -1, fmt.Errorf("fleet: migrate session %d: %w", user, perr)
+	}
 	l.shards[from].migratedOut++
 	l.shards[to].migratedIn++
 	l.migrations++
@@ -317,11 +374,11 @@ func (l *Live) DrainShard(i int) (int, error) {
 	l.mu.Lock()
 	l.shards[i].draining = true
 	users := make([]uint32, 0)
-	for user, shard := range l.owner {
+	l.cluster.Each(func(user uint32, shard int) {
 		if shard == i {
 			users = append(users, user)
 		}
-	}
+	})
 	l.mu.Unlock()
 	// Ascending order: the map walk above is unordered, the migrations
 	// must not be.
@@ -351,12 +408,24 @@ func (l *Live) KillShard(i int) int {
 		return 0
 	}
 	l.shards[i].dead = true
+	replaced := l.sweepDeadLocked(i)
+	l.mu.Unlock()
+	l.servers[i].Close()
+	return replaced
+}
+
+// sweepDeadLocked re-places every session still owned by dead shard i on
+// the survivors. Sessions whose proposals the coordinator rejects (it may
+// be mid-election when the shard dies) keep their stale binding and are
+// retried by Tick once the cluster recovers — their clients keep
+// reconnect-polling Addr in the meantime. Caller holds l.mu.
+func (l *Live) sweepDeadLocked(i int) int {
 	users := make([]uint32, 0)
-	for user, shard := range l.owner {
+	l.cluster.Each(func(user uint32, shard int) {
 		if shard == i {
 			users = append(users, user)
 		}
-	}
+	})
 	for a := 1; a < len(users); a++ {
 		for b := a; b > 0 && users[b] < users[b-1]; b-- {
 			users[b], users[b-1] = users[b-1], users[b]
@@ -364,20 +433,25 @@ func (l *Live) KillShard(i int) int {
 	}
 	replaced := 0
 	for _, user := range users {
+		if !l.cluster.Available() {
+			break
+		}
 		sess := SessionInfo{ID: user, Zone: l.shards[i].zone, DemandMbps: l.cfg.Base.InitialUserMbps}
 		to := l.router.Place(l.slot, sess, l.statesLocked(), obs.PlaceShardKill, i)
 		if to < 0 {
-			delete(l.owner, user)
+			if l.cluster.Propose(coord.Op{Kind: coord.OpForget, Session: user}) != nil {
+				l.pendingForgets = append(l.pendingForgets, user)
+			}
 			continue
 		}
-		l.owner[user] = to
+		if l.cluster.Propose(coord.Op{Kind: coord.OpFlip, Session: user, From: i, Shard: to}) != nil {
+			break
+		}
 		l.shards[i].migratedOut++
 		l.shards[to].migratedIn++
 		l.migrations++
 		replaced++
 	}
-	l.mu.Unlock()
-	l.servers[i].Close()
 	return replaced
 }
 
@@ -389,6 +463,33 @@ func (l *Live) KillShard(i int) int {
 func (l *Live) Tick(slot int) {
 	l.mu.Lock()
 	l.slot = slot
+	// Advance the coordinator first: lease renewal, elections, catch-up.
+	// Everything below sees the post-election cluster.
+	l.cluster.Tick(int64(slot))
+	epoch := uint64(0)
+	if term := l.cluster.Term(); term != l.lastTerm {
+		l.lastTerm = term
+		epoch = term // broadcast the new fencing epoch below, outside l.mu
+	}
+	// Replay departures that arrived while the cluster was leaderless.
+	if len(l.pendingForgets) > 0 && l.cluster.Available() {
+		kept := l.pendingForgets[:0]
+		for _, user := range l.pendingForgets {
+			if l.cluster.Propose(coord.Op{Kind: coord.OpForget, Session: user}) != nil {
+				kept = append(kept, user)
+			}
+		}
+		l.pendingForgets = kept
+	}
+	// Re-place sessions stranded on shards that died while the
+	// coordinator could not commit (see sweepDeadLocked).
+	if l.cluster.Available() {
+		for i := range l.shards {
+			if l.shards[i].dead {
+				l.sweepDeadLocked(i)
+			}
+		}
+	}
 	states := l.statesLocked()
 	alive := make([]bool, len(states))
 	for i, st := range states {
@@ -411,15 +512,32 @@ func (l *Live) Tick(slot int) {
 	var shares []float64
 	if due {
 		shares = l.rb.Shares(l.cfg.GlobalBudgetMbps, alive)
+		// The split goes through the log so a post-failover leader knows
+		// the committed shares; if the cluster cannot commit it, the old
+		// split stays in force until the next due rebalance.
+		if l.cluster.Propose(coord.Op{Kind: coord.OpBudgetSplit, Shares: shares}) != nil {
+			due = false
+		}
 	}
 	// Evacuation decisions happen under the lock (stable view of ownership
 	// and the pressure windows); the migrations themselves run after it —
 	// Migrate re-takes the lock and talks to the shard servers.
 	var victims []uint32
-	if l.evac != nil {
+	if l.evac != nil && l.cluster.Available() {
 		victims = l.evacVictimsLocked(slot, states)
 	}
+	l.mirrorCoordMetricsLocked()
 	l.mu.Unlock()
+	if epoch > 0 {
+		// A new term is live: fence every shard before any migration
+		// decided under it exports state, so a deposed leader's stale
+		// flips are rejected at adoption.
+		for i, srv := range l.servers {
+			if !l.shardDead(i) {
+				srv.SetCoordEpoch(epoch)
+			}
+		}
+	}
 	if due {
 		for i, share := range shares {
 			if alive[i] {
@@ -461,11 +579,11 @@ func (l *Live) evacVictimsLocked(slot int, states []ShardState) []uint32 {
 			continue
 		}
 		var users []uint32
-		for user, shard := range l.owner {
+		l.cluster.Each(func(user uint32, shard int) {
 			if shard == i && l.evac.AllowSession(user, int64(slot)) {
 				users = append(users, user)
 			}
-		}
+		})
 		// Deterministic order: paging sessions first (they are the ones
 		// burning the SLO), ties broken by ascending session ID. The map
 		// walk above is unordered, so sort fully.
@@ -570,4 +688,83 @@ func (l *Live) Close() error {
 		}
 	}
 	return first
+}
+
+// shardDead reports whether shard i has been killed.
+func (l *Live) shardDead(i int) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.shards[i].dead
+}
+
+// CoordKill crashes coordinator replica i (chaos fault coord_kill). A
+// killed leader stalls ownership mutations until its lease drains and the
+// survivors elect; placements and migrations fail fast in the window and
+// their callers retry.
+func (l *Live) CoordKill(i int) {
+	l.mu.Lock()
+	l.cluster.Kill(i)
+	l.mu.Unlock()
+}
+
+// CoordRestart revives a crashed coordinator replica; it rejoins as a
+// follower and is caught up (log suffix or snapshot) on the next Tick.
+func (l *Live) CoordRestart(i int) {
+	l.mu.Lock()
+	l.cluster.Restart(i)
+	l.mu.Unlock()
+}
+
+// CoordPartition cuts coordinator replica i from its peers until the given
+// slot (chaos fault coord_partition).
+func (l *Live) CoordPartition(i int, untilSlot int) {
+	l.mu.Lock()
+	l.cluster.Partition(i, int64(untilSlot))
+	l.mu.Unlock()
+}
+
+// CoordStatus snapshots the coordinator cluster for /debug/coord.
+func (l *Live) CoordStatus() coord.Status {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.cluster.Status()
+}
+
+// coordMetrics mirrors the cluster's internal counters into the obs
+// registry on every Tick. All instruments are nil-safe no-ops when
+// observability is disabled, so the default path pays nothing.
+type coordMetrics struct {
+	term      *obs.Gauge
+	leader    *obs.Gauge
+	elections *obs.Counter
+	commits   *obs.Counter
+	rejected  *obs.Counter
+	installs  *obs.Counter
+}
+
+func newCoordMetrics(r *obs.Registry) coordMetrics {
+	return coordMetrics{
+		term:      r.Gauge("collabvr_fleet_coord_term"),
+		leader:    r.Gauge("collabvr_fleet_coord_leader"),
+		elections: r.Counter("collabvr_fleet_coord_elections_total"),
+		commits:   r.Counter("collabvr_fleet_coord_commits_total"),
+		rejected:  r.Counter("collabvr_fleet_coord_rejected_total"),
+		installs:  r.Counter("collabvr_fleet_coord_snapshot_installs_total"),
+	}
+}
+
+// mirrorCoordMetricsLocked publishes the cluster's counters as registry
+// deltas. Caller holds l.mu.
+func (l *Live) mirrorCoordMetricsLocked() {
+	if l.cm.term == nil {
+		return
+	}
+	st := l.cluster.Status()
+	l.cm.term.Set(float64(st.Term))
+	l.cm.leader.Set(float64(st.Leader))
+	l.cm.elections.Add(st.Elections - l.cmPrev.Elections)
+	l.cm.commits.Add(st.Commits - l.cmPrev.Commits)
+	l.cm.rejected.Add(st.Rejected - l.cmPrev.Rejected)
+	l.cm.installs.Add(st.SnapshotInstalls - l.cmPrev.SnapshotInstalls)
+	l.cmPrev = st
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/client"
 	"repro/internal/core"
+	"repro/internal/fleet/coord"
 	"repro/internal/motion"
 	"repro/internal/obs"
 	"repro/internal/obs/tsdb"
@@ -202,8 +203,8 @@ func TestLiveEvacuationTrigger(t *testing.T) {
 
 	// Fake ownership: both sessions on shard 0, paging hard.
 	l.mu.Lock()
-	l.owner[1] = 0
-	l.owner[2] = 0
+	l.cluster.Propose(coord.Op{Kind: coord.OpPlace, Session: 1, Shard: 0})
+	l.cluster.Propose(coord.Op{Kind: coord.OpPlace, Session: 2, Shard: 0})
 	l.mu.Unlock()
 	for i := 0; i < 50; i++ {
 		slo.ObserveSlot(1, false, 0)

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/client"
 	"repro/internal/core"
+	"repro/internal/fleet/coord"
 	"repro/internal/motion"
 	"repro/internal/obs"
 	"repro/internal/server"
@@ -259,7 +260,8 @@ func TestLiveTickRebalance(t *testing.T) {
 	}
 
 	for id := uint32(1); id <= 4; id++ {
-		l.owner[id] = 0 // skew ownership without real connections
+		// Skew ownership without real connections.
+		l.cluster.Propose(coord.Op{Kind: coord.OpPlace, Session: id, Shard: 0})
 	}
 	cadence := l.rb.cfg.EverySlots
 	for slot := 1; slot <= cadence; slot++ {

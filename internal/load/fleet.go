@@ -9,6 +9,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/fleet"
+	"repro/internal/fleet/coord"
 	"repro/internal/metrics"
 	"repro/internal/motion"
 	"repro/internal/netem"
@@ -53,6 +54,17 @@ type FleetSimConfig struct {
 	// the rest of the fleet in cooldown-spaced batches. Needs a pressure
 	// history, so an internal health store is created when Health is nil.
 	Evac fleet.EvacConfig
+	// Coordinators is the coordinator replica count for the replicated
+	// owner map (default 1 — a single replica, the zero-cost path,
+	// byte-identical to the pre-replication engine; 2f+1 replicas tolerate
+	// f crashes, with ownership mutations stalling at most Coord.LeaseSlots
+	// per leader loss). -1 disables the cluster entirely — the legacy
+	// direct-ownership path, kept as the bench control.
+	Coordinators int
+	// Coord tunes the replicated coordinator beyond the replica count
+	// (lease length, snapshot cadence). Coordinators overrides
+	// Coord.Replicas.
+	Coord coord.Config
 }
 
 func (c FleetSimConfig) withDefaults() FleetSimConfig {
@@ -68,6 +80,9 @@ func (c FleetSimConfig) withDefaults() FleetSimConfig {
 	}
 	if c.MigrationOutageSlots < 0 {
 		c.MigrationOutageSlots = 0
+	}
+	if c.Coordinators == 0 {
+		c.Coordinators = 1
 	}
 	return c
 }
@@ -110,6 +125,28 @@ type FleetReport struct {
 	// EvacBatches how many cooldown-spaced batches fired.
 	Evacuations int `json:"evacuations,omitempty"`
 	EvacBatches int `json:"evac_batches,omitempty"`
+	// Coord summarizes the replicated coordinator's run; nil when the
+	// cluster was disabled (Coordinators -1).
+	Coord *CoordOutcome `json:"coord,omitempty"`
+}
+
+// CoordOutcome is the replicated coordinator's end-of-run accounting: the
+// leadership history, the log frontier counters, and the convergence
+// verdict the acceptance campaigns assert on.
+type CoordOutcome struct {
+	Replicas         int    `json:"replicas"`
+	Term             uint64 `json:"term"`
+	Elections        uint64 `json:"elections"`
+	Commits          uint64 `json:"commits"`
+	Rejected         uint64 `json:"rejected"`
+	SnapshotInstalls uint64 `json:"snapshot_installs"`
+	// LeaderlessSlots counts slots during which the cluster could not
+	// accept ownership mutations (dead leader's lease draining, or quorum
+	// lost) — the control-plane blackout the election timeout bounds.
+	LeaderlessSlots int `json:"leaderless_slots"`
+	// Converged reports whether every alive replica finished with an
+	// identical applied owner map — the single-owner invariant.
+	Converged bool `json:"converged"`
 }
 
 // FormatFleet renders the fleet addendum under the standard report.
@@ -118,6 +155,10 @@ func (r *FleetReport) FormatFleet() string {
 	b.WriteString(r.RunReport.Format())
 	fmt.Fprintf(&b, "fleet: scorer %s, placements %d (failed %d), migrations %d, rebalances %d, outage session-slots %d\n",
 		r.Scorer, r.Placements, r.PlacementsFailed, r.Migrations, r.Rebalances, r.OutageSlots)
+	if c := r.Coord; c != nil {
+		fmt.Fprintf(&b, "coord: %d replica(s), term %d, elections %d, commits %d, rejected %d, snapshots %d, leaderless slots %d, converged %v\n",
+			c.Replicas, c.Term, c.Elections, c.Commits, c.Rejected, c.SnapshotInstalls, c.LeaderlessSlots, c.Converged)
+	}
 	fmt.Fprintf(&b, "%-6s %5s %6s %7s %7s %7s %6s %6s %10s\n",
 		"shard", "zone", "placed", "mig-in", "mig-out", "peak", "killed", "drain", "budget")
 	for _, s := range r.Shards {
@@ -134,6 +175,13 @@ type fleetSession struct {
 	zone        int
 	shard       int
 	outageUntil int // slot before which the session is mid-handoff
+	// pendingFlip marks a session whose ownership flip could not commit —
+	// the coordinator was leaderless when its shard failed. The session is
+	// blacked out (exported but not adopted) until the survivors elect and
+	// the flip commits through the log; pendingReason carries the
+	// placement reason to record at commit time.
+	pendingFlip   bool
+	pendingReason string
 }
 
 // SimulateFleet replays the workload through N virtual shards behind the
@@ -151,6 +199,28 @@ func SimulateFleet(w *Workload, cfg FleetSimConfig) (*FleetReport, error) {
 	if m := sim.Chaos.MaxShard(); m >= cfg.Shards {
 		return nil, fmt.Errorf("load: chaos profile targets shard %d but the fleet has %d shards", m, cfg.Shards)
 	}
+
+	// Replicated coordinator: every ownership mutation (place, flip,
+	// forget, evac batch, budget split) commits through its log. A single
+	// replica is the zero-cost default — proposals apply directly, no
+	// allocation, bit-identical to the pre-replication engine. -1 disables
+	// the cluster entirely (the bench control).
+	var cluster *coord.Cluster
+	if cfg.Coordinators >= 1 {
+		ccfg := cfg.Coord
+		ccfg.Replicas = cfg.Coordinators
+		cluster = coord.New(ccfg)
+	}
+	coordFaults := sim.Chaos.CoordFaults()
+	if m := sim.Chaos.MaxReplica(); m >= 0 {
+		if cluster == nil {
+			return nil, fmt.Errorf("load: chaos profile carries coordinator faults but the cluster is disabled (Coordinators %d)", cfg.Coordinators)
+		}
+		if m >= cfg.Coordinators {
+			return nil, fmt.Errorf("load: chaos profile targets coordinator replica %d but the cluster has %d", m, cfg.Coordinators)
+		}
+	}
+	coordUp := func() bool { return cluster == nil || cluster.Available() }
 	horizon := w.Cfg.HorizonSlots
 	sps := w.Cfg.SlotsPerSecond
 	if sps <= 0 {
@@ -246,10 +316,21 @@ func SimulateFleet(w *Workload, cfg FleetSimConfig) (*FleetReport, error) {
 		regretRef = core.DPOptimal{Resolution: sim.RegretResolution}
 	}
 
+	// pendingForgets queues departures that arrived while the coordinator
+	// was leaderless; they replay once a leader is back. A stale binding is
+	// never load-bearing, so deferral is safe.
+	var pendingForgets []uint32
+	coordLeaderless := 0
+
 	finish := func(s *fleetSession) {
 		sim.SLO.Retire(s.spec.ID)
 		sim.Breaker.Retire(s.spec.ID)
 		evac.Forget(s.spec.ID)
+		if cluster != nil {
+			if err := cluster.Propose(coord.Op{Kind: coord.OpForget, Session: s.spec.ID}); err != nil {
+				pendingForgets = append(pendingForgets, s.spec.ID)
+			}
+		}
 		out := SessionOutcome{
 			ID:       s.spec.ID,
 			Slots:    s.acc.Slots(),
@@ -293,13 +374,21 @@ func SimulateFleet(w *Workload, cfg FleetSimConfig) (*FleetReport, error) {
 		return out
 	}
 
-	// applyShares re-splits the global budget over accepting shards.
+	// applyShares re-splits the global budget over accepting shards. The
+	// split commits through the coordinator log first: a leaderless cluster
+	// postpones the re-split (budgets ride unchanged until the next due
+	// tick), so every replica replays the same share history.
 	applyShares := func() {
 		accepting := make([]bool, cfg.Shards)
 		for i := range accepting {
 			accepting[i] = !dead[i] && !draining[i]
 		}
 		shares := rb.Shares(sim.BudgetMbps, accepting)
+		if cluster != nil {
+			if err := cluster.Propose(coord.Op{Kind: coord.OpBudgetSplit, Shares: shares}); err != nil {
+				return
+			}
+		}
 		for i, share := range shares {
 			if accepting[i] {
 				budget[i] = share
@@ -309,23 +398,48 @@ func SimulateFleet(w *Workload, cfg FleetSimConfig) (*FleetReport, error) {
 		}
 	}
 
+	// commitFlip routes one exported session at commit time and flips its
+	// ownership through the coordinator log; the session then pays the
+	// migration outage. Returns false when there is nowhere to go or the
+	// flip could not commit.
+	commitFlip := func(slot int, s *fleetSession, reason string) bool {
+		from := s.shard
+		sess := fleet.SessionInfo{ID: s.spec.ID, Zone: s.zone}
+		to := router.Place(slot, sess, shardStates(), reason, from)
+		if to < 0 {
+			return false // nowhere to go: the session rides the dead shard (0 quality)
+		}
+		if cluster != nil {
+			if err := cluster.Propose(coord.Op{Kind: coord.OpFlip, Session: s.spec.ID, Shard: to, From: from}); err != nil {
+				return false
+			}
+		}
+		s.shard = to
+		s.outageUntil = slot + cfg.MigrationOutageSlots
+		s.pendingFlip = false
+		report.Shards[from].MigratedOut++
+		report.Shards[to].MigratedIn++
+		report.Migrations++
+		return true
+	}
+
 	// migrateShard hands every session of a failing shard to the best
 	// survivor, in arrival order; each migrated session pays the outage.
+	// When the coordinator is leaderless (the leader died between the
+	// export and the flip) the session is queued instead: exported but not
+	// adopted, blacked out until the survivors elect and the flip commits —
+	// degraded for the election window, never dropped, never double-owned.
 	migrateShard := func(slot, from int, reason string) {
 		for _, s := range active {
-			if s.shard != from {
+			if s.shard != from || s.pendingFlip {
 				continue
 			}
-			sess := fleet.SessionInfo{ID: s.spec.ID, Zone: s.zone}
-			to := router.Place(slot, sess, shardStates(), reason, from)
-			if to < 0 {
-				continue // nowhere to go: the session rides the dead shard (0 quality)
+			if !coordUp() {
+				s.pendingFlip = true
+				s.pendingReason = reason
+				continue
 			}
-			s.shard = to
-			s.outageUntil = slot + cfg.MigrationOutageSlots
-			report.Shards[from].MigratedOut++
-			report.Shards[to].MigratedIn++
-			report.Migrations++
+			commitFlip(slot, s, reason)
 		}
 	}
 
@@ -344,6 +458,32 @@ func SimulateFleet(w *Workload, cfg FleetSimConfig) (*FleetReport, error) {
 	var evacCands []*fleetSession
 
 	for slot := 0; slot < horizon; slot++ {
+		// Coordinator faults and the cluster tick come first: a leader
+		// killed this slot is already dead when the shard faults below try
+		// to flip ownership, and an election lands before any retry. The
+		// tick also drains leases and heals laggards.
+		if cluster != nil {
+			for _, f := range coordFaults {
+				switch f.Kind {
+				case chaos.FaultCoordKill:
+					if f.StartSlot == slot {
+						cluster.Kill(f.Replica)
+					}
+					if f.DurationSlots > 0 && f.StartSlot+f.DurationSlots == slot {
+						cluster.Restart(f.Replica)
+					}
+				case chaos.FaultCoordPartition:
+					if f.StartSlot == slot {
+						cluster.Partition(f.Replica, int64(slot+f.DurationSlots))
+					}
+				}
+			}
+			cluster.Tick(int64(slot))
+			if !cluster.Available() {
+				coordLeaderless++
+			}
+		}
+
 		// Shard faults: kill and drain windows open (and drains close) on
 		// slot boundaries, before arrivals see the shard states. Degrade
 		// windows recompute each slot — a browned-out shard's sessions see
@@ -381,15 +521,54 @@ func SimulateFleet(w *Workload, cfg FleetSimConfig) (*FleetReport, error) {
 			}
 		}
 
+		// Pending replays: departures and flips rejected during a
+		// leaderless window commit now, in arrival order — ownership
+		// converges the first slot a leader is back, and each re-placed
+		// session starts its bounded migration outage.
+		if cluster != nil && cluster.Available() {
+			for len(pendingForgets) > 0 {
+				if err := cluster.Propose(coord.Op{Kind: coord.OpForget, Session: pendingForgets[0]}); err != nil {
+					break
+				}
+				pendingForgets = pendingForgets[1:]
+			}
+			rerouted := false
+			for _, s := range active {
+				if !s.pendingFlip {
+					continue
+				}
+				if commitFlip(slot, s, s.pendingReason) {
+					rerouted = true
+				}
+			}
+			if rerouted {
+				applyShares()
+			}
+		}
+
 		// Arrivals route through the scorer.
 		for _, spec := range byArrive[slot] {
 			zone := int(spec.ID) % cfg.Zones
+			if !coordUp() {
+				// Leaderless cluster: the arrival cannot be owned, so it
+				// fails fast like Live.Place — the caller-visible contract.
+				report.Failed++
+				report.PlacementsFailed++
+				continue
+			}
 			to := router.Place(slot, fleet.SessionInfo{ID: spec.ID, Zone: zone},
 				shardStates(), obs.PlaceArrival, -1)
 			if to < 0 {
 				report.Failed++
 				report.PlacementsFailed++
 				continue
+			}
+			if cluster != nil {
+				if err := cluster.Propose(coord.Op{Kind: coord.OpPlace, Session: spec.ID, Shard: to}); err != nil {
+					report.Failed++
+					report.PlacementsFailed++
+					continue
+				}
 			}
 			report.Placements++
 			report.Shards[to].Placed++
@@ -449,7 +628,7 @@ func SimulateFleet(w *Workload, cfg FleetSimConfig) (*FleetReport, error) {
 			plans = plans[:0]
 			shardDemand := 0.0
 			for _, s := range active {
-				if s.shard != shard || slot < s.outageUntil {
+				if s.shard != shard || slot < s.outageUntil || s.pendingFlip {
 					continue
 				}
 				local := slot - s.spec.ArriveSlot
@@ -556,11 +735,12 @@ func SimulateFleet(w *Workload, cfg FleetSimConfig) (*FleetReport, error) {
 			}
 		}
 
-		// Sessions mid-handoff (or stranded on a dead shard) are blacked
+		// Sessions mid-handoff (or stranded on a dead shard, or exported
+		// with their flip waiting on a coordinator election) are blacked
 		// out this slot: the frame is a forced miss, charged like a
 		// deadline miss — degraded, not dropped.
 		for _, s := range active {
-			inOutage := slot < s.outageUntil
+			inOutage := slot < s.outageUntil || s.pendingFlip
 			stranded := dead[s.shard]
 			if !inOutage && !stranded {
 				continue
@@ -615,6 +795,11 @@ func SimulateFleet(w *Workload, cfg FleetSimConfig) (*FleetReport, error) {
 				if dead[shard] || draining[shard] {
 					continue
 				}
+				if !coordUp() {
+					// No leader, no batch: the controller state is left
+					// untouched so the same batch fires once one is back.
+					continue
+				}
 				w := sh[shard].pageFrac.Stats(evac.Config().WindowSlots)
 				pressure := 0.0
 				if w.Count > 0 {
@@ -639,6 +824,8 @@ func SimulateFleet(w *Workload, cfg FleetSimConfig) (*FleetReport, error) {
 					return pi && !pj
 				})
 				moved := 0
+				var batchTo []int       // distinct targets, first-seen order
+				var batchIDs [][]uint32 // sessions per target, move order
 				for _, s := range evacCands {
 					if moved >= evac.Config().BatchSessions {
 						break
@@ -656,6 +843,29 @@ func SimulateFleet(w *Workload, cfg FleetSimConfig) (*FleetReport, error) {
 					report.Migrations++
 					report.Evacuations++
 					moved++
+					if cluster != nil {
+						found := false
+						for i, t := range batchTo {
+							if t == to {
+								batchIDs[i] = append(batchIDs[i], s.spec.ID)
+								found = true
+								break
+							}
+						}
+						if !found {
+							batchTo = append(batchTo, to)
+							batchIDs = append(batchIDs, []uint32{s.spec.ID})
+						}
+					}
+				}
+				// The batch commits through the log grouped by target —
+				// availability was checked up front and nothing between
+				// there and here can depose the leader, so these cannot
+				// fail.
+				for i, to := range batchTo {
+					_ = cluster.Propose(coord.Op{
+						Kind: coord.OpEvacBatch, Shard: to, From: shard, Batch: batchIDs[i],
+					})
 				}
 			}
 		}
@@ -676,6 +886,18 @@ func SimulateFleet(w *Workload, cfg FleetSimConfig) (*FleetReport, error) {
 	report.EvacBatches = evac.Batches()
 	for i := range report.Shards {
 		report.Shards[i].FinalBudgetMbps = budget[i]
+	}
+	if cluster != nil {
+		report.Coord = &CoordOutcome{
+			Replicas:         cluster.Replicas(),
+			Term:             cluster.Term(),
+			Elections:        cluster.Elections(),
+			Commits:          cluster.Commits(),
+			Rejected:         cluster.Rejected(),
+			SnapshotInstalls: cluster.SnapshotInstalls(),
+			LeaderlessSlots:  coordLeaderless,
+			Converged:        cluster.Converged(),
+		}
 	}
 	return report, nil
 }

@@ -1,0 +1,225 @@
+package load
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/fleet/coord"
+	"repro/internal/obs"
+)
+
+// TestFleetCoordLeaderKillMidMigration is the PR's acceptance campaign:
+// shard 1 is killed the same slot the coordinator leader dies, so every
+// export is stuck with its ownership flip uncommittable — the exact
+// "leader killed between export and flip" window. The survivors must
+// elect, replay the queued flips, and finish the run with no session
+// dropped, ownership converged to exactly one shard per session on every
+// replica, each blackout bounded by the election timeout plus the
+// migration outage, tail quality within 10% of the fault-free run, and
+// the whole thing bit-identical per seed.
+func TestFleetCoordLeaderKillMidMigration(t *testing.T) {
+	baseGoroutines := obs.LeakSnapshot()
+	w := fleetWorkload(t)
+	const (
+		killSlot   = 600
+		leaseSlots = 8
+		outage     = 2
+	)
+
+	base := FleetSimConfig{
+		Shards:               3,
+		Coordinators:         3,
+		Coord:                coord.Config{LeaseSlots: leaseSlots},
+		MigrationOutageSlots: outage,
+	}
+	baseline, err := SimulateFleet(w, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	faulted := base
+	faulted.Sim.Chaos = &chaos.Profile{
+		Name: "coord-leader-kill-mid-migration",
+		Seed: 42,
+		Faults: []chaos.Fault{
+			{Kind: chaos.FaultShardKill, StartSlot: killSlot, Shard: 1},
+			{Kind: chaos.FaultCoordKill, StartSlot: killSlot, Replica: 0},
+		},
+	}
+	got, err := SimulateFleet(w, faulted)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// No session dropped: every spawned session completes with outcomes.
+	if got.Completed != got.Spawned || got.Failed != 0 {
+		t.Fatalf("completed %d/%d (failed %d) — sessions were dropped",
+			got.Completed, got.Spawned, got.Failed)
+	}
+
+	// The kill found the coordinator leaderless, so flips were queued: the
+	// log rejected proposals during the outage, an election happened, and
+	// the dead shard's sessions still all moved.
+	co := got.Coord
+	if co == nil {
+		t.Fatal("no coord outcome in the report")
+	}
+	if co.Elections < 1 || co.Term < 2 {
+		t.Fatalf("elections/term = %d/%d, want an election past bootstrap", co.Elections, co.Term)
+	}
+	if co.Rejected == 0 {
+		t.Error("no rejected proposals — the kill never raced the flips")
+	}
+	if co.LeaderlessSlots == 0 || co.LeaderlessSlots > leaseSlots {
+		t.Errorf("leaderless for %d slots, want within (0, %d] (the lease is the election timeout)",
+			co.LeaderlessSlots, leaseSlots)
+	}
+	// Ownership converged to exactly one shard per session on every alive
+	// replica — no split brain, no double owner.
+	if !co.Converged {
+		t.Error("replicas did not converge to an identical owner map")
+	}
+	s1 := got.Shards[1]
+	if s1.MigratedOut == 0 {
+		t.Fatal("dead shard migrated nothing out")
+	}
+	if adopted := got.Shards[0].MigratedIn + got.Shards[2].MigratedIn; adopted != s1.MigratedOut {
+		t.Errorf("survivors adopted %d, shard 1 exported %d", adopted, s1.MigratedOut)
+	}
+
+	// Blackout bound: each migrated session is dark for at most the
+	// election timeout (the dead leader's lease) plus the migration outage.
+	if got.OutageSlots == 0 {
+		t.Error("no outage slots charged")
+	}
+	if max := s1.MigratedOut * (leaseSlots + outage); got.OutageSlots > max {
+		t.Errorf("outage session-slots %d > bound %d (migrated %d × (lease %d + outage %d))",
+			got.OutageSlots, max, s1.MigratedOut, leaseSlots, outage)
+	}
+
+	// Tail quality: once the election and the flips clear, the survivors
+	// carry the load within 10% of the fault-free run.
+	tailFrom := killSlot + 100
+	tail := got.MeanSlotQuality(tailFrom, len(got.SlotQuality))
+	want := baseline.MeanSlotQuality(tailFrom, len(baseline.SlotQuality))
+	if tail < 0.90*want {
+		t.Errorf("post-failover tail quality %.3f < 90%% of fault-free %.3f", tail, want)
+	}
+
+	// Bit-identical per seed: elections, flip replay order and all.
+	again, err := SimulateFleet(w, faulted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, again) {
+		t.Error("two identical leader-kill runs differ — the failover is not deterministic")
+	}
+	obs.AssertNoLeaks(t, baseGoroutines)
+}
+
+// TestFleetSimSingleReplicaByteIdentical pins the zero-cost-default
+// guarantee: the single-replica coordinator (the default) must produce a
+// report byte-identical to the cluster-disabled legacy path on a faulted
+// golden campaign — same placements, same migrations, same QoE, down to
+// every float.
+func TestFleetSimSingleReplicaByteIdentical(t *testing.T) {
+	w := fleetWorkload(t)
+	mk := func(coordinators int) *FleetReport {
+		t.Helper()
+		cfg := FleetSimConfig{Shards: 3, Coordinators: coordinators}
+		cfg.Sim.Chaos = shardKillProfile(600, 1)
+		rep, err := SimulateFleet(w, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	replicated := mk(1) // the default
+	legacy := mk(-1)    // cluster disabled entirely
+
+	co := replicated.Coord
+	if co == nil || legacy.Coord != nil {
+		t.Fatal("coord outcome presence is inverted")
+	}
+	// Single-replica mode never elects, never rejects, never leaves term 0
+	// — so the fencing epoch never perturbs a handoff token.
+	if co.Replicas != 1 || co.Term != 0 || co.Elections != 0 || co.Rejected != 0 || co.LeaderlessSlots != 0 {
+		t.Fatalf("single-replica outcome %+v, want term 0 and no elections/rejections", co)
+	}
+	if !co.Converged {
+		t.Error("a single replica cannot disagree with itself")
+	}
+	if co.Commits == 0 {
+		t.Error("no commits — ownership mutations bypassed the cluster")
+	}
+	replicated.Coord = nil
+	if !reflect.DeepEqual(replicated, legacy) {
+		t.Error("single-replica run is not byte-identical to the cluster-disabled path")
+	}
+}
+
+// TestFleetSimCoordFaultValidation: a profile naming a replica outside the
+// cluster — or any coordinator fault with the cluster disabled — is a
+// config error, mirroring the shard-range check.
+func TestFleetSimCoordFaultValidation(t *testing.T) {
+	w := fleetWorkload(t)
+	kill := &chaos.Profile{
+		Name:   "coord-kill",
+		Seed:   1,
+		Faults: []chaos.Fault{{Kind: chaos.FaultCoordKill, StartSlot: 10, Replica: 3}},
+	}
+	cfg := FleetSimConfig{Shards: 3, Coordinators: 3}
+	cfg.Sim.Chaos = kill
+	if _, err := SimulateFleet(w, cfg); err == nil {
+		t.Error("replica 3 fault accepted by a 3-replica cluster")
+	}
+	cfg.Coordinators = -1
+	if _, err := SimulateFleet(w, cfg); err == nil {
+		t.Error("coordinator fault accepted with the cluster disabled")
+	}
+}
+
+// TestFleetSimCoordQuorumLossRecovers runs the shipped example profile's
+// shape in miniature: a permanent replica kill followed by a partition of
+// a second replica drops the cluster below quorum for the window; no
+// session is dropped, departures queue and replay, and the run converges.
+func TestFleetSimCoordQuorumLossRecovers(t *testing.T) {
+	w := fleetWorkload(t)
+	cfg := FleetSimConfig{
+		Shards:       3,
+		Coordinators: 3,
+		Coord:        coord.Config{LeaseSlots: 4},
+	}
+	cfg.Sim.Chaos = &chaos.Profile{
+		Name: "coord-quorum-loss",
+		Seed: 7,
+		Faults: []chaos.Fault{
+			{Kind: chaos.FaultCoordKill, StartSlot: 200, Replica: 0},
+			{Kind: chaos.FaultCoordPartition, StartSlot: 500, DurationSlots: 60, Replica: 1},
+		},
+	}
+	rep, err := SimulateFleet(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != rep.Spawned {
+		t.Fatalf("completed %d/%d", rep.Completed, rep.Spawned)
+	}
+	co := rep.Coord
+	if co == nil {
+		t.Fatal("no coord outcome")
+	}
+	// The partition of the post-failover leader leaves one reachable
+	// replica — below quorum — until the window heals, then a second
+	// election recovers.
+	if co.Elections < 2 {
+		t.Errorf("elections = %d, want >= 2 (kill, then partition heal)", co.Elections)
+	}
+	if co.LeaderlessSlots < 60 {
+		t.Errorf("leaderless slots = %d, want >= the 60-slot quorum-loss window", co.LeaderlessSlots)
+	}
+	if !co.Converged {
+		t.Error("replicas did not converge after the heal")
+	}
+}

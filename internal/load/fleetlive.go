@@ -8,6 +8,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/client"
 	"repro/internal/fleet"
+	"repro/internal/fleet/coord"
 	"repro/internal/metrics"
 	"repro/internal/netem"
 	"repro/internal/obs"
@@ -48,6 +49,19 @@ type FleetLiveConfig struct {
 	// Evac turns on the SLO-pressure evacuation loop on the live
 	// coordinator (see fleet.EvacConfig).
 	Evac fleet.EvacConfig
+	// Coordinators is the coordinator replica count (default 1 — the
+	// zero-cost single-replica path); see fleet.LiveConfig.Coordinators.
+	// The chaos profile's coord_kill/coord_partition faults drive the
+	// replicas on the live slot clock.
+	Coordinators int
+	// Coord tunes the replicated coordinator (lease length, snapshot
+	// cadence); Coordinators overrides Coord.Replicas.
+	Coord coord.Config
+	// CoordDebug, when non-nil, receives the live fleet's coordinator
+	// status producer as soon as the shards come up — the /debug/coord
+	// hook. The producer is mutex-guarded and stays valid for the life of
+	// the process, so an HTTP handler may call it mid-run.
+	CoordDebug func(status func() coord.Status)
 }
 
 // RunLiveFleet executes the workload against a live shard fleet over
@@ -73,6 +87,12 @@ func RunLiveFleet(w *Workload, cfg FleetLiveConfig) (*FleetReport, error) {
 	}
 	if m := cfg.Live.Chaos.MaxShard(); m >= cfg.Shards {
 		return nil, fmt.Errorf("load: chaos profile targets shard %d but the fleet has %d shards", m, cfg.Shards)
+	}
+	if cfg.Coordinators <= 0 {
+		cfg.Coordinators = 1
+	}
+	if m := cfg.Live.Chaos.MaxReplica(); m >= cfg.Coordinators {
+		return nil, fmt.Errorf("load: chaos profile targets coordinator replica %d but the cluster has %d", m, cfg.Coordinators)
 	}
 	scorer, err := fleet.ScorerByName(cfg.Scorer)
 	if err != nil {
@@ -133,9 +153,14 @@ func RunLiveFleet(w *Workload, cfg FleetLiveConfig) (*FleetReport, error) {
 		Rebalance:        cfg.Rebalance,
 		Health:           cfg.Health,
 		Evac:             cfg.Evac,
+		Coordinators:     cfg.Coordinators,
+		Coord:            cfg.Coord,
 	})
 	if err != nil {
 		return nil, err
+	}
+	if cfg.CoordDebug != nil {
+		cfg.CoordDebug(live.CoordStatus)
 	}
 
 	report := &FleetReport{
@@ -227,15 +252,39 @@ func RunLiveFleet(w *Workload, cfg FleetLiveConfig) (*FleetReport, error) {
 		}()
 	}
 
-	// Shard fault schedule, applied on the coordinator's slot clock.
+	// Shard and coordinator fault schedules, applied on the coordinator's
+	// slot clock.
 	shardFaults := cfg.Live.Chaos.ShardFaults()
+	coordFaults := cfg.Live.Chaos.CoordFaults()
 	killSlot := make(map[int]int)
 	drainSlot := make(map[int]int)
+	coordLeaderless := 0
 
 	ticker := time.NewTicker(cfg.Live.SlotDuration)
 	next := 0
 	for slot := 0; slot < w.Cfg.HorizonSlots; slot++ {
 		now := <-ticker.C
+		// Coordinator faults land before this slot's placements and ticks,
+		// like the virtual-time engine: a leader killed here is already
+		// dead when the fleet proposes.
+		for _, f := range coordFaults {
+			switch f.Kind {
+			case chaos.FaultCoordKill:
+				if f.StartSlot == slot {
+					live.CoordKill(f.Replica)
+					cfg.Live.Logf("loadgen: chaos killed coordinator replica %d at slot %d", f.Replica, slot)
+				}
+				if f.DurationSlots > 0 && f.StartSlot+f.DurationSlots == slot {
+					live.CoordRestart(f.Replica)
+					cfg.Live.Logf("loadgen: coordinator replica %d restarted at slot %d", f.Replica, slot)
+				}
+			case chaos.FaultCoordPartition:
+				if f.StartSlot == slot {
+					live.CoordPartition(f.Replica, slot+f.DurationSlots)
+					cfg.Live.Logf("loadgen: chaos partitioned coordinator replica %d until slot %d", f.Replica, slot+f.DurationSlots)
+				}
+			}
+		}
 		for next < len(w.Sessions) && w.Sessions[next].ArriveSlot <= slot {
 			launch(w.Sessions[next])
 			next++
@@ -274,6 +323,9 @@ func RunLiveFleet(w *Workload, cfg FleetLiveConfig) (*FleetReport, error) {
 			}
 		}
 		live.Tick(slot)
+		if cfg.Coordinators > 1 && !live.CoordStatus().Available {
+			coordLeaderless++
+		}
 		// Registry/SLO sampling rides the coordinator's clock so the
 		// stored series share the fleet series' slot axis.
 		cfg.Sampler.Sample(int64(slot))
@@ -319,5 +371,16 @@ func RunLiveFleet(w *Workload, cfg FleetLiveConfig) (*FleetReport, error) {
 	report.Rebalances = int(snap.Rebalances)
 	report.Evacuations = snap.Evacuations
 	report.EvacBatches = live.EvacBatches()
+	cst := live.CoordStatus()
+	report.Coord = &CoordOutcome{
+		Replicas:         cst.Replicas,
+		Term:             cst.Term,
+		Elections:        cst.Elections,
+		Commits:          cst.Commits,
+		Rejected:         cst.Rejected,
+		SnapshotInstalls: cst.SnapshotInstalls,
+		LeaderlessSlots:  coordLeaderless,
+		Converged:        cst.Converged,
+	}
 	return report, nil
 }

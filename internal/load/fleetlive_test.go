@@ -200,3 +200,61 @@ func TestFleetSimCapacityProbe(t *testing.T) {
 		t.Errorf("per-shard capacity %d, want >= 1", res.PerShard.MaxSessions)
 	}
 }
+
+// TestRunLiveFleetCoordLeaderKill: the replicated coordinator under the
+// live runner — the chaos schedule kills the lease-holding leader mid-run,
+// the survivors elect on the real slot clock, and every session still
+// completes; the report carries the leadership history.
+func TestRunLiveFleetCoordLeaderKill(t *testing.T) {
+	base := obs.LeakSnapshot()
+	w := liveFleetWorkload(t, 4, 240)
+	cfg := FleetLiveConfig{
+		Shards:       2,
+		Coordinators: 3,
+		Live: LiveConfig{
+			SlotDuration: 5 * time.Millisecond,
+			BudgetMbps:   300,
+			Unshaped:     true,
+			Chaos: &chaos.Profile{
+				Name:   "live-coord-kill",
+				Seed:   7,
+				Faults: []chaos.Fault{{Kind: chaos.FaultCoordKill, StartSlot: 80, Replica: 0}},
+			},
+			Logf: t.Logf,
+		},
+	}
+	cfg.Coord.LeaseSlots = 4
+	rep, err := RunLiveFleet(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != rep.Spawned || rep.Failed != 0 {
+		t.Errorf("completed %d/%d (failed %d) — coordinator failover dropped sessions",
+			rep.Completed, rep.Spawned, rep.Failed)
+	}
+	co := rep.Coord
+	if co == nil {
+		t.Fatal("no coord outcome in the live report")
+	}
+	if co.Replicas != 3 || co.Elections < 1 || co.Term < 2 {
+		t.Errorf("coord outcome %+v, want 3 replicas and an election past bootstrap", co)
+	}
+	if co.LeaderlessSlots == 0 {
+		t.Error("leader kill cost no leaderless slots")
+	}
+	if !co.Converged {
+		t.Error("replicas did not converge")
+	}
+	obs.AssertNoLeaks(t, base)
+
+	// A replica outside the cluster is a config error, like shard range.
+	bad := cfg
+	bad.Live.Chaos = &chaos.Profile{
+		Name:   "live-coord-kill-oob",
+		Seed:   7,
+		Faults: []chaos.Fault{{Kind: chaos.FaultCoordKill, StartSlot: 80, Replica: 5}},
+	}
+	if _, err := RunLiveFleet(w, bad); err == nil {
+		t.Error("out-of-range coordinator replica fault accepted")
+	}
+}

@@ -71,6 +71,11 @@ type MuxOptions struct {
 	// obs/tsdb (tsdb.Handler); it is a plain http.Handler here so obs does
 	// not depend on the health store package.
 	Health http.Handler
+	// Coord, when non-nil, adds /debug/coord serving the replicated
+	// coordinator's leadership and log-frontier document. The handler comes
+	// from fleet/coord (coord.Handler), a plain http.Handler here so obs
+	// does not depend on the coordinator package.
+	Coord http.Handler
 	// Debug adds the pprof endpoints and /debug/runtime, and samples the
 	// runtime into collabvr_runtime_* gauges on every /metrics scrape.
 	Debug bool
@@ -99,6 +104,9 @@ func NewMuxOpts(r *Registry, rec *Recorder, opts MuxOptions) *http.ServeMux {
 	}
 	if opts.Health != nil {
 		mux.Handle("/debug/health", opts.Health)
+	}
+	if opts.Coord != nil {
+		mux.Handle("/debug/coord", opts.Coord)
 	}
 	if opts.Debug {
 		AttachDebug(mux, r)

@@ -13,13 +13,20 @@ import (
 // are plain values so an out-of-process coordinator could gob-ship it.
 type HandoffState struct {
 	User uint32
-	// Token authenticates the handoff: derived from (user, slot, shard) at
-	// export, it names the exact handoff event in logs on both sides.
+	// Token authenticates the handoff: derived from (user, slot, shard,
+	// epoch) at export, it names the exact handoff event in logs on both
+	// sides and fences out stale leaders — a deposed coordinator's epoch
+	// no longer reproduces the token the adopting shard expects.
 	Token uint64
 	// FromShard is the exporting shard's ID.
 	FromShard int
 	// Slot is the exporting shard's slot clock at export time.
 	Slot uint32
+	// Epoch is the coordinator term the migration was decided under. A
+	// shard that has witnessed a newer term rejects the adoption (see
+	// AdoptSession), so a deposed leader cannot create split-brain
+	// double-ownership. 0 in single-replica mode — fencing disabled.
+	Epoch uint64
 
 	// Streaming QoE state (drives MeanQ and delta of h_n).
 	T          int
@@ -37,12 +44,16 @@ type HandoffState struct {
 	DelayMs    []float64
 }
 
-// handoffToken derives the handoff event's identity with a splitmix64-style
-// finalizer over (user, slot, shard) — deterministic per event, unique
-// across shards.
-func handoffToken(user uint32, slot uint32, shard int) uint64 {
+// HandoffToken derives the handoff event's identity with a splitmix64-style
+// finalizer over (user, slot, shard, epoch) — deterministic per event,
+// unique across shards and coordinator terms. The epoch mixes in as
+// epoch×odd-constant, an identity at epoch 0, so single-replica
+// deployments (term pinned to 0) produce bit-for-bit the tokens the
+// pre-replication fleet did.
+func HandoffToken(user uint32, slot uint32, shard int, epoch uint64) uint64 {
 	z := uint64(user)<<32 | uint64(slot)
 	z ^= (uint64(shard) + 1) * 0x9E3779B97F4A7C15
+	z ^= epoch * 0xD6E8FEB86659FD93
 	z ^= z >> 30
 	z *= 0xBF58476D1CE4E5B9
 	z ^= z >> 27
@@ -66,6 +77,7 @@ func (s *Server) ExportSession(user uint32) (*HandoffState, error) {
 	s.mu.Lock()
 	sess := s.sessions[user]
 	slot := s.slot
+	epoch := s.coordEpoch
 	s.mu.Unlock()
 	if sess == nil {
 		return nil, fmt.Errorf("server: export: no session for user %d", user)
@@ -79,9 +91,10 @@ func (s *Server) ExportSession(user uint32) (*HandoffState, error) {
 	sess.handoff = true
 	st := &HandoffState{
 		User:       user,
-		Token:      handoffToken(user, slot, s.cfg.ShardID),
+		Token:      HandoffToken(user, slot, s.cfg.ShardID, epoch),
 		FromShard:  s.cfg.ShardID,
 		Slot:       slot,
+		Epoch:      epoch,
 		T:          sess.t,
 		SumViewedQ: sess.sumViewedQ,
 		Covered:    sess.covered,
@@ -116,6 +129,13 @@ func (s *Server) ReleaseSession(user uint32) error {
 // AdoptSession registers handed-off session state; the next Hello for its
 // user (the migrating client's redial) consumes it, resumes the estimators
 // and QoE history, and answers Welcome{Resumed: true}.
+//
+// The adoption is epoch-fenced: state stamped by a coordinator term older
+// than the newest this shard has witnessed, or carrying a token that does
+// not reproduce from its own (user, slot, shard, epoch), is the replay of
+// a deposed leader — it is rejected and counted in
+// collabvr_fleet_coord_fenced_total rather than creating a second owner
+// for a session the new leader has already re-placed.
 func (s *Server) AdoptSession(st *HandoffState) error {
 	if st == nil || st.Token == 0 {
 		return errors.New("server: adopt: missing handoff state or token")
@@ -128,11 +148,76 @@ func (s *Server) AdoptSession(st *HandoffState) error {
 	if s.draining {
 		return errors.New("server: adopt: server draining")
 	}
+	if st.Epoch < s.coordEpoch {
+		s.metrics.coordFenced.Inc()
+		return fmt.Errorf("server: adopt: %w: state epoch %d < shard epoch %d",
+			ErrStaleEpoch, st.Epoch, s.coordEpoch)
+	}
+	if st.Token != HandoffToken(st.User, st.Slot, st.FromShard, st.Epoch) {
+		s.metrics.coordFenced.Inc()
+		return fmt.Errorf("server: adopt: %w: token %016x does not match its handoff event",
+			ErrStaleEpoch, st.Token)
+	}
+	if st.Epoch > s.coordEpoch {
+		s.coordEpoch = st.Epoch // adoption itself proves the newer term
+	}
 	if s.adopted == nil {
 		s.adopted = make(map[uint32]*HandoffState)
 	}
 	s.adopted[st.User] = st
 	return nil
+}
+
+// ErrStaleEpoch marks an adoption fenced out because its handoff state was
+// stamped under a deposed coordinator leader's term.
+var ErrStaleEpoch = errors.New("stale coordinator epoch")
+
+// SetCoordEpoch advances the shard's witnessed coordinator term. It is
+// monotonic — a lower value is ignored — so a delayed broadcast from an
+// old leader cannot lower the fence.
+func (s *Server) SetCoordEpoch(epoch uint64) {
+	s.mu.Lock()
+	if epoch > s.coordEpoch {
+		s.coordEpoch = epoch
+	}
+	s.mu.Unlock()
+}
+
+// CoordEpoch returns the highest coordinator term the shard has witnessed.
+func (s *Server) CoordEpoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.coordEpoch
+}
+
+// CancelExport rolls back an ExportSession whose migration fell through
+// (the adopting shard refused the state, or the ownership flip could not
+// commit): the handoff flag clears, so the session keeps streaming on this
+// shard and will retire as a normal departure, not a handoff.
+func (s *Server) CancelExport(user uint32) error {
+	s.mu.Lock()
+	sess := s.sessions[user]
+	s.mu.Unlock()
+	if sess == nil {
+		return fmt.Errorf("server: cancel export: no session for user %d", user)
+	}
+	sess.mu.Lock()
+	sess.handoff = false
+	sess.mu.Unlock()
+	return nil
+}
+
+// DropAdopted discards handed-off state registered for the user before any
+// redial consumed it — the undo of AdoptSession when a later step of the
+// migration fails. It reports whether state was pending.
+func (s *Server) DropAdopted(user uint32) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.adopted[user]; !ok {
+		return false
+	}
+	delete(s.adopted, user)
+	return true
 }
 
 // resume seeds a fresh session from handed-off state.

@@ -19,6 +19,7 @@ type serverMetrics struct {
 	sessionsActive   *obs.Gauge
 	handoffsOut      *obs.Counter
 	handoffsIn       *obs.Counter
+	coordFenced      *obs.Counter
 
 	slots          *obs.Counter
 	deadlineMiss   *obs.Counter
@@ -57,6 +58,7 @@ func newServerMetrics(r *obs.Registry) serverMetrics {
 		sessionsActive:   r.Gauge("collabvr_server_sessions_active"),
 		handoffsOut:      r.Counter("collabvr_server_sessions_handoff_out_total"),
 		handoffsIn:       r.Counter("collabvr_server_sessions_handoff_in_total"),
+		coordFenced:      r.Counter("collabvr_fleet_coord_fenced_total"),
 		slots:            r.Counter("collabvr_server_slots_total"),
 		deadlineMiss:     r.Counter("collabvr_server_slot_deadline_miss_total"),
 		acks:             r.Counter("collabvr_server_acks_total"),

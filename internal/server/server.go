@@ -189,6 +189,11 @@ type Server struct {
 	// adopted holds handed-off session state awaiting the client's redial
 	// (keyed by user; consumed by the next Hello for that user).
 	adopted map[uint32]*HandoffState
+	// coordEpoch is the highest coordinator term this shard has witnessed;
+	// AdoptSession fences out handoff state stamped by an older (deposed)
+	// leader. 0 — the single-replica coordinator's forever-term — disables
+	// fencing entirely, keeping the default path byte-identical.
+	coordEpoch uint64
 
 	stop         chan struct{}
 	stopOnce     sync.Once
